@@ -1,0 +1,133 @@
+//! Ablation/scaling benches for the design choices DESIGN.md calls out:
+//! how the end-to-end pipeline scales with DAG size, cluster size and
+//! profiling effort, and what each scheduler stop-rule costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mps_core::dag::gen::{generate, DagGenParams};
+use mps_core::model::AnalyticModel;
+use mps_core::platform::ClusterSpec;
+use mps_core::sched::{Hcpa, Mcpa, Scheduler};
+use mps_core::sim::Simulator;
+use mps_core::testbed::{
+    build_profile_model, fit_empirical_model, paper_kernels, ProfilingConfig, Testbed,
+};
+
+/// DAG-size scaling: the pipeline on 10/20/40-task applications.
+fn bench_dag_size_scaling(c: &mut Criterion) {
+    let cluster = ClusterSpec::bayreuth().build().unwrap();
+    let model = AnalyticModel::paper_jvm();
+    let mut g = c.benchmark_group("ablation_dag_size");
+    for &tasks in &[10usize, 20, 40, 80] {
+        let params = DagGenParams {
+            tasks,
+            input_matrices: 8,
+            add_ratio: 0.5,
+            matrix_size: 2000,
+        };
+        let dag = generate(&params, 1);
+        g.bench_with_input(BenchmarkId::new("schedule_and_simulate", tasks), &dag, |b, dag| {
+            let sim = Simulator::new(cluster.clone(), model);
+            b.iter(|| sim.schedule_and_simulate(dag, &Hcpa).unwrap().result.makespan);
+        });
+    }
+    g.finish();
+}
+
+/// Cluster-size scaling: allocation loops and the L07 resource count grow
+/// with N.
+fn bench_cluster_size_scaling(c: &mut Criterion) {
+    let params = DagGenParams {
+        tasks: 10,
+        input_matrices: 8,
+        add_ratio: 0.5,
+        matrix_size: 2000,
+    };
+    let dag = generate(&params, 1);
+    let model = AnalyticModel::paper_jvm();
+    let mut g = c.benchmark_group("ablation_cluster_size");
+    for &nodes in &[8usize, 32, 128, 512] {
+        let mut spec = ClusterSpec::bayreuth();
+        spec.nodes = nodes;
+        let cluster = spec.build().unwrap();
+        g.bench_with_input(BenchmarkId::new("schedule_and_simulate", nodes), &cluster, |b, cluster| {
+            let sim = Simulator::new(cluster.clone(), model);
+            b.iter(|| sim.schedule_and_simulate(&dag, &Hcpa).unwrap().result.makespan);
+        });
+    }
+    g.finish();
+}
+
+/// Profiling-effort ablation: brute-force profiles (§VI) vs sparse
+/// regression fits (§VII) — the cost side of the paper's accuracy/effort
+/// trade-off.
+fn bench_profiling_effort(c: &mut Criterion) {
+    let tb = Testbed::bayreuth(2011);
+    let kernels = paper_kernels();
+    let mut g = c.benchmark_group("ablation_calibration_effort");
+    g.sample_size(20);
+    for &trials in &[1u64, 3, 10] {
+        let cfg = ProfilingConfig {
+            task_trials: trials,
+            startup_trials: trials * 5,
+            redist_trials: trials,
+            max_p: 32,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("brute_force_profiles", trials),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| build_profile_model(&tb, &kernels, cfg).unwrap());
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sparse_regression_fit", trials),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| fit_empirical_model(&tb, &kernels, cfg).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Stop-rule ablation: HCPA's global-area rule vs MCPA's per-level rule on
+/// identical inputs.
+fn bench_stop_rules(c: &mut Criterion) {
+    let params = DagGenParams {
+        tasks: 20,
+        input_matrices: 8,
+        add_ratio: 0.5,
+        matrix_size: 3000,
+    };
+    let dag = generate(&params, 3);
+    let cluster = ClusterSpec::bayreuth().build().unwrap();
+    let model = AnalyticModel::paper_jvm();
+    let mut g = c.benchmark_group("ablation_stop_rule");
+    for algo in [&Hcpa as &dyn Scheduler, &Mcpa] {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| algo.schedule(&dag, &cluster, &model).est_makespan);
+        });
+    }
+    g.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep the full suite runnable in a couple of minutes: these benches
+    // guard against order-of-magnitude regressions, not microsecond drift.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = ablation_benches;
+    config = fast_criterion();
+    targets =
+        bench_dag_size_scaling,
+    bench_cluster_size_scaling,
+    bench_profiling_effort,
+    bench_stop_rules,
+);
+criterion_main!(ablation_benches);

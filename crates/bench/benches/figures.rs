@@ -1,0 +1,181 @@
+//! One bench per table/figure: measures the cost of regenerating each
+//! artifact's *data* against the emulated testbed. The measurement-only
+//! figures (2, 3, 4, 6, Tables I/II) run at full fidelity; the grid-backed
+//! figures (1, 5, 7, 8) run over a corpus subset per iteration (the full
+//! 54-DAG grid is exercised once in `grid_full` with a reduced sample
+//! count).
+//!
+//! The printed values double as a regression guard: if a simulator or the
+//! scheduler suddenly becomes 10× slower, these benches say so.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mps_exp::{figures, Harness, SimVariant};
+
+fn harness() -> Harness {
+    Harness::new(2011)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_parameter_grid", |b| {
+        b.iter(figures::table1);
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let h = harness();
+    // Fig. 1 needs analytic cells only; regenerate a 6-DAG subset per
+    // iteration.
+    c.bench_function("fig1_analytic_comparison_subset", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let cells = h.run_subset(6, 1);
+                figures::fig1(&cells)
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig2_analytic_model_error", |b| {
+        b.iter(|| figures::fig2(&h.testbed));
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig3_startup_curve", |b| {
+        b.iter(|| figures::fig3(&h.testbed));
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig4_redistribution_surface", |b| {
+        b.iter(|| figures::fig4(&h.testbed));
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig5_profile_comparison_subset", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let cells = h.run_subset(6, 1);
+                figures::fig5(&cells)
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig6_regression_fits", |b| {
+        b.iter(|| figures::fig6(&h.testbed));
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig7_empirical_comparison_subset", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let cells = h.run_subset(6, 1);
+                figures::fig7(&cells)
+            },
+            BatchSize::PerIteration,
+        );
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let h = harness();
+    let cells = h.run_subset(12, 1);
+    c.bench_function("fig8_error_boxplots", |b| {
+        b.iter(|| figures::fig8(&cells));
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("table2_fit_vs_paper", |b| {
+        b.iter(|| figures::table2(&h));
+    });
+}
+
+fn bench_grid_full(c: &mut Criterion) {
+    // The whole 54-DAG × 3-simulator × 2-algorithm grid, once per
+    // iteration — the end-to-end cost of the paper's evaluation.
+    let h = harness();
+    let mut g = c.benchmark_group("grid");
+    g.sample_size(10);
+    g.bench_function("grid_full_54x3x2", |b| {
+        b.iter(|| h.run_grid(1));
+    });
+    g.finish();
+}
+
+fn bench_harness_build(c: &mut Criterion) {
+    // Harness construction = full §VI profiling + §VII fitting.
+    let mut g = c.benchmark_group("calibration");
+    g.sample_size(10);
+    g.bench_function("harness_profile_and_fit", |b| {
+        b.iter(|| Harness::new(2011));
+    });
+    g.finish();
+}
+
+fn bench_variants_single_dag(c: &mut Criterion) {
+    // Per-simulator cost of one end-to-end cell (schedule + simulate +
+    // testbed execution).
+    let h = harness();
+    let mut g = c.benchmark_group("cell");
+    for variant in SimVariant::ALL {
+        g.bench_function(format!("one_dag_{}", variant.name()), |b| {
+            b.iter(|| {
+                let cells = h.run_subset(1, 1);
+                cells
+                    .into_iter()
+                    .filter(|c| c.variant == variant)
+                    .map(|c| c.sim_makespan)
+                    .sum::<f64>()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    // Keep the full suite runnable in a couple of minutes: these benches
+    // guard against order-of-magnitude regressions, not microsecond drift.
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = figures_benches;
+    config = fast_criterion();
+    targets =
+        bench_table1,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_table2,
+    bench_grid_full,
+    bench_harness_build,
+    bench_variants_single_dag,
+);
+criterion_main!(figures_benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate; see the `benches/` directory: `figures` (one bench per table/figure), `components` (microbenches), `ablations` (scaling and design-choice sweeps).

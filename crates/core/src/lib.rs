@@ -1,0 +1,110 @@
+//! # mps-core — facade over the `mps` workspace
+//!
+//! One crate to depend on: re-exports every subsystem of the reproduction
+//! of *"From Simulation to Experiment: A Case Study on Multiprocessor Task
+//! Scheduling"* (Hunold, Casanova, Suter, APDCM 2011).
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`des`] | discrete-event kernel + max-min fair-share solver |
+//! | [`platform`] | cluster platform model (hosts, links, routes) |
+//! | [`l07`] | SimGrid-like `Ptask_L07` parallel-task simulation |
+//! | [`dag`] | mixed-parallel DAGs + the Table I random generator |
+//! | [`kernels`] | 1-D matrix kernels, cost models, redistribution plans |
+//! | [`sched`] | CPA / HCPA / MCPA two-phase schedulers |
+//! | [`model`] | analytic / profile / empirical performance models |
+//! | [`sim`] | the three simulator versions + schedule executor |
+//! | [`testbed`] | the emulated execution environment (ground truth) |
+//! | [`regress`] | least-squares fitting (Table II machinery) |
+//! | [`stats`] | statistics, box plots, figure-data helpers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mps_core::prelude::*;
+//!
+//! // A DAG from the paper's corpus, scheduled by HCPA under the analytic
+//! // model, simulated, then "run" on the emulated testbed:
+//! let g = &paper_corpus(PAPER_CORPUS_SEED)[0];
+//! let testbed = Testbed::bayreuth(42);
+//! let sim = Simulator::new(testbed.nominal_cluster(), AnalyticModel::paper_jvm());
+//! let out = sim.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+//! let real = testbed.execute(&g.dag, &out.schedule, 0).unwrap();
+//! // The analytic simulator underestimates reality:
+//! assert!(real.makespan > out.result.makespan);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mps_dag as dag;
+pub use mps_des as des;
+pub use mps_kernels as kernels;
+pub use mps_l07 as l07;
+pub use mps_model as model;
+pub use mps_platform as platform;
+pub use mps_regress as regress;
+pub use mps_sched as sched;
+pub use mps_sim as sim;
+pub use mps_stats as stats;
+pub use mps_testbed as testbed;
+
+/// The most commonly used items, flattened.
+pub mod prelude {
+    pub use mps_dag::gen::{paper_corpus, DagGenParams, GeneratedDag, PAPER_CORPUS_SEED};
+    pub use mps_dag::{Dag, TaskId};
+    pub use mps_des::{ActivitySpec, Engine};
+    pub use mps_kernels::{BlockDist1D, Kernel, RedistPlan};
+    pub use mps_l07::{L07Sim, PTaskSpec};
+    pub use mps_model::{AnalyticModel, EmpiricalModel, PerfModel, ProfileModel, ProfileTables};
+    pub use mps_platform::{Cluster, ClusterSpec, HostId};
+    pub use mps_regress::{fit_affine, AffineModel, Basis, PiecewiseModel};
+    pub use mps_sched::{Cpa, Hcpa, Mcpa, Schedule, Scheduler};
+    pub use mps_sim::{ExecutionResult, SimOutcome, Simulator};
+    pub use mps_stats::{boxplot, count_agreement, relative_makespan, summary};
+    pub use mps_testbed::{
+        build_profile_model, fit_empirical_model, CrayPdgemmEnv, GroundTruth, ProfilingConfig,
+        Testbed,
+    };
+}
+
+#[cfg(test)]
+mod facade_tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_full_pipeline() {
+        // Compile-time + smoke check that the facade wires every layer.
+        let g = &paper_corpus(PAPER_CORPUS_SEED)[0];
+        let testbed = Testbed::bayreuth(1);
+        let sim = Simulator::new(testbed.nominal_cluster(), AnalyticModel::paper_jvm());
+        let out = sim.schedule_and_simulate(&g.dag, &Mcpa).unwrap();
+        let real = testbed.execute(&g.dag, &out.schedule, 0).unwrap();
+        assert!(real.makespan > 0.0);
+        // Stats layer.
+        let rel = relative_makespan(out.result.makespan, real.makespan);
+        assert!(rel.is_finite());
+        // Regression layer.
+        let m = fit_affine(Basis::Identity, &[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        assert!((m.a - 2.0).abs() < 1e-12);
+        // Kernel layer.
+        assert_eq!(Kernel::MatAdd { n: 2000 }.n(), 2000);
+        // DES layer.
+        let mut e = Engine::new();
+        let r = e.add_resource(1.0);
+        e.start(ActivitySpec::new(1.0).on(r, 1.0)).unwrap();
+        assert!((e.run_to_idle().unwrap()[0].time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn module_paths_are_reachable() {
+        // The per-subsystem module re-exports.
+        let _ = crate::des::SharingProblem::new();
+        let _ = crate::platform::ClusterSpec::bayreuth();
+        let _ = crate::kernels::vanilla_plan(10, 2, 2);
+        let _ = crate::stats::median(&[1.0, 2.0]);
+        let _ = crate::model::EmpiricalModel::table_ii();
+        let _ = crate::regress::Basis::Recip;
+        let _ = crate::dag::shapes::chain(crate::kernels::Kernel::MatAdd { n: 100 }, 2);
+        let _ = crate::testbed::GroundTruth::bayreuth();
+    }
+}

@@ -1,0 +1,360 @@
+//! The paper's random DAG generator (§II-B, Table I).
+//!
+//! The generator works on a pool of matrices. It starts with `v` input
+//! matrices (`v` is the *DAG width* parameter: 2, 4, or 8). It first picks
+//! the number of entry tasks uniformly between 1 and `log₂(v)`; each entry
+//! task consumes two matrices and produces a new one. Subsequent levels
+//! contain between one and `log₂(#matrices so far)` tasks, each consuming
+//! two already-available matrices and producing a new one, until the target
+//! task count (10 in the paper) is reached.
+//!
+//! The addition/multiplication mix is set by the *ratio* parameter: a ratio
+//! `r` over `T` tasks yields `round(r·T)` additions (the paper's example: a
+//! ratio of 0.2 for 10 tasks → 2 additions, 8 multiplications). All
+//! matrices in one DAG are `n × n` with `n ∈ {2000, 3000}`.
+//!
+//! Table I's full grid (3 widths × 3 ratios × 2 sizes × 3 samples = 54
+//! DAGs) is reproduced by [`paper_corpus`].
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mps_kernels::Kernel;
+
+use crate::graph::{Dag, TaskId};
+
+/// Parameters of one generated DAG (one cell of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagGenParams {
+    /// Total number of tasks (Table I: 10).
+    pub tasks: usize,
+    /// Number of input matrices — the DAG-width knob (Table I: 2, 4, 8).
+    pub input_matrices: usize,
+    /// Fraction of addition tasks (Table I: 0.5, 0.75, 1.0).
+    pub add_ratio: f64,
+    /// Matrix dimension (Table I: 2000, 3000).
+    pub matrix_size: usize,
+}
+
+impl DagGenParams {
+    /// Number of addition tasks implied by the ratio.
+    pub fn addition_count(&self) -> usize {
+        ((self.add_ratio * self.tasks as f64).round() as usize).min(self.tasks)
+    }
+}
+
+/// A generated DAG together with its generation parameters and sample index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedDag {
+    /// Generation parameters.
+    pub params: DagGenParams,
+    /// Sample index within the parameter cell (0-based).
+    pub sample: usize,
+    /// Seed this DAG was generated from.
+    pub seed: u64,
+    /// The DAG itself.
+    pub dag: Dag,
+}
+
+impl GeneratedDag {
+    /// A short, stable identifier, e.g. `w4-r0.75-n2000-s1`.
+    pub fn name(&self) -> String {
+        format!(
+            "w{}-r{}-n{}-s{}",
+            self.params.input_matrices,
+            self.params.add_ratio,
+            self.params.matrix_size,
+            self.sample
+        )
+    }
+}
+
+/// Where a pool matrix came from.
+#[derive(Debug, Clone, Copy)]
+enum MatrixSource {
+    /// One of the `v` external input matrices.
+    Input,
+    /// Produced by a task.
+    Task(TaskId),
+}
+
+/// Generates one random DAG from the paper's process.
+///
+/// Deterministic in `(params, seed)`.
+pub fn generate(params: &DagGenParams, seed: u64) -> Dag {
+    assert!(params.tasks >= 1, "need at least one task");
+    assert!(
+        params.input_matrices >= 2,
+        "need at least two input matrices"
+    );
+    assert!(
+        (0.0..=1.0).contains(&params.add_ratio),
+        "ratio must be within [0, 1]"
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Kernel mix: round(ratio·tasks) additions, shuffled over positions.
+    let n = params.matrix_size;
+    let adds = params.addition_count();
+    let mut kernels: Vec<Kernel> = (0..params.tasks)
+        .map(|i| {
+            if i < adds {
+                Kernel::MatAdd { n }
+            } else {
+                Kernel::MatMul { n }
+            }
+        })
+        .collect();
+    kernels.shuffle(&mut rng);
+
+    let mut pool: Vec<MatrixSource> = vec![MatrixSource::Input; params.input_matrices];
+    let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+    let mut created = 0usize;
+
+    // log₂ bound helper: at least 1.
+    let log2_bound = |m: usize| -> usize { (m as f64).log2().floor().max(1.0) as usize };
+
+    // Entry level: 1..=log₂(v) tasks.
+    let mut level_tasks = rng.gen_range(1..=log2_bound(params.input_matrices));
+
+    while created < params.tasks {
+        let level_count = level_tasks.min(params.tasks - created);
+        // Tasks of this level consume matrices available *before* the level,
+        // so the level is truly parallel (no intra-level dependencies).
+        let available = pool.len();
+        let mut produced_this_level = Vec::new();
+        for _ in 0..level_count {
+            let id = TaskId(created);
+            created += 1;
+            // Two distinct operand matrices from the available pool.
+            let a = rng.gen_range(0..available);
+            let b = if available > 1 {
+                // Rejection-free distinct draw.
+                let raw = rng.gen_range(0..available - 1);
+                if raw >= a {
+                    raw + 1
+                } else {
+                    raw
+                }
+            } else {
+                a
+            };
+            for &operand in &[a, b] {
+                if let MatrixSource::Task(producer) = pool[operand] {
+                    if !edges.contains(&(producer, id)) {
+                        edges.push((producer, id));
+                    }
+                }
+            }
+            produced_this_level.push(MatrixSource::Task(id));
+        }
+        pool.extend(produced_this_level);
+        // Next level size: 1..=log₂(#matrices so far).
+        level_tasks = rng.gen_range(1..=log2_bound(pool.len()));
+    }
+
+    Dag::new(kernels, &edges).expect("generator produces valid DAGs")
+}
+
+/// The base seed of the paper corpus (any fixed value works; this one is
+/// pinned so results are reproducible across the whole workspace).
+pub const PAPER_CORPUS_SEED: u64 = 0x5EED_2011;
+
+/// Table I values.
+pub const WIDTHS: [usize; 3] = [2, 4, 8];
+/// Table I values.
+pub const RATIOS: [f64; 3] = [0.5, 0.75, 1.0];
+/// Table I values.
+pub const MATRIX_SIZES: [usize; 2] = [2000, 3000];
+/// Table I values.
+pub const SAMPLES: usize = 3;
+/// Table I values.
+pub const TASKS_PER_DAG: usize = 10;
+
+/// Generates the 54-DAG corpus of Table I (widths × ratios × sizes ×
+/// samples), deterministically derived from `base_seed`.
+pub fn paper_corpus(base_seed: u64) -> Vec<GeneratedDag> {
+    let mut out = Vec::with_capacity(54);
+    let mut counter = 0u64;
+    for &width in &WIDTHS {
+        for &ratio in &RATIOS {
+            for &size in &MATRIX_SIZES {
+                for sample in 0..SAMPLES {
+                    let params = DagGenParams {
+                        tasks: TASKS_PER_DAG,
+                        input_matrices: width,
+                        add_ratio: ratio,
+                        matrix_size: size,
+                    };
+                    let seed = base_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(counter);
+                    counter += 1;
+                    out.push(GeneratedDag {
+                        params,
+                        sample,
+                        seed,
+                        dag: generate(&params, seed),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(width: usize, ratio: f64, n: usize) -> DagGenParams {
+        DagGenParams {
+            tasks: 10,
+            input_matrices: width,
+            add_ratio: ratio,
+            matrix_size: n,
+        }
+    }
+
+    #[test]
+    fn generates_requested_task_count() {
+        for seed in 0..20 {
+            let d = generate(&params(8, 0.5, 2000), seed);
+            assert_eq!(d.len(), 10);
+        }
+    }
+
+    #[test]
+    fn kernel_mix_matches_ratio() {
+        for (ratio, expect_adds) in [(0.5, 5usize), (0.75, 8), (1.0, 10), (0.2, 2)] {
+            let d = generate(&params(4, ratio, 2000), 42);
+            let adds = d
+                .tasks()
+                .iter()
+                .filter(|t| matches!(t.kernel, Kernel::MatAdd { .. }))
+                .count();
+            assert_eq!(adds, expect_adds, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn paper_example_two_additions_for_ratio_0_2() {
+        // "a ratio of 0.2 for 10 tasks leads to 2 additions and 8
+        // multiplications"
+        assert_eq!(params(4, 0.2, 2000).addition_count(), 2);
+    }
+
+    #[test]
+    fn matrix_size_propagates_to_kernels() {
+        let d = generate(&params(4, 0.5, 3000), 1);
+        assert!(d.tasks().iter().all(|t| t.kernel.n() == 3000));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&params(8, 0.75, 2000), 7);
+        let b = generate(&params(8, 0.75, 2000), 7);
+        assert_eq!(a, b);
+        let c = generate(&params(8, 0.75, 2000), 8);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn entry_structure_is_plausible() {
+        // Note: graph-structural entry tasks (no predecessors) can outnumber
+        // the first *generation level*, because a later task may draw both
+        // operands from the external input matrices. The invariants are:
+        // the first task is always an entry, every DAG has at least one
+        // entry, and wider DAGs admit more entry tasks on average.
+        let mut avg = std::collections::HashMap::new();
+        for width in [2usize, 8] {
+            let mut total = 0usize;
+            for seed in 0..50 {
+                let d = generate(&params(width, 0.5, 2000), seed);
+                let entries = d.entry_tasks();
+                assert!(!entries.is_empty(), "seed {seed}");
+                assert!(entries.contains(&TaskId(0)), "seed {seed}");
+                total += entries.len();
+            }
+            avg.insert(width, total);
+        }
+        assert!(
+            avg[&8] > avg[&2],
+            "wider DAGs should have more entry tasks on average: {avg:?}"
+        );
+    }
+
+    #[test]
+    fn corpus_has_54_dags() {
+        let corpus = paper_corpus(PAPER_CORPUS_SEED);
+        assert_eq!(corpus.len(), 54);
+        // 27 per matrix size.
+        let n2000 = corpus
+            .iter()
+            .filter(|g| g.params.matrix_size == 2000)
+            .count();
+        assert_eq!(n2000, 27);
+        // Every cell has 3 samples.
+        for &w in &WIDTHS {
+            for &r in &RATIOS {
+                for &n in &MATRIX_SIZES {
+                    let cell = corpus
+                        .iter()
+                        .filter(|g| {
+                            g.params.input_matrices == w
+                                && g.params.add_ratio == r
+                                && g.params.matrix_size == n
+                        })
+                        .count();
+                    assert_eq!(cell, 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_reproducible_and_seed_sensitive() {
+        let a = paper_corpus(PAPER_CORPUS_SEED);
+        let b = paper_corpus(PAPER_CORPUS_SEED);
+        assert_eq!(a, b);
+        let c = paper_corpus(123);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let corpus = paper_corpus(PAPER_CORPUS_SEED);
+        let mut names: Vec<String> = corpus.iter().map(GeneratedDag::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 54);
+    }
+
+    #[test]
+    fn generated_dags_are_valid_and_connected_enough() {
+        for g in paper_corpus(PAPER_CORPUS_SEED) {
+            assert!(g.dag.topological_order().is_some());
+            assert_eq!(g.dag.len(), 10);
+            // At least some structure: DAGs with zero edges would make the
+            // scheduling comparison vacuous. The generator's two-operand
+            // pull from a finite pool makes edges overwhelmingly likely.
+            assert!(g.dag.edge_count() >= 1, "{} has no edges", g.name());
+        }
+    }
+
+    #[test]
+    fn deep_dags_have_multiple_levels() {
+        let corpus = paper_corpus(PAPER_CORPUS_SEED);
+        assert!(corpus.iter().all(|g| g.dag.depth() >= 2));
+        assert!(corpus.iter().any(|g| g.dag.depth() >= 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be within")]
+    fn out_of_range_ratio_panics() {
+        generate(&params(4, 1.5, 2000), 0);
+    }
+}

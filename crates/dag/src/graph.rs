@@ -1,0 +1,448 @@
+//! Mixed-parallel application DAGs.
+//!
+//! An application is a directed acyclic graph of **moldable** tasks: each
+//! task is a data-parallel kernel (matrix multiplication or addition) that
+//! can run on any number of processors, and each edge is a data dependency —
+//! the producer's output matrix must be (re)distributed to the consumer's
+//! processor allocation before the consumer starts.
+
+use serde::{Deserialize, Serialize};
+
+use mps_kernels::Kernel;
+
+/// Identifier of a task inside one DAG (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One task of the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task id (equals its position in the DAG's task vector).
+    pub id: TaskId,
+    /// The computational kernel this task runs.
+    pub kernel: Kernel,
+}
+
+/// Errors from DAG construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge referenced a task id that does not exist.
+    UnknownTask(TaskId),
+    /// A self-loop or cycle was found.
+    Cyclic,
+    /// A duplicate edge was found.
+    DuplicateEdge(TaskId, TaskId),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            DagError::Cyclic => write!(f, "graph contains a cycle"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A validated application DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dag {
+    tasks: Vec<Task>,
+    /// Successor lists, indexed by task.
+    succs: Vec<Vec<TaskId>>,
+    /// Predecessor lists, indexed by task.
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl Dag {
+    /// Builds and validates a DAG from kernels and edges.
+    pub fn new(kernels: Vec<Kernel>, edges: &[(TaskId, TaskId)]) -> Result<Self, DagError> {
+        let n = kernels.len();
+        let tasks = kernels
+            .into_iter()
+            .enumerate()
+            .map(|(i, kernel)| Task {
+                id: TaskId(i),
+                kernel,
+            })
+            .collect();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a.0 >= n {
+                return Err(DagError::UnknownTask(a));
+            }
+            if b.0 >= n {
+                return Err(DagError::UnknownTask(b));
+            }
+            if a == b {
+                return Err(DagError::Cyclic);
+            }
+            if succs[a.0].contains(&b) {
+                return Err(DagError::DuplicateEdge(a, b));
+            }
+            succs[a.0].push(b);
+            preds[b.0].push(a);
+        }
+        let dag = Dag {
+            tasks,
+            succs,
+            preds,
+        };
+        // Validates acyclicity.
+        dag.topological_order().ok_or(DagError::Cyclic)?;
+        Ok(dag)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True for the empty DAG.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// All tasks in id order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// One task.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// All task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Direct successors of a task.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.0]
+    }
+
+    /// Direct predecessors of a task.
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.0]
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// All edges `(src, dst)` in deterministic order.
+    pub fn edges(&self) -> Vec<(TaskId, TaskId)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (i, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                out.push((TaskId(i), s));
+            }
+        }
+        out
+    }
+
+    /// Tasks without predecessors.
+    pub fn entry_tasks(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.preds[t.0].is_empty())
+            .collect()
+    }
+
+    /// Tasks without successors.
+    pub fn exit_tasks(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.succs[t.0].is_empty())
+            .collect()
+    }
+
+    /// Kahn topological order; `None` if cyclic.
+    pub fn topological_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.tasks.len();
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<TaskId> = (0..n).map(TaskId).filter(|t| indeg[t.0] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let t = queue[head];
+            head += 1;
+            order.push(t);
+            for &s in &self.succs[t.0] {
+                indeg[s.0] -= 1;
+                if indeg[s.0] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Precedence level of each task: entry tasks are level 0; every other
+    /// task is one more than its deepest predecessor. (MCPA constrains
+    /// allocations per level.)
+    pub fn precedence_levels(&self) -> Vec<usize> {
+        let order = self.topological_order().expect("validated DAG is acyclic");
+        let mut level = vec![0usize; self.tasks.len()];
+        for t in order {
+            for &p in &self.preds[t.0] {
+                level[t.0] = level[t.0].max(level[p.0] + 1);
+            }
+        }
+        level
+    }
+
+    /// Number of distinct precedence levels.
+    pub fn depth(&self) -> usize {
+        self.precedence_levels().iter().copied().max().map_or(0, |d| d + 1)
+    }
+
+    /// Bottom levels under a task-duration function: `bl(t) = time(t) +
+    /// max over successors of bl(s)` (edge costs excluded — the classic CPA
+    /// formulation folds communication into task times or ignores it).
+    pub fn bottom_levels(&self, time: impl Fn(TaskId) -> f64) -> Vec<f64> {
+        let order = self.topological_order().expect("validated DAG is acyclic");
+        let mut bl = vec![0.0_f64; self.tasks.len()];
+        for &t in order.iter().rev() {
+            let succ_max = self.succs[t.0]
+                .iter()
+                .map(|s| bl[s.0])
+                .fold(0.0_f64, f64::max);
+            bl[t.0] = time(t) + succ_max;
+        }
+        bl
+    }
+
+    /// Top levels: earliest start under infinite resources, i.e.
+    /// `tl(t) = max over predecessors of (tl(p) + time(p))`.
+    pub fn top_levels(&self, time: impl Fn(TaskId) -> f64) -> Vec<f64> {
+        let order = self.topological_order().expect("validated DAG is acyclic");
+        let mut tl = vec![0.0_f64; self.tasks.len()];
+        for &t in &order {
+            for &p in &self.preds[t.0] {
+                tl[t.0] = tl[t.0].max(tl[p.0] + time(p));
+            }
+        }
+        tl
+    }
+
+    /// Critical-path length under a duration function.
+    pub fn critical_path_length(&self, time: impl Fn(TaskId) -> f64) -> f64 {
+        self.bottom_levels(time).into_iter().fold(0.0, f64::max)
+    }
+
+    /// The tasks on (a) critical path, from entry to exit.
+    pub fn critical_path(&self, time: impl Fn(TaskId) -> f64 + Copy) -> Vec<TaskId> {
+        let bl = self.bottom_levels(time);
+        let mut path = Vec::new();
+        // Start at the entry task with the largest bottom level.
+        let mut cur = match self
+            .entry_tasks()
+            .into_iter()
+            .max_by(|a, b| bl[a.0].total_cmp(&bl[b.0]))
+        {
+            Some(t) => t,
+            None => return path,
+        };
+        loop {
+            path.push(cur);
+            match self.succs[cur.0]
+                .iter()
+                .copied()
+                .max_by(|a, b| bl[a.0].total_cmp(&bl[b.0]))
+            {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// Graphviz DOT rendering (for inspection).
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "  t{} [label=\"t{}: {}\"];",
+                t.id.0, t.id.0, t.kernel
+            );
+        }
+        for (a, b) in self.edges() {
+            let _ = writeln!(out, "  t{} -> t{};", a.0, b.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // t0 -> t1, t0 -> t2, t1 -> t3, t2 -> t3
+        let kernels = vec![
+            Kernel::MatMul { n: 100 },
+            Kernel::MatAdd { n: 100 },
+            Kernel::MatMul { n: 100 },
+            Kernel::MatAdd { n: 100 },
+        ];
+        Dag::new(
+            kernels,
+            &[
+                (TaskId(0), TaskId(1)),
+                (TaskId(0), TaskId(2)),
+                (TaskId(1), TaskId(3)),
+                (TaskId(2), TaskId(3)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_adjacency() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.successors(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(d.predecessors(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(d.entry_tasks(), vec![TaskId(0)]);
+        assert_eq!(d.exit_tasks(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let d = diamond();
+        let order = d.topological_order().unwrap();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|t| t.0 == i).unwrap())
+            .collect();
+        for (a, b) in d.edges() {
+            assert!(pos[a.0] < pos[b.0]);
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let kernels = vec![Kernel::MatMul { n: 10 }, Kernel::MatMul { n: 10 }];
+        let err = Dag::new(
+            kernels,
+            &[(TaskId(0), TaskId(1)), (TaskId(1), TaskId(0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, DagError::Cyclic);
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let err = Dag::new(vec![Kernel::MatMul { n: 10 }], &[(TaskId(0), TaskId(0))]).unwrap_err();
+        assert_eq!(err, DagError::Cyclic);
+    }
+
+    #[test]
+    fn unknown_task_is_rejected() {
+        let err = Dag::new(vec![Kernel::MatMul { n: 10 }], &[(TaskId(0), TaskId(5))]).unwrap_err();
+        assert_eq!(err, DagError::UnknownTask(TaskId(5)));
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let kernels = vec![Kernel::MatMul { n: 10 }, Kernel::MatMul { n: 10 }];
+        let err = Dag::new(
+            kernels,
+            &[(TaskId(0), TaskId(1)), (TaskId(0), TaskId(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, DagError::DuplicateEdge(TaskId(0), TaskId(1)));
+    }
+
+    #[test]
+    fn precedence_levels_of_diamond() {
+        let d = diamond();
+        assert_eq!(d.precedence_levels(), vec![0, 1, 1, 2]);
+        assert_eq!(d.depth(), 3);
+    }
+
+    #[test]
+    fn bottom_levels_with_unit_times() {
+        let d = diamond();
+        let bl = d.bottom_levels(|_| 1.0);
+        assert_eq!(bl, vec![3.0, 2.0, 2.0, 1.0]);
+        assert_eq!(d.critical_path_length(|_| 1.0), 3.0);
+    }
+
+    #[test]
+    fn top_levels_with_unit_times() {
+        let d = diamond();
+        let tl = d.top_levels(|_| 1.0);
+        assert_eq!(tl, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_branch() {
+        // t0 -> t1 (heavy) -> t3; t0 -> t2 (light) -> t3
+        let d = diamond();
+        let time = |t: TaskId| if t.0 == 1 { 10.0 } else { 1.0 };
+        let cp = d.critical_path(time);
+        assert_eq!(cp, vec![TaskId(0), TaskId(1), TaskId(3)]);
+        assert_eq!(d.critical_path_length(time), 12.0);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new(vec![], &[]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.depth(), 0);
+        assert_eq!(d.critical_path_length(|_| 1.0), 0.0);
+        assert!(d.critical_path(|_| 1.0).is_empty());
+    }
+
+    #[test]
+    fn independent_tasks_have_level_zero() {
+        let kernels = vec![Kernel::MatMul { n: 10 }; 3];
+        let d = Dag::new(kernels, &[]).unwrap();
+        assert_eq!(d.precedence_levels(), vec![0, 0, 0]);
+        assert_eq!(d.entry_tasks().len(), 3);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_task_and_edge() {
+        let d = diamond();
+        let dot = d.to_dot("g");
+        for i in 0..4 {
+            assert!(dot.contains(&format!("t{i} [label")));
+        }
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.contains("t2 -> t3;"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = diamond();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

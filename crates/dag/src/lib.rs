@@ -1,0 +1,87 @@
+//! # mps-dag — mixed-parallel application DAGs
+//!
+//! The application model of the paper's case study: DAGs of **moldable**
+//! data-parallel tasks (matrix multiplications and additions), plus the
+//! paper's random DAG generator with the Table I parameter grid.
+//!
+//! ```
+//! use mps_dag::gen::{paper_corpus, PAPER_CORPUS_SEED};
+//!
+//! let corpus = paper_corpus(PAPER_CORPUS_SEED);
+//! assert_eq!(corpus.len(), 54); // Table I: 54 DAG instances
+//! assert!(corpus.iter().all(|g| g.dag.len() == 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod graph;
+pub mod metrics;
+pub mod shapes;
+
+pub use gen::{generate, paper_corpus, DagGenParams, GeneratedDag, PAPER_CORPUS_SEED};
+pub use graph::{Dag, DagError, Task, TaskId};
+pub use metrics::{metrics, DagMetrics};
+pub use shapes::{chain, fork_join, layered_mesh, reduction_tree};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mps_kernels::Kernel;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The generator always yields a valid DAG of the requested size
+        /// with the requested kernel mix, for arbitrary parameters.
+        #[test]
+        fn generator_invariants(
+            tasks in 1usize..40,
+            width_exp in 1u32..4,
+            ratio in 0.0f64..1.0,
+            n in prop::sample::select(vec![500usize, 2000, 3000]),
+            seed in 0u64..10_000,
+        ) {
+            let params = DagGenParams {
+                tasks,
+                input_matrices: 2usize.pow(width_exp),
+                add_ratio: ratio,
+                matrix_size: n,
+            };
+            let dag = generate(&params, seed);
+            prop_assert_eq!(dag.len(), tasks);
+            prop_assert!(dag.topological_order().is_some());
+            let adds = dag
+                .tasks()
+                .iter()
+                .filter(|t| matches!(t.kernel, Kernel::MatAdd { .. }))
+                .count();
+            prop_assert_eq!(adds, params.addition_count());
+            // Levels are consistent: every edge goes to a strictly deeper task.
+            let levels = dag.precedence_levels();
+            for (a, b) in dag.edges() {
+                prop_assert!(levels[a.index()] < levels[b.index()]);
+            }
+        }
+
+        /// Bottom level of any task is at least its own duration and at
+        /// least the bottom level of each successor.
+        #[test]
+        fn bottom_level_monotonicity(seed in 0u64..500) {
+            let params = DagGenParams {
+                tasks: 10,
+                input_matrices: 8,
+                add_ratio: 0.5,
+                matrix_size: 2000,
+            };
+            let dag = generate(&params, seed);
+            let time = |t: TaskId| (t.index() + 1) as f64;
+            let bl = dag.bottom_levels(time);
+            for t in dag.task_ids() {
+                prop_assert!(bl[t.index()] >= time(t) - 1e-12);
+                for &s in dag.successors(t) {
+                    prop_assert!(bl[t.index()] >= bl[s.index()] + time(t) - 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Structural and workload metrics of application DAGs.
+//!
+//! These quantify the properties the paper's generator parameters control:
+//! potential task parallelism (width), depth, and the computation-to-
+//! communication ratio mix set by the addition/multiplication ratio.
+
+use mps_kernels::Kernel;
+
+use crate::graph::Dag;
+
+/// Summary metrics of one DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagMetrics {
+    /// Task count.
+    pub tasks: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Number of precedence levels.
+    pub depth: usize,
+    /// Largest number of tasks in one precedence level (potential task
+    /// parallelism).
+    pub width: usize,
+    /// Total analytic flop count over all tasks.
+    pub total_flops: f64,
+    /// Total bytes flowing over edges (each edge carries the producer's
+    /// full output matrix).
+    pub edge_bytes: f64,
+    /// Number of addition tasks.
+    pub additions: usize,
+    /// Number of multiplication tasks.
+    pub multiplications: usize,
+    /// Serial time lower bound at a reference rate: critical-path flops /
+    /// rate, with each task at p = 1.
+    pub serial_cp_seconds: f64,
+}
+
+impl DagMetrics {
+    /// Aggregate computation-to-communication ratio (flops per edge byte;
+    /// infinite for edge-free DAGs).
+    pub fn ccr(&self) -> f64 {
+        if self.edge_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_flops / self.edge_bytes
+        }
+    }
+}
+
+/// Computes metrics; `reference_rate` (flops/s) is used for the serial
+/// critical-path bound (the paper's 250 MFlop/s is the natural choice).
+pub fn metrics(dag: &Dag, reference_rate: f64) -> DagMetrics {
+    let levels = dag.precedence_levels();
+    let depth = dag.depth();
+    let width = (0..depth)
+        .map(|l| levels.iter().filter(|&&x| x == l).count())
+        .max()
+        .unwrap_or(0);
+    let total_flops: f64 = dag.tasks().iter().map(|t| t.kernel.total_flops()).sum();
+    let edge_bytes: f64 = dag
+        .edges()
+        .iter()
+        .map(|&(src, _)| dag.task(src).kernel.matrix_bytes())
+        .sum();
+    let additions = dag
+        .tasks()
+        .iter()
+        .filter(|t| matches!(t.kernel, Kernel::MatAdd { .. }))
+        .count();
+    let serial_cp_seconds =
+        dag.critical_path_length(|t| dag.task(t).kernel.total_flops() / reference_rate);
+    DagMetrics {
+        tasks: dag.len(),
+        edges: dag.edge_count(),
+        depth,
+        width,
+        total_flops,
+        edge_bytes,
+        additions,
+        multiplications: dag.len() - additions,
+        serial_cp_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{paper_corpus, PAPER_CORPUS_SEED};
+    use crate::shapes::{chain, fork_join};
+    use crate::graph::TaskId;
+    use crate::Dag;
+
+    #[test]
+    fn chain_metrics() {
+        let d = chain(Kernel::MatMul { n: 2000 }, 4);
+        let m = metrics(&d, 250.0e6);
+        assert_eq!(m.tasks, 4);
+        assert_eq!(m.depth, 4);
+        assert_eq!(m.width, 1);
+        assert!((m.total_flops - 4.0 * 1.6e10).abs() < 1.0);
+        assert!((m.edge_bytes - 3.0 * 32.0e6).abs() < 1.0);
+        // Serial CP: 4 × 64 s.
+        assert!((m.serial_cp_seconds - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_width() {
+        let d = fork_join(Kernel::MatAdd { n: 2000 }, 5);
+        let m = metrics(&d, 250.0e6);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.width, 5);
+        assert_eq!(m.additions, 7);
+        assert_eq!(m.multiplications, 0);
+    }
+
+    #[test]
+    fn edge_free_dag_has_infinite_ccr() {
+        let d = Dag::new(vec![Kernel::MatMul { n: 500 }; 3], &[]).unwrap();
+        let m = metrics(&d, 250.0e6);
+        assert!(m.ccr().is_infinite());
+        assert_eq!(m.width, 3);
+        assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn mixed_kernels_counted() {
+        let d = Dag::new(
+            vec![Kernel::MatMul { n: 2000 }, Kernel::MatAdd { n: 2000 }],
+            &[(TaskId(0), TaskId(1))],
+        )
+        .unwrap();
+        let m = metrics(&d, 250.0e6);
+        assert_eq!(m.additions, 1);
+        assert_eq!(m.multiplications, 1);
+        assert!(m.ccr().is_finite());
+    }
+
+    #[test]
+    fn corpus_metrics_are_consistent_with_parameters() {
+        for g in paper_corpus(PAPER_CORPUS_SEED).iter().take(18) {
+            let m = metrics(&g.dag, 250.0e6);
+            assert_eq!(m.tasks, 10);
+            assert_eq!(m.additions, g.params.addition_count());
+            assert!(m.width >= 1 && m.width <= 10);
+            assert!(m.depth >= 2);
+            assert!(m.serial_cp_seconds > 0.0);
+            // Higher add ratios lower total flops (additions are 8× cheaper).
+            assert!(m.total_flops > 0.0);
+        }
+    }
+
+    #[test]
+    fn higher_add_ratio_means_less_work() {
+        use crate::gen::{generate, DagGenParams};
+        let mk = |ratio: f64| {
+            let p = DagGenParams {
+                tasks: 10,
+                input_matrices: 4,
+                add_ratio: ratio,
+                matrix_size: 2000,
+            };
+            metrics(&generate(&p, 5), 250.0e6).total_flops
+        };
+        assert!(mk(1.0) < mk(0.5));
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic DAG shapes commonly used in scheduling studies.
+//!
+//! The paper evaluates on random DAGs (see [`gen`](crate::gen)); these
+//! canonical shapes — chains, fork-joins, layered meshes, in/out trees —
+//! are the standard complements for unit tests, examples and sensitivity
+//! studies (§II-A cites algorithms evaluated on exactly such structures).
+
+use mps_kernels::Kernel;
+
+use crate::graph::{Dag, TaskId};
+
+/// A linear chain `t0 → t1 → … → t_{len−1}`.
+pub fn chain(kernel: Kernel, len: usize) -> Dag {
+    assert!(len >= 1, "chain needs at least one task");
+    let kernels = vec![kernel; len];
+    let edges: Vec<(TaskId, TaskId)> = (1..len).map(|i| (TaskId(i - 1), TaskId(i))).collect();
+    Dag::new(kernels, &edges).expect("chain is acyclic")
+}
+
+/// A fork-join: one source, `branches` parallel middle tasks, one sink.
+pub fn fork_join(kernel: Kernel, branches: usize) -> Dag {
+    assert!(branches >= 1, "fork-join needs at least one branch");
+    let total = branches + 2;
+    let kernels = vec![kernel; total];
+    let sink = TaskId(branches + 1);
+    let mut edges = Vec::with_capacity(2 * branches);
+    for b in 1..=branches {
+        edges.push((TaskId(0), TaskId(b)));
+        edges.push((TaskId(b), sink));
+    }
+    Dag::new(kernels, &edges).expect("fork-join is acyclic")
+}
+
+/// A layered mesh: `layers` layers of `width` tasks; every task depends on
+/// every task of the previous layer (the dense workflow core of many
+/// linear-algebra pipelines).
+pub fn layered_mesh(kernel: Kernel, layers: usize, width: usize) -> Dag {
+    assert!(layers >= 1 && width >= 1);
+    let kernels = vec![kernel; layers * width];
+    let id = |layer: usize, w: usize| TaskId(layer * width + w);
+    let mut edges = Vec::new();
+    for layer in 1..layers {
+        for w in 0..width {
+            for pw in 0..width {
+                edges.push((id(layer - 1, pw), id(layer, w)));
+            }
+        }
+    }
+    Dag::new(kernels, &edges).expect("mesh is acyclic")
+}
+
+/// A binary in-tree (reduction): `leaves` leaf tasks combining pairwise
+/// down to a single root. `leaves` must be a power of two.
+pub fn reduction_tree(kernel: Kernel, leaves: usize) -> Dag {
+    assert!(leaves >= 1 && leaves.is_power_of_two(), "leaves must be 2^k");
+    // Level 0: `leaves` tasks; level i has leaves/2^i tasks.
+    let mut kernels = Vec::new();
+    let mut edges = Vec::new();
+    let mut level_start = 0usize;
+    let mut level_size = leaves;
+    kernels.extend(std::iter::repeat_n(kernel, leaves));
+    while level_size > 1 {
+        let next_start = level_start + level_size;
+        let next_size = level_size / 2;
+        kernels.extend(std::iter::repeat_n(kernel, next_size));
+        for i in 0..next_size {
+            edges.push((TaskId(level_start + 2 * i), TaskId(next_start + i)));
+            edges.push((TaskId(level_start + 2 * i + 1), TaskId(next_start + i)));
+        }
+        level_start = next_start;
+        level_size = next_size;
+    }
+    Dag::new(kernels, &edges).expect("tree is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: Kernel = Kernel::MatMul { n: 500 };
+
+    #[test]
+    fn chain_shape() {
+        let d = chain(K, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.depth(), 5);
+        assert_eq!(d.entry_tasks().len(), 1);
+        assert_eq!(d.exit_tasks().len(), 1);
+    }
+
+    #[test]
+    fn chain_of_one() {
+        let d = chain(K, 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.edge_count(), 0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let d = fork_join(K, 6);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.edge_count(), 12);
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.entry_tasks(), vec![TaskId(0)]);
+        assert_eq!(d.exit_tasks(), vec![TaskId(7)]);
+    }
+
+    #[test]
+    fn layered_mesh_shape() {
+        let d = layered_mesh(K, 3, 4);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.edge_count(), 2 * 4 * 4);
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.entry_tasks().len(), 4);
+        // Every non-entry task has `width` predecessors.
+        for t in d.task_ids() {
+            if !d.entry_tasks().contains(&t) {
+                assert_eq!(d.predecessors(t).len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_tree_shape() {
+        let d = reduction_tree(K, 8);
+        // 8 + 4 + 2 + 1 = 15 tasks.
+        assert_eq!(d.len(), 15);
+        assert_eq!(d.edge_count(), 14);
+        assert_eq!(d.depth(), 4);
+        assert_eq!(d.entry_tasks().len(), 8);
+        assert_eq!(d.exit_tasks().len(), 1);
+        // Every internal node has exactly two predecessors.
+        for t in d.task_ids() {
+            let preds = d.predecessors(t).len();
+            assert!(preds == 0 || preds == 2);
+        }
+    }
+
+    #[test]
+    fn reduction_tree_of_one_leaf() {
+        let d = reduction_tree(K, 1);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves must be 2^k")]
+    fn reduction_tree_rejects_non_power_of_two() {
+        reduction_tree(K, 6);
+    }
+}

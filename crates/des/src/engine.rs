@@ -1,0 +1,491 @@
+//! Activity-oriented discrete-event engine.
+//!
+//! The engine owns a set of *resources* (CPU cores, link directions, …) and a
+//! set of *activities*. Each activity goes through an optional **latency
+//! phase** (a fixed delay during which it consumes no resources — modelling
+//! network latency or protocol startup) followed by a **work phase** during
+//! which it progresses at a rate computed by the max-min fair-share
+//! [solver](crate::solver). Whenever any activity starts or finishes, the
+//! rates of all running activities are re-solved — the classic fluid
+//! simulation scheme used by SimGrid's analytic models.
+//!
+//! Plain *timers* are also supported for callers that need scheduled
+//! wake-ups (the testbed uses them for task-startup delays).
+
+use std::collections::HashMap;
+
+use crate::solver::{max_min_fair_rates, Demand, SolverError};
+use crate::trace::{Trace, TraceEventKind};
+use crate::usage::{ResourceUsage, UsageMeter};
+
+/// Identifier of a resource within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// Raw index (stable for the engine's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an activity within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActivityId(pub(crate) u64);
+
+/// Identifier of a timer within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+/// Specification of a new activity.
+#[derive(Debug, Clone)]
+pub struct ActivitySpec {
+    /// Resource consumptions per unit of progress.
+    pub weights: Vec<(ResourceId, f64)>,
+    /// Total amount of work (progress units) to perform.
+    pub amount: f64,
+    /// Fixed delay before the work phase starts (seconds).
+    pub latency: f64,
+    /// Optional rate cap (progress units per second).
+    pub rate_bound: f64,
+    /// Optional label recorded in the trace.
+    pub label: Option<String>,
+}
+
+impl ActivitySpec {
+    /// A compute-style activity: `amount` units on the given resources.
+    pub fn new(amount: f64) -> Self {
+        ActivitySpec {
+            weights: Vec::new(),
+            amount,
+            latency: 0.0,
+            rate_bound: f64::INFINITY,
+            label: None,
+        }
+    }
+
+    /// Adds a resource consumption.
+    #[must_use]
+    pub fn on(mut self, resource: ResourceId, weight: f64) -> Self {
+        self.weights.push((resource, weight));
+        self
+    }
+
+    /// Sets the latency phase duration.
+    #[must_use]
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets a rate cap.
+    #[must_use]
+    pub fn with_rate_bound(mut self, bound: f64) -> Self {
+        self.rate_bound = bound;
+        self
+    }
+
+    /// Sets a trace label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Waiting out the latency.
+    Latency {
+        /// Absolute expiry time of the latency phase.
+        expiry: f64,
+        /// Work amount to perform once the latency elapses.
+        amount: f64,
+    },
+    /// Doing work; `f64` is the remaining amount.
+    Working(f64),
+}
+
+#[derive(Debug, Clone)]
+struct Activity {
+    weights: Vec<(ResourceId, f64)>,
+    phase: Phase,
+    rate_bound: f64,
+    label: Option<String>,
+}
+
+/// One completed item reported by [`Engine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// An activity finished its work phase.
+    Activity(ActivityId),
+    /// A timer expired.
+    Timer(TimerId),
+}
+
+/// Outcome of one [`Engine::step`] call.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Simulated time at which the completions occurred.
+    pub time: f64,
+    /// Everything that completed at `time` (at least one element).
+    pub completed: Vec<Completion>,
+}
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The underlying sharing solver rejected the problem.
+    Solver(SolverError),
+    /// An activity can never finish: it has remaining work but a rate of
+    /// zero (e.g. it only uses zero-capacity resources) and nothing else is
+    /// scheduled to change the situation.
+    Stalled {
+        /// The simulated time at which the stall was detected.
+        time: f64,
+    },
+    /// An activity spec contained a negative or NaN amount/latency.
+    InvalidSpec {
+        /// Human-readable description.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Solver(e) => write!(f, "sharing solver error: {e}"),
+            EngineError::Stalled { time } => {
+                write!(f, "simulation stalled at t={time}: activities cannot progress")
+            }
+            EngineError::InvalidSpec { context } => write!(f, "invalid activity spec: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SolverError> for EngineError {
+    fn from(e: SolverError) -> Self {
+        EngineError::Solver(e)
+    }
+}
+
+/// The discrete-event fluid-sharing engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    now: f64,
+    capacities: Vec<f64>,
+    activities: HashMap<u64, Activity>,
+    timers: HashMap<u64, f64>,
+    next_activity: u64,
+    next_timer: u64,
+    trace: Trace,
+    tracing: bool,
+    meter: Option<UsageMeter>,
+}
+
+impl Engine {
+    /// Creates an empty engine at simulated time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables trace recording (start/finish events with labels).
+    pub fn enable_tracing(&mut self) {
+        self.tracing = true;
+    }
+
+    /// Enables resource-utilization metering. Call after all resources
+    /// have been added; resources added later are not tracked.
+    pub fn enable_usage_metering(&mut self) {
+        self.meter = Some(UsageMeter::new(self.capacities.clone()));
+    }
+
+    /// Per-resource utilization accumulated so far (`None` unless metering
+    /// was enabled).
+    pub fn resource_usage(&self) -> Option<Vec<ResourceUsage>> {
+        self.meter.as_ref().map(UsageMeter::finish)
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Adds a resource with the given capacity (units per second).
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        self.capacities.push(capacity);
+        ResourceId(self.capacities.len() - 1)
+    }
+
+    /// Capacity of a resource.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.capacities[r.0]
+    }
+
+    /// Number of live (unfinished) activities.
+    pub fn live_activities(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Number of pending timers.
+    pub fn pending_timers(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// True when nothing is pending — [`Engine::step`] would return `None`.
+    pub fn is_idle(&self) -> bool {
+        self.activities.is_empty() && self.timers.is_empty()
+    }
+
+    /// Starts an activity; it becomes visible to the sharing solver at the
+    /// current simulated time.
+    pub fn start(&mut self, spec: ActivitySpec) -> Result<ActivityId, EngineError> {
+        if spec.amount.is_nan() || spec.amount < 0.0 {
+            return Err(EngineError::InvalidSpec { context: "amount" });
+        }
+        if spec.latency.is_nan() || spec.latency < 0.0 {
+            return Err(EngineError::InvalidSpec { context: "latency" });
+        }
+        if spec.rate_bound.is_nan() || spec.rate_bound < 0.0 {
+            return Err(EngineError::InvalidSpec { context: "rate bound" });
+        }
+        for &(r, w) in &spec.weights {
+            if r.0 >= self.capacities.len() {
+                return Err(EngineError::Solver(SolverError::UnknownResource {
+                    activity: 0,
+                    resource: r.0,
+                }));
+            }
+            if w.is_nan() || w < 0.0 {
+                return Err(EngineError::InvalidSpec { context: "weight" });
+            }
+        }
+        let id = ActivityId(self.next_activity);
+        self.next_activity += 1;
+        let phase = if spec.latency > 0.0 {
+            Phase::Latency {
+                expiry: self.now + spec.latency,
+                amount: spec.amount,
+            }
+        } else {
+            Phase::Working(spec.amount)
+        };
+        if self.tracing {
+            self.trace.record(
+                self.now,
+                TraceEventKind::ActivityStart,
+                id.0,
+                spec.label.clone(),
+            );
+        }
+        self.activities.insert(
+            id.0,
+            Activity {
+                weights: spec.weights,
+                phase,
+                rate_bound: spec.rate_bound,
+                label: spec.label,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Schedules a timer `delay` seconds from now.
+    pub fn schedule_timer(&mut self, delay: f64) -> Result<TimerId, EngineError> {
+        if delay.is_nan() || delay < 0.0 {
+            return Err(EngineError::InvalidSpec { context: "timer delay" });
+        }
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.timers.insert(id.0, self.now + delay);
+        Ok(id)
+    }
+
+    /// Solves current rates; exposed for white-box tests and diagnostics.
+    /// Returns `(activity, rate)` pairs for working-phase activities.
+    pub fn current_rates(&self) -> Result<Vec<(ActivityId, f64)>, EngineError> {
+        let (ids, demands) = self.working_demands();
+        let rates = max_min_fair_rates(&self.capacities, &demands)?;
+        Ok(ids.into_iter().zip(rates).collect())
+    }
+
+    fn working_demands(&self) -> (Vec<ActivityId>, Vec<Demand>) {
+        let mut ids: Vec<u64> = self
+            .activities
+            .iter()
+            .filter(|(_, a)| matches!(a.phase, Phase::Working(_)))
+            .map(|(&id, _)| id)
+            .collect();
+        // Deterministic order regardless of hash-map iteration.
+        ids.sort_unstable();
+        let demands = ids
+            .iter()
+            .map(|id| {
+                let a = &self.activities[id];
+                Demand {
+                    weights: a.weights.iter().map(|&(r, w)| (r.0, w)).collect(),
+                    bound: a.rate_bound,
+                }
+            })
+            .collect();
+        (ids.into_iter().map(ActivityId).collect(), demands)
+    }
+
+    /// Advances simulated time to the next completion(s) and reports them.
+    ///
+    /// Returns `None` when nothing is pending. All completions occurring at
+    /// the same instant are batched into one [`StepResult`].
+    pub fn step(&mut self) -> Result<Option<StepResult>, EngineError> {
+        if self.is_idle() {
+            return Ok(None);
+        }
+
+        const REL_EPS: f64 = 1e-12;
+
+        let (ids, demands) = self.working_demands();
+        let rates = max_min_fair_rates(&self.capacities, &demands)?;
+
+        // Earliest event: activity finish, latency expiry, or timer.
+        let mut next_dt = f64::INFINITY;
+        for (idx, id) in ids.iter().enumerate() {
+            let a = &self.activities[&id.0];
+            if let Phase::Working(rem) = a.phase {
+                let rate = rates[idx];
+                let dt = if rem <= 0.0 {
+                    0.0
+                } else if rate > 0.0 {
+                    rem / rate
+                } else {
+                    f64::INFINITY
+                };
+                if dt < next_dt {
+                    next_dt = dt;
+                }
+            }
+        }
+        for a in self.activities.values() {
+            if let Phase::Latency { expiry, .. } = a.phase {
+                let dt = (expiry - self.now).max(0.0);
+                if dt < next_dt {
+                    next_dt = dt;
+                }
+            }
+        }
+        for &expiry in self.timers.values() {
+            let dt = (expiry - self.now).max(0.0);
+            if dt < next_dt {
+                next_dt = dt;
+            }
+        }
+
+        if !next_dt.is_finite() {
+            return Err(EngineError::Stalled { time: self.now });
+        }
+
+        let new_now = self.now + next_dt;
+        let tol = next_dt * REL_EPS + 1e-15;
+
+        // Utilization accounting: every working activity consumed at its
+        // fair-shared rate over the elapsed interval.
+        if let Some(meter) = &mut self.meter {
+            for (idx, id) in ids.iter().enumerate() {
+                let a = &self.activities[&id.0];
+                if let Phase::Working(_) = a.phase {
+                    let rate = rates[idx];
+                    if rate > 0.0 && rate.is_finite() {
+                        for &(r, w) in &a.weights {
+                            if r.0 < meter.len() {
+                                meter.accumulate(r.0, w * rate, new_now);
+                            }
+                        }
+                    }
+                }
+            }
+            meter.advance(new_now);
+        }
+
+        // Advance working activities and collect finishes.
+        let mut completed = Vec::new();
+        for (idx, id) in ids.iter().enumerate() {
+            let a = self.activities.get_mut(&id.0).expect("activity exists");
+            if let Phase::Working(rem) = a.phase {
+                let rate = rates[idx];
+                let progressed = rate * next_dt;
+                let left = rem - progressed;
+                if rem <= 0.0 || (rate > 0.0 && rem / rate <= next_dt + tol) || left <= 0.0 {
+                    completed.push(Completion::Activity(*id));
+                } else {
+                    a.phase = Phase::Working(left);
+                }
+            }
+        }
+        for c in &completed {
+            if let Completion::Activity(id) = c {
+                let a = self.activities.remove(&id.0).expect("completed activity");
+                if self.tracing {
+                    self.trace
+                        .record(new_now, TraceEventKind::ActivityFinish, id.0, a.label);
+                }
+            }
+        }
+
+        // Latency expiries: move to working phase (no completion reported);
+        // activities whose amount is zero complete immediately.
+        let mut latency_done: Vec<(u64, f64)> = Vec::new();
+        for (&id, a) in &self.activities {
+            if let Phase::Latency { expiry, amount } = a.phase {
+                if expiry <= new_now + tol {
+                    latency_done.push((id, amount));
+                }
+            }
+        }
+        latency_done.sort_unstable_by_key(|a| a.0);
+        for (id, amount) in latency_done {
+            let a = self.activities.get_mut(&id).expect("latency activity");
+            a.phase = Phase::Working(amount);
+        }
+
+        // Timers.
+        let mut fired: Vec<u64> = self
+            .timers
+            .iter()
+            .filter(|(_, &expiry)| expiry <= new_now + tol)
+            .map(|(&id, _)| id)
+            .collect();
+        fired.sort_unstable();
+        for id in fired {
+            self.timers.remove(&id);
+            completed.push(Completion::Timer(TimerId(id)));
+        }
+
+        self.now = new_now;
+
+        if completed.is_empty() {
+            // Pure latency-phase transition: recurse to find the next real
+            // completion. Bounded because each step consumes at least one
+            // latency expiry.
+            return self.step();
+        }
+
+        Ok(Some(StepResult {
+            time: new_now,
+            completed,
+        }))
+    }
+
+    /// Runs to quiescence, returning every step result in order.
+    pub fn run_to_idle(&mut self) -> Result<Vec<StepResult>, EngineError> {
+        let mut out = Vec::new();
+        while let Some(step) = self.step()? {
+            out.push(step);
+        }
+        Ok(out)
+    }
+}

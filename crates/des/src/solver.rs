@@ -1,0 +1,507 @@
+//! Bottleneck max-min fair-share solver.
+//!
+//! This is the resource-sharing core of the simulation engine. Given a set of
+//! *resources* with finite capacities and a set of *activities*, each of which
+//! consumes one or more resources with a fixed per-unit-of-progress weight,
+//! the solver computes a progress rate for every activity such that the
+//! allocation is **max-min fair**: no activity's rate can be increased without
+//! decreasing the rate of an activity that already has an equal or smaller
+//! rate.
+//!
+//! The algorithm is the classic *bottleneck iteration*: repeatedly find the
+//! resource that yields the smallest uniform rate for the activities still
+//! unfrozen, freeze those activities at that rate, subtract their consumption
+//! from the remaining capacities, and repeat. Rate *bounds* (per-activity rate
+//! caps) are honoured by freezing bounded activities whenever their bound is
+//! tighter than the current bottleneck rate.
+//!
+//! This mirrors the sharing semantics of SimGrid's `Ptask_L07` model, which
+//! the paper's simulators are built on.
+
+/// Index of a resource inside a [`SharingProblem`].
+pub type ResourceIndex = usize;
+
+/// One activity's demand: which resources it uses and with what weight.
+///
+/// A weight `w` on resource `r` means the activity consumes `w` capacity
+/// units of `r` per unit of its own progress rate. A parallel task computing
+/// on several hosts and communicating over several links has one entry per
+/// host CPU and per traversed link direction.
+#[derive(Debug, Clone, Default)]
+pub struct Demand {
+    /// `(resource, weight)` pairs. Weights must be non-negative; zero-weight
+    /// entries are ignored.
+    pub weights: Vec<(ResourceIndex, f64)>,
+    /// Hard upper bound on the activity's rate (`f64::INFINITY` when
+    /// unbounded).
+    pub bound: f64,
+}
+
+impl Demand {
+    /// Demand on a single resource with the given weight, unbounded rate.
+    pub fn single(resource: ResourceIndex, weight: f64) -> Self {
+        Demand {
+            weights: vec![(resource, weight)],
+            bound: f64::INFINITY,
+        }
+    }
+
+    /// Builder-style rate bound.
+    #[must_use]
+    pub fn with_bound(mut self, bound: f64) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// True when the demand touches no resource with a positive weight.
+    pub fn is_empty(&self) -> bool {
+        self.weights.iter().all(|&(_, w)| w <= 0.0)
+    }
+}
+
+/// Errors produced by [`SharingProblem::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// A demand referenced a resource index outside the capacity vector.
+    UnknownResource {
+        /// Offending activity (position in the demand slice).
+        activity: usize,
+        /// Offending resource index.
+        resource: ResourceIndex,
+    },
+    /// A weight, capacity, or bound was negative or NaN.
+    InvalidNumber {
+        /// Human-readable description of where the bad number appeared.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::UnknownResource { activity, resource } => write!(
+                f,
+                "activity {activity} references unknown resource {resource}"
+            ),
+            SolverError::InvalidNumber { context } => {
+                write!(f, "invalid (negative or NaN) number in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// A max-min fair sharing problem: capacities plus per-activity demands.
+#[derive(Debug, Clone, Default)]
+pub struct SharingProblem {
+    capacities: Vec<f64>,
+    demands: Vec<Demand>,
+}
+
+impl SharingProblem {
+    /// Empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resource, returning its index.
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceIndex {
+        self.capacities.push(capacity);
+        self.capacities.len() - 1
+    }
+
+    /// Adds an activity demand, returning its index in the rate vector.
+    pub fn add_demand(&mut self, demand: Demand) -> usize {
+        self.demands.push(demand);
+        self.demands.len() - 1
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Number of activities.
+    pub fn activity_count(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Solves the problem, returning one max-min fair rate per activity.
+    pub fn solve(&self) -> Result<Vec<f64>, SolverError> {
+        max_min_fair_rates(&self.capacities, &self.demands)
+    }
+}
+
+/// Computes max-min fair rates for `demands` over resources with the given
+/// `capacities`.
+///
+/// Returns one rate per demand, in order. Activities with an empty demand
+/// (no positive weight on any resource) receive their bound if finite, and
+/// `f64::INFINITY` otherwise — they are not resource-constrained.
+///
+/// # Errors
+///
+/// Fails when a demand references a resource out of range or any number is
+/// negative/NaN.
+pub fn max_min_fair_rates(
+    capacities: &[f64],
+    demands: &[Demand],
+) -> Result<Vec<f64>, SolverError> {
+    validate(capacities, demands)?;
+
+    let n = demands.len();
+    let mut rates = vec![f64::INFINITY; n];
+    if n == 0 {
+        return Ok(rates);
+    }
+
+    let mut remaining_cap = capacities.to_vec();
+    // Activities still unfrozen.
+    let mut active: Vec<bool> = demands.iter().map(|d| !d.is_empty()).collect();
+
+    // Empty demands are only limited by their bound.
+    for (i, d) in demands.iter().enumerate() {
+        if d.is_empty() {
+            rates[i] = d.bound;
+        }
+    }
+
+    // Resources touched by at least one active activity, with a positive
+    // total weight, constrain the allocation.
+    loop {
+        // Total weight of unfrozen activities per resource.
+        let mut total_weight = vec![0.0_f64; capacities.len()];
+        let mut any_active = false;
+        for (i, d) in demands.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            any_active = true;
+            for &(r, w) in &d.weights {
+                if w > 0.0 {
+                    total_weight[r] += w;
+                }
+            }
+        }
+        if !any_active {
+            break;
+        }
+
+        // Bottleneck rate: the smallest capacity/weight ratio.
+        let mut bottleneck_rate = f64::INFINITY;
+        for (r, &tw) in total_weight.iter().enumerate() {
+            if tw > 0.0 {
+                let rate = (remaining_cap[r].max(0.0)) / tw;
+                if rate < bottleneck_rate {
+                    bottleneck_rate = rate;
+                }
+            }
+        }
+
+        // The tightest bound among unfrozen activities may be tighter than
+        // the bottleneck; freeze those activities first.
+        let mut tightest_bound = f64::INFINITY;
+        for (i, d) in demands.iter().enumerate() {
+            if active[i] && d.bound < tightest_bound {
+                tightest_bound = d.bound;
+            }
+        }
+
+        if tightest_bound < bottleneck_rate {
+            // Freeze every activity whose bound equals the tightest bound.
+            for (i, d) in demands.iter().enumerate() {
+                if active[i] && d.bound <= tightest_bound {
+                    rates[i] = d.bound;
+                    active[i] = false;
+                    for &(r, w) in &d.weights {
+                        if w > 0.0 {
+                            remaining_cap[r] -= w * d.bound;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        if !bottleneck_rate.is_finite() {
+            // No constraining resource left: remaining activities only touch
+            // resources nobody is constrained on (can only happen if all
+            // weights were zero, which `is_empty` already filtered) — treat
+            // as bound-limited.
+            for (i, d) in demands.iter().enumerate() {
+                if active[i] {
+                    rates[i] = d.bound;
+                    active[i] = false;
+                }
+            }
+            break;
+        }
+
+        // Freeze every unfrozen activity on the single bottleneck resource at
+        // `bottleneck_rate`, then re-solve. Tied resources are handled on
+        // subsequent iterations; the updated capacity/weight ratio of a tied
+        // resource is exactly `bottleneck_rate` again, so the result is
+        // identical to freezing them in one pass — without the staleness
+        // hazard of near-ties.
+        let bottleneck_resource = total_weight
+            .iter()
+            .enumerate()
+            .filter(|&(_, &tw)| tw > 0.0)
+            .min_by(|&(ra, &twa), &(rb, &twb)| {
+                let rate_a = remaining_cap[ra].max(0.0) / twa;
+                let rate_b = remaining_cap[rb].max(0.0) / twb;
+                rate_a.total_cmp(&rate_b)
+            })
+            .map(|(r, _)| r);
+        let mut frozen_any = false;
+        if let Some(r) = bottleneck_resource {
+            for (i, d) in demands.iter().enumerate() {
+                if active[i] && d.weights.iter().any(|&(dr, w)| dr == r && w > 0.0) {
+                    rates[i] = bottleneck_rate;
+                    active[i] = false;
+                    frozen_any = true;
+                    for &(rr, w) in &d.weights {
+                        if w > 0.0 {
+                            remaining_cap[rr] -= w * bottleneck_rate;
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(frozen_any, "bottleneck iteration must make progress");
+        if !frozen_any {
+            // Defensive: avoid an infinite loop in release builds.
+            for (i, d) in demands.iter().enumerate() {
+                if active[i] {
+                    rates[i] = d.bound.min(bottleneck_rate);
+                    active[i] = false;
+                }
+            }
+            break;
+        }
+    }
+
+    Ok(rates)
+}
+
+// `!(x >= 0.0)` deliberately catches NaN as well as negative values.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn validate(capacities: &[f64], demands: &[Demand]) -> Result<(), SolverError> {
+    for &c in capacities {
+        if !(c >= 0.0) {
+            return Err(SolverError::InvalidNumber {
+                context: "resource capacity",
+            });
+        }
+    }
+    for (i, d) in demands.iter().enumerate() {
+        if d.bound.is_nan() || d.bound < 0.0 {
+            return Err(SolverError::InvalidNumber {
+                context: "activity bound",
+            });
+        }
+        for &(r, w) in &d.weights {
+            if r >= capacities.len() {
+                return Err(SolverError::UnknownResource {
+                    activity: i,
+                    resource: r,
+                });
+            }
+            if !(w >= 0.0) {
+                return Err(SolverError::InvalidNumber {
+                    context: "demand weight",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(caps: &[f64], demands: &[Demand]) -> Vec<f64> {
+        max_min_fair_rates(caps, demands).expect("solver failed")
+    }
+
+    #[test]
+    fn single_activity_single_resource() {
+        let r = rates(&[100.0], &[Demand::single(0, 1.0)]);
+        assert_eq!(r, vec![100.0]);
+    }
+
+    #[test]
+    fn two_equal_activities_share_evenly() {
+        let r = rates(&[100.0], &[Demand::single(0, 1.0), Demand::single(0, 1.0)]);
+        assert_eq!(r, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn weights_scale_the_share() {
+        // Activity 1 consumes twice as much per unit of progress, so it
+        // progresses at half the rate under equal fairness pressure.
+        let r = rates(&[90.0], &[Demand::single(0, 1.0), Demand::single(0, 2.0)]);
+        assert!((r[0] - 30.0).abs() < 1e-9);
+        assert!((r[1] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_resources_do_not_interact() {
+        let r = rates(
+            &[10.0, 40.0],
+            &[Demand::single(0, 1.0), Demand::single(1, 1.0)],
+        );
+        assert_eq!(r, vec![10.0, 40.0]);
+    }
+
+    #[test]
+    fn bottleneck_frees_capacity_elsewhere() {
+        // Activity A uses r0 (tight) and r1 (loose); activity B uses r1 only.
+        // A is capped at 10 by r0; B then gets the rest of r1.
+        let a = Demand {
+            weights: vec![(0, 1.0), (1, 1.0)],
+            bound: f64::INFINITY,
+        };
+        let b = Demand::single(1, 1.0);
+        let r = rates(&[10.0, 100.0], &[a, b]);
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_three_flow_max_min() {
+        // Two links of capacity 1. Flow 0 crosses both; flows 1 and 2 cross
+        // one link each. Max-min: flow 0 gets 1/2, flows 1 and 2 get 1/2.
+        let f0 = Demand {
+            weights: vec![(0, 1.0), (1, 1.0)],
+            bound: f64::INFINITY,
+        };
+        let f1 = Demand::single(0, 1.0);
+        let f2 = Demand::single(1, 1.0);
+        let r = rates(&[1.0, 1.0], &[f0, f1, f2]);
+        for got in &r {
+            assert!((got - 0.5).abs() < 1e-9, "rates: {r:?}");
+        }
+    }
+
+    #[test]
+    fn bound_caps_the_rate() {
+        let d = Demand::single(0, 1.0).with_bound(5.0);
+        let r = rates(&[100.0], &[d]);
+        assert_eq!(r, vec![5.0]);
+    }
+
+    #[test]
+    fn bound_releases_capacity_to_others() {
+        let a = Demand::single(0, 1.0).with_bound(10.0);
+        let b = Demand::single(0, 1.0);
+        let r = rates(&[100.0], &[a, b]);
+        assert!((r[0] - 10.0).abs() < 1e-9);
+        assert!((r[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_demand_gets_bound() {
+        let d = Demand {
+            weights: vec![],
+            bound: 3.0,
+        };
+        let r = rates(&[1.0], &[d]);
+        assert_eq!(r, vec![3.0]);
+    }
+
+    #[test]
+    fn empty_demand_unbounded_is_infinite() {
+        let d = Demand {
+            weights: vec![],
+            bound: f64::INFINITY,
+        };
+        let r = rates(&[1.0], &[d]);
+        assert!(r[0].is_infinite());
+    }
+
+    #[test]
+    fn zero_capacity_resource_gives_zero_rate() {
+        let r = rates(&[0.0], &[Demand::single(0, 1.0)]);
+        assert_eq!(r, vec![0.0]);
+    }
+
+    #[test]
+    fn unknown_resource_is_an_error() {
+        let err = max_min_fair_rates(&[1.0], &[Demand::single(3, 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            SolverError::UnknownResource {
+                activity: 0,
+                resource: 3
+            }
+        );
+    }
+
+    #[test]
+    fn negative_capacity_is_an_error() {
+        let err = max_min_fair_rates(&[-1.0], &[Demand::single(0, 1.0)]).unwrap_err();
+        assert!(matches!(err, SolverError::InvalidNumber { .. }));
+    }
+
+    #[test]
+    fn negative_weight_is_an_error() {
+        let err = max_min_fair_rates(&[1.0], &[Demand::single(0, -1.0)]).unwrap_err();
+        assert!(matches!(err, SolverError::InvalidNumber { .. }));
+    }
+
+    #[test]
+    fn nan_bound_is_an_error() {
+        let d = Demand::single(0, 1.0).with_bound(f64::NAN);
+        let err = max_min_fair_rates(&[1.0], &[d]).unwrap_err();
+        assert!(matches!(err, SolverError::InvalidNumber { .. }));
+    }
+
+    #[test]
+    fn zero_weight_entries_are_ignored() {
+        let d = Demand {
+            weights: vec![(0, 0.0), (1, 1.0)],
+            bound: f64::INFINITY,
+        };
+        let r = rates(&[0.0, 7.0], &[d]);
+        assert_eq!(r, vec![7.0]);
+    }
+
+    #[test]
+    fn sharing_problem_builder_roundtrip() {
+        let mut p = SharingProblem::new();
+        let r0 = p.add_resource(8.0);
+        let a = p.add_demand(Demand::single(r0, 1.0));
+        let b = p.add_demand(Demand::single(r0, 1.0));
+        assert_eq!(p.resource_count(), 1);
+        assert_eq!(p.activity_count(), 2);
+        let rates = p.solve().unwrap();
+        assert!((rates[a] - 4.0).abs() < 1e-9);
+        assert!((rates[b] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_task_spanning_cpus_and_links() {
+        // A parallel task on 2 CPUs (cap 250 each, weight 1 per cpu) that also
+        // sends over a link (cap 125, weight 0.5). The CPU constraint allows
+        // 250; the link allows 250; rate = 250.
+        let d = Demand {
+            weights: vec![(0, 1.0), (1, 1.0), (2, 0.5)],
+            bound: f64::INFINITY,
+        };
+        let r = rates(&[250.0, 250.0, 125.0], &[d]);
+        assert!((r[0] - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_activities_stress() {
+        let n = 500;
+        let demands: Vec<Demand> = (0..n).map(|_| Demand::single(0, 1.0)).collect();
+        let r = rates(&[1000.0], &demands);
+        for got in &r {
+            assert!((got - 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Simulation trace recording.
+//!
+//! A trace is an ordered list of `(time, kind, id, label)` events. Traces are
+//! cheap to record and are used by the experiment harness to inspect
+//! schedules (Gantt-style) and to debug simulator/testbed divergence.
+
+/// What happened at a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An activity entered the engine.
+    ActivityStart,
+    /// An activity finished its work phase.
+    ActivityFinish,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the event (seconds).
+    pub time: f64,
+    /// Event kind.
+    pub kind: TraceEventKind,
+    /// Engine-local activity identifier.
+    pub activity: u64,
+    /// Optional label supplied at activity start.
+    pub label: Option<String>,
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        time: f64,
+        kind: TraceEventKind,
+        activity: u64,
+        label: Option<String>,
+    ) {
+        self.events.push(TraceEvent {
+            time,
+            kind,
+            activity,
+            label,
+        });
+    }
+
+    /// All events, in recording order (non-decreasing time).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `(start, finish)` spans per labelled activity, in start order.
+    /// Activities without a finish event are omitted.
+    pub fn spans(&self) -> Vec<(String, f64, f64)> {
+        let mut starts: Vec<(u64, f64, String)> = Vec::new();
+        let mut spans = Vec::new();
+        for ev in &self.events {
+            match ev.kind {
+                TraceEventKind::ActivityStart => {
+                    if let Some(label) = &ev.label {
+                        starts.push((ev.activity, ev.time, label.clone()));
+                    }
+                }
+                TraceEventKind::ActivityFinish => {
+                    if let Some(pos) = starts.iter().position(|(id, _, _)| *id == ev.activity) {
+                        let (_, t0, label) = starts.remove(pos);
+                        spans.push((label, t0, ev.time));
+                    }
+                }
+            }
+        }
+        spans.sort_by(|a, b| a.1.total_cmp(&b.1));
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut t = Trace::new();
+        t.record(0.0, TraceEventKind::ActivityStart, 1, Some("a".into()));
+        t.record(2.0, TraceEventKind::ActivityFinish, 1, Some("a".into()));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.events()[0].time, 0.0);
+    }
+
+    #[test]
+    fn spans_pair_start_and_finish() {
+        let mut t = Trace::new();
+        t.record(0.0, TraceEventKind::ActivityStart, 1, Some("a".into()));
+        t.record(1.0, TraceEventKind::ActivityStart, 2, Some("b".into()));
+        t.record(2.0, TraceEventKind::ActivityFinish, 2, Some("b".into()));
+        t.record(3.0, TraceEventKind::ActivityFinish, 1, Some("a".into()));
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], ("a".to_string(), 0.0, 3.0));
+        assert_eq!(spans[1], ("b".to_string(), 1.0, 2.0));
+    }
+
+    #[test]
+    fn unfinished_activities_are_omitted_from_spans() {
+        let mut t = Trace::new();
+        t.record(0.0, TraceEventKind::ActivityStart, 1, Some("a".into()));
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn unlabelled_activities_are_omitted_from_spans() {
+        let mut t = Trace::new();
+        t.record(0.0, TraceEventKind::ActivityStart, 1, None);
+        t.record(1.0, TraceEventKind::ActivityFinish, 1, None);
+        assert!(t.spans().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Resource-utilization accounting.
+//!
+//! Tracks, per resource, the time-integral of consumption (capacity-units ×
+//! seconds) so reports can show how busy CPUs and links were during a
+//! simulation — the basis for the harness's utilization summaries and a
+//! useful diagnostic when a schedule under-uses the machine.
+
+/// Accumulated usage of one resource.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceUsage {
+    /// Integral of consumption over time (capacity-units · seconds).
+    pub consumed: f64,
+    /// Time span over which the resource existed (seconds).
+    pub horizon: f64,
+    /// The resource's capacity (units/second).
+    pub capacity: f64,
+}
+
+impl ResourceUsage {
+    /// Mean utilization over the horizon, in `[0, 1]` (0 for an empty
+    /// horizon).
+    pub fn utilization(&self) -> f64 {
+        if self.horizon <= 0.0 || self.capacity <= 0.0 {
+            0.0
+        } else {
+            (self.consumed / (self.capacity * self.horizon)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Usage accumulator for a set of resources.
+#[derive(Debug, Clone, Default)]
+pub struct UsageMeter {
+    capacities: Vec<f64>,
+    consumed: Vec<f64>,
+    last_time: f64,
+}
+
+impl UsageMeter {
+    /// A meter over resources with the given capacities.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        let n = capacities.len();
+        UsageMeter {
+            capacities,
+            consumed: vec![0.0; n],
+            last_time: 0.0,
+        }
+    }
+
+    /// Number of resources tracked.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// True when no resources are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Records that between `last_time` and `now`, resource `r` was
+    /// consumed at `rate` units/second. Call once per resource per
+    /// simulation step, then [`UsageMeter::advance`].
+    pub fn accumulate(&mut self, r: usize, rate: f64, now: f64) {
+        let dt = (now - self.last_time).max(0.0);
+        self.consumed[r] += rate * dt;
+    }
+
+    /// Moves the meter's clock forward.
+    pub fn advance(&mut self, now: f64) {
+        if now > self.last_time {
+            self.last_time = now;
+        }
+    }
+
+    /// Final per-resource usage, with the horizon set to the last advance.
+    pub fn finish(&self) -> Vec<ResourceUsage> {
+        self.capacities
+            .iter()
+            .zip(&self.consumed)
+            .map(|(&capacity, &consumed)| ResourceUsage {
+                consumed,
+                horizon: self.last_time,
+                capacity,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_resource_full_utilization() {
+        let mut m = UsageMeter::new(vec![10.0]);
+        m.accumulate(0, 10.0, 5.0);
+        m.advance(5.0);
+        let u = m.finish();
+        assert!((u[0].consumed - 50.0).abs() < 1e-12);
+        assert!((u[0].utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_utilization_over_two_phases() {
+        let mut m = UsageMeter::new(vec![10.0]);
+        // Phase 1: 0..4 s at rate 10.
+        m.accumulate(0, 10.0, 4.0);
+        m.advance(4.0);
+        // Phase 2: 4..8 s idle.
+        m.advance(8.0);
+        let u = m.finish();
+        assert!((u[0].utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_horizon_is_zero_utilization() {
+        let m = UsageMeter::new(vec![5.0]);
+        assert_eq!(m.finish()[0].utilization(), 0.0);
+    }
+
+    #[test]
+    fn multiple_resources_independent() {
+        let mut m = UsageMeter::new(vec![10.0, 20.0]);
+        m.accumulate(0, 5.0, 2.0);
+        m.accumulate(1, 20.0, 2.0);
+        m.advance(2.0);
+        let u = m.finish();
+        // Resource 0: rate 5 of capacity 10 → 50 %.
+        assert!((u[0].utilization() - 0.5).abs() < 1e-12);
+        assert!((u[1].utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamps_numerical_overshoot() {
+        let u = ResourceUsage {
+            consumed: 101.0,
+            horizon: 10.0,
+            capacity: 10.0,
+        };
+        assert_eq!(u.utilization(), 1.0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(UsageMeter::new(vec![]).is_empty());
+        assert_eq!(UsageMeter::new(vec![1.0, 2.0]).len(), 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Ablation studies extending the paper's analysis.
+//!
+//! §V-C isolates three root causes for the analytic simulator's failure:
+//! (a) mis-modelled task execution times, (b) task startup overhead,
+//! (c) data-redistribution overhead. The paper argues all three matter but
+//! does not quantify their individual contributions — the emulated testbed
+//! makes that experiment possible: [`root_cause_ablation`] turns each cause
+//! off in the ground truth and measures how much of the analytic
+//! simulator's error disappears.
+//!
+//! [`machine_robustness`] re-runs the headline comparison on several
+//! *different* (but equally plausible) emulated machines, checking that
+//! the paper's conclusion — analytic ≫ empirical ≥ profile — is not an
+//! artifact of one calibration. [`wiggle_sensitivity`] sweeps the
+//! unpredictability of the machine; [`algorithm_quality`] compares CPA
+//! against its two fixes on real (testbed) makespans.
+
+use std::fmt::Write as _;
+
+use mps_core::model::AnalyticModel;
+use mps_core::sched::{Cpa, Hcpa, Mcpa, Scheduler};
+use mps_core::sim::Simulator;
+use mps_core::stats;
+use mps_core::testbed::{GroundTruth, Testbed};
+
+use crate::runner::{CellResult, Harness, SimVariant};
+
+fn median_error(cells: &[CellResult], variant: SimVariant) -> f64 {
+    let errs: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.variant == variant)
+        .map(CellResult::error_pct)
+        .collect();
+    stats::median(&errs).unwrap_or(0.0)
+}
+
+/// §V-C root-cause ablation: the analytic simulator's median error when
+/// each discrepancy source is individually removed from the machine.
+pub fn root_cause_ablation(noise_seed: u64, subset: usize, repeats: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Root-cause ablation (§V-C): analytic simulator's median error when a\n\
+         single discrepancy source is removed from the emulated machine"
+    );
+    let configs: Vec<(&str, GroundTruth)> = vec![
+        ("full machine (the paper's)", GroundTruth::bayreuth()),
+        (
+            "(a) task times follow the flop model",
+            GroundTruth {
+                analytic_tasks: true,
+                ..GroundTruth::bayreuth()
+            },
+        ),
+        (
+            "(b) no startup overhead",
+            GroundTruth {
+                startup_scale: 0.0,
+                ..GroundTruth::bayreuth()
+            },
+        ),
+        (
+            "(c) no redistribution overhead",
+            GroundTruth {
+                redist_scale: 0.0,
+                ..GroundTruth::bayreuth()
+            },
+        ),
+        (
+            "perfect network (no TCP derating)",
+            GroundTruth {
+                network_efficiency: 1.0,
+                ..GroundTruth::bayreuth()
+            },
+        ),
+        (
+            "all causes removed",
+            GroundTruth {
+                analytic_tasks: true,
+                startup_scale: 0.0,
+                redist_scale: 0.0,
+                network_efficiency: 1.0,
+                wiggle_amplitude: 0.0,
+                ..GroundTruth::bayreuth()
+            },
+        ),
+    ];
+    let _ = writeln!(out, "{:<42} {:>22}", "machine variant", "median analytic error");
+    for (label, truth) in configs {
+        let harness = Harness::with_testbed(Testbed::with_truth(truth, noise_seed));
+        let cells = harness.run_subset(subset, repeats);
+        let med = median_error(&cells, SimVariant::Analytic);
+        let _ = writeln!(out, "{label:<42} {med:>21.1}%");
+    }
+    let _ = writeln!(
+        out,
+        "\nReading: each removed cause closes part of the gap; with every cause\n\
+         removed the analytic simulator becomes near-exact (residual = run noise),\n\
+         confirming §V-C's attribution."
+    );
+    out
+}
+
+/// Robustness across machines: the fidelity ordering on several different
+/// emulated clusters.
+pub fn machine_robustness(machine_seeds: &[u64], subset: usize, repeats: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Machine robustness: median simulation error per simulator version on\n\
+         {} different emulated machines (same calibration recipe)",
+        machine_seeds.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>10}  ordering holds?",
+        "machine", "analytic", "profile", "empirical"
+    );
+    let mut all_hold = true;
+    for &seed in machine_seeds {
+        let truth = GroundTruth {
+            machine_seed: seed,
+            ..GroundTruth::bayreuth()
+        };
+        let harness = Harness::with_testbed(Testbed::with_truth(truth, seed ^ 0xABCD));
+        let cells = harness.run_subset(subset, repeats);
+        let a = median_error(&cells, SimVariant::Analytic);
+        let p = median_error(&cells, SimVariant::Profile);
+        let e = median_error(&cells, SimVariant::Empirical);
+        let holds = a > e && a > p && p <= e + 1.0;
+        all_hold &= holds;
+        let _ = writeln!(
+            out,
+            "{seed:>8} {a:>9.1}% {p:>9.1}% {e:>9.1}%  {}",
+            if holds { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nConclusion robust across machines: {}",
+        if all_hold { "YES" } else { "no — inspect above" }
+    );
+    out
+}
+
+/// Sensitivity to machine unpredictability: sweep the wiggle amplitude.
+pub fn wiggle_sensitivity(amplitudes: &[f64], subset: usize, repeats: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Wiggle sensitivity: how machine unpredictability affects each simulator\n\
+         (the paper's outlier discussion, §VII-A, generalized)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10}",
+        "amplitude", "analytic", "profile", "empirical"
+    );
+    for &amp in amplitudes {
+        let truth = GroundTruth {
+            wiggle_amplitude: amp,
+            ..GroundTruth::bayreuth()
+        };
+        let harness = Harness::with_testbed(Testbed::with_truth(truth, 9));
+        let cells = harness.run_subset(subset, repeats);
+        let _ = writeln!(
+            out,
+            "{:>10.2} {:>9.1}% {:>9.1}% {:>9.1}%",
+            amp,
+            median_error(&cells, SimVariant::Analytic),
+            median_error(&cells, SimVariant::Profile),
+            median_error(&cells, SimVariant::Empirical),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nProfiles absorb arbitrary wiggle (they measure every point); sparse\n\
+         regressions degrade as the curve stops being smooth — the paper's\n\
+         closing warning about outlier-ridden environments, quantified."
+    );
+    out
+}
+
+/// CPA vs HCPA vs MCPA on the testbed: the premise of §II-A (CPA
+/// over-allocates; both fixes beat it) checked on real makespans.
+pub fn algorithm_quality(seed: u64, subset: usize) -> String {
+    let mut out = String::new();
+    let harness = Harness::new(seed);
+    let corpus = harness.corpus();
+    let model = AnalyticModel::paper_jvm();
+    let sim = Simulator::new(harness.testbed.nominal_cluster(), model);
+    let algos: Vec<Box<dyn Scheduler>> = vec![Box::new(Cpa), Box::new(Hcpa), Box::new(Mcpa)];
+    let _ = writeln!(
+        out,
+        "Algorithm quality: mean measured makespan over {} DAGs (analytic-model\n\
+         schedules, executed on the testbed)",
+        subset.min(corpus.len())
+    );
+    for algo in &algos {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for g in corpus.iter().take(subset) {
+            let outcome = sim
+                .schedule_and_simulate(&g.dag, algo.as_ref())
+                .expect("simulates");
+            let real = harness
+                .testbed
+                .execute(&g.dag, &outcome.schedule, 11)
+                .expect("executes");
+            total += real.makespan;
+            count += 1;
+        }
+        let _ = writeln!(out, "{:<6} mean measured makespan {:>8.1} s", algo.name(), total / count as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_cause_ablation_runs_and_orders() {
+        let report = root_cause_ablation(2011, 3, 1);
+        assert!(report.contains("full machine"));
+        assert!(report.contains("all causes removed"));
+        // Parse the two medians: the fully-ablated machine must have a far
+        // smaller analytic error than the full machine.
+        let grab = |label: &str| -> f64 {
+            report
+                .lines()
+                .find(|l| l.starts_with(label))
+                .and_then(|l| l.trim_end_matches('%').split_whitespace().last())
+                .and_then(|v| v.parse().ok())
+                .expect("value present")
+        };
+        let full = grab("full machine");
+        let none = grab("all causes removed");
+        assert!(none < full / 3.0, "full {full}% vs ablated {none}%");
+    }
+
+    #[test]
+    fn machine_robustness_holds_on_several_machines() {
+        let report = machine_robustness(&[0, 1, 2], 4, 1);
+        assert!(
+            report.contains("Conclusion robust across machines: YES"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn wiggle_sensitivity_renders() {
+        let report = wiggle_sensitivity(&[0.0, 0.12], 3, 1);
+        assert!(report.contains("0.00"));
+        assert!(report.contains("0.12"));
+    }
+
+    #[test]
+    fn algorithm_quality_lists_all_three() {
+        let report = algorithm_quality(2011, 3);
+        assert!(report.contains("CPA"));
+        assert!(report.contains("HCPA"));
+        assert!(report.contains("MCPA"));
+    }
+}

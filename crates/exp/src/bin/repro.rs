@@ -1,0 +1,206 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--seed S] [--repeats R] [--json DIR] <target>...
+//! targets: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table2 all
+//! ```
+
+use std::io::Write as _;
+
+use mps_exp::{ablation, figures, Harness};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2011u64;
+    let mut repeats = 3u64;
+    let mut json_dir: Option<String> = None;
+
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs an integer"));
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a directory")),
+                );
+            }
+            t => targets.push(t.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    args.clear();
+
+    let needs_grid = targets.iter().any(|t| {
+        matches!(t.as_str(), "all" | "fig1" | "fig5" | "fig7" | "fig8")
+    });
+
+    eprintln!("# building harness (seed {seed}): profiling the emulated testbed…");
+    let harness = Harness::new(seed);
+    let cells = if needs_grid {
+        eprintln!("# running the 54-DAG × 3-simulator × 2-algorithm grid ({repeats} testbed runs per cell)…");
+        harness.run_grid(repeats)
+    } else {
+        Vec::new()
+    };
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/grid.json");
+        let mut f = std::fs::File::create(&path).expect("create grid.json");
+        serde_json::to_writer_pretty(&mut f, &cells).expect("serialize grid");
+        f.flush().expect("flush grid.json");
+        eprintln!("# wrote {path}");
+        // CSV companion for spreadsheet/R users.
+        let csv_path = format!("{dir}/grid.csv");
+        let mut csv = String::from("dag,n,variant,algo,sim_makespan,real_makespan,error_pct\n");
+        for c in &cells {
+            csv.push_str(&format!(
+                "{},{},{},{},{:.6},{:.6},{:.3}\n",
+                c.dag,
+                c.n,
+                c.variant.name(),
+                c.algo,
+                c.sim_makespan,
+                c.real_makespan,
+                c.error_pct()
+            ));
+        }
+        std::fs::write(&csv_path, csv).expect("write grid.csv");
+        eprintln!("# wrote {csv_path}");
+    }
+
+    for t in &targets {
+        let report = match t.as_str() {
+            "table1" => figures::table1(),
+            "fig1" => {
+                let mut s = figures::fig1(&cells);
+                s.push('\n');
+                s.push_str(&figures::fig1_n3000(&cells));
+                s
+            }
+            "fig2" => figures::fig2(&harness.testbed),
+            "fig3" => figures::fig3(&harness.testbed),
+            "fig4" => figures::fig4(&harness.testbed),
+            "fig5" => figures::fig5(&cells),
+            "fig6" => figures::fig6(&harness.testbed),
+            "fig7" => figures::fig7(&cells),
+            "fig8" => figures::fig8(&cells),
+            "table2" => figures::table2(&harness),
+            "gantt" => gantt_report(&harness),
+            "ablations" => {
+                let mut s = String::new();
+                s.push_str(&ablation::root_cause_ablation(seed, 12, repeats));
+                s.push('\n');
+                s.push_str(&ablation::machine_robustness(&[0, 1, 2, 3, 4], 10, repeats));
+                s.push('\n');
+                s.push_str(&ablation::wiggle_sensitivity(
+                    &[0.0, 0.06, 0.12, 0.24],
+                    10,
+                    repeats,
+                ));
+                s.push('\n');
+                s.push_str(&ablation::algorithm_quality(seed, 12));
+                s
+            }
+            "all" => {
+                let mut s = String::new();
+                s.push_str(&figures::table1());
+                s.push('\n');
+                s.push_str(&figures::fig1(&cells));
+                s.push('\n');
+                s.push_str(&figures::fig1_n3000(&cells));
+                s.push('\n');
+                s.push_str(&figures::fig2(&harness.testbed));
+                s.push('\n');
+                s.push_str(&figures::fig3(&harness.testbed));
+                s.push('\n');
+                s.push_str(&figures::fig4(&harness.testbed));
+                s.push('\n');
+                s.push_str(&figures::fig5(&cells));
+                s.push('\n');
+                s.push_str(&figures::fig6(&harness.testbed));
+                s.push('\n');
+                s.push_str(&figures::fig7(&cells));
+                s.push('\n');
+                s.push_str(&figures::fig8(&cells));
+                s.push('\n');
+                s.push_str(&figures::table2(&harness));
+                s
+            }
+            other => die(&format!("unknown target `{other}`")),
+        };
+        println!("{report}");
+        println!("{}", "=".repeat(78));
+    }
+}
+
+/// Renders one DAG's execution timeline under each simulator's schedule.
+fn gantt_report(harness: &Harness) -> String {
+    use mps_exp::SimVariant;
+    let corpus = harness.corpus();
+    let g = corpus
+        .iter()
+        .find(|g| g.params.matrix_size == 2000)
+        .expect("corpus has n = 2000 DAGs");
+    let mut out = format!("Gantt charts for {} on the emulated testbed\n\n", g.name());
+    for variant in SimVariant::ALL {
+        let cluster = harness.testbed.nominal_cluster();
+        let schedule = match variant {
+            SimVariant::Analytic => mps_core::sched::Scheduler::schedule(
+                &mps_core::sched::Hcpa,
+                &g.dag,
+                &cluster,
+                &mps_core::model::AnalyticModel::paper_jvm(),
+            ),
+            SimVariant::Profile => mps_core::sched::Scheduler::schedule(
+                &mps_core::sched::Hcpa,
+                &g.dag,
+                &cluster,
+                &harness.profile_model,
+            ),
+            SimVariant::Empirical => mps_core::sched::Scheduler::schedule(
+                &mps_core::sched::Hcpa,
+                &g.dag,
+                &cluster,
+                &harness.empirical_model,
+            ),
+        };
+        let real = harness
+            .testbed
+            .execute(&g.dag, &schedule, 0)
+            .expect("executes");
+        out.push_str(&format!("--- HCPA schedule under the {} model ---\n", variant.name()));
+        out.push_str(&mps_core::sim::render_gantt(&schedule, &real, 70));
+        out.push('\n');
+    }
+    out
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("usage: repro [--seed S] [--repeats R] [--json DIR] \\");
+    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations all]");
+    std::process::exit(2);
+}

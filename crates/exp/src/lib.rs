@@ -1,0 +1,19 @@
+//! # mps-exp — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation against
+//! the emulated testbed. See the `repro` binary:
+//!
+//! ```text
+//! cargo run -p mps-exp --bin repro -- all          # everything
+//! cargo run -p mps-exp --bin repro -- fig1         # one figure
+//! cargo run -p mps-exp --bin repro -- table2
+//! cargo run -p mps-exp --bin repro -- --json out/  # also dump JSON
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod runner;
+
+pub use runner::{paired_relative_makespans, CellResult, Harness, SimVariant};

@@ -1,0 +1,330 @@
+//! The experiment grid runner.
+//!
+//! Reproduces the paper's §V-A methodology over the 54-DAG corpus:
+//! for every DAG, every simulator version (analytic / profile / empirical)
+//! and both algorithms (HCPA, MCPA), compute the schedule *under that
+//! simulator's model*, record the simulated makespan, then execute the
+//! schedule on the emulated testbed and record the measured makespan.
+//!
+//! The profile and empirical models are instantiated from testbed
+//! measurements first — brute-force profiling for §VI, sparse sampling +
+//! regression for §VII — exactly the order of operations the authors
+//! followed.
+
+use serde::{Deserialize, Serialize};
+
+use mps_core::dag::gen::{paper_corpus, GeneratedDag, PAPER_CORPUS_SEED};
+use mps_core::model::{EmpiricalModel, PerfModel, ProfileModel};
+use mps_core::sched::{Hcpa, Mcpa, Scheduler};
+use mps_core::sim::Simulator;
+use mps_core::testbed::{
+    build_profile_model, fit_empirical_model, paper_kernels, ProfilingConfig, Testbed,
+};
+
+/// The three simulator versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimVariant {
+    /// §IV: purely analytical models.
+    Analytic,
+    /// §VI: brute-force measured profiles.
+    Profile,
+    /// §VII: sparse-sample regression models.
+    Empirical,
+}
+
+impl SimVariant {
+    /// All three, in paper order.
+    pub const ALL: [SimVariant; 3] = [
+        SimVariant::Analytic,
+        SimVariant::Profile,
+        SimVariant::Empirical,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimVariant::Analytic => "analytic",
+            SimVariant::Profile => "profile",
+            SimVariant::Empirical => "empirical",
+        }
+    }
+}
+
+/// One grid cell: a (DAG, simulator version, algorithm) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// DAG name (`w4-r0.75-n2000-s1`).
+    pub dag: String,
+    /// Matrix size of the DAG.
+    pub n: usize,
+    /// Simulator version.
+    pub variant: SimVariant,
+    /// Algorithm name.
+    pub algo: String,
+    /// Simulated makespan (seconds).
+    pub sim_makespan: f64,
+    /// Measured makespan on the testbed (mean over repeats, seconds).
+    pub real_makespan: f64,
+    /// Individual testbed runs.
+    pub real_runs: Vec<f64>,
+}
+
+impl CellResult {
+    /// Absolute relative simulation error in percent (the Fig. 8 metric).
+    pub fn error_pct(&self) -> f64 {
+        mps_core::stats::abs_relative_error_pct(self.sim_makespan, self.real_makespan)
+    }
+}
+
+/// The harness: testbed + the three instantiated models.
+pub struct Harness {
+    /// The emulated execution environment.
+    pub testbed: Testbed,
+    /// §VI model, built from brute-force profiling.
+    pub profile_model: ProfileModel,
+    /// §VII model, fitted from sparse samples.
+    pub empirical_model: EmpiricalModel,
+    /// Profiling configuration used for both instantiations.
+    pub profiling: ProfilingConfig,
+}
+
+impl Harness {
+    /// Builds the harness: spins up the testbed and instantiates the
+    /// refined models from measurements.
+    pub fn new(seed: u64) -> Self {
+        Self::with_testbed(Testbed::bayreuth(seed))
+    }
+
+    /// A harness over an explicit testbed (custom ground truth — used by
+    /// the ablation studies).
+    pub fn with_testbed(testbed: Testbed) -> Self {
+        let profiling = ProfilingConfig::default();
+        let kernels = paper_kernels();
+        let profile_model = build_profile_model(&testbed, &kernels, &profiling)
+            .expect("profiling the paper kernels cannot fail");
+        let empirical_model = fit_empirical_model(&testbed, &kernels, &profiling)
+            .expect("fitting the paper kernels cannot fail");
+        Harness {
+            testbed,
+            profile_model,
+            empirical_model,
+            profiling,
+        }
+    }
+
+    /// The paper's DAG corpus.
+    pub fn corpus(&self) -> Vec<GeneratedDag> {
+        paper_corpus(PAPER_CORPUS_SEED)
+    }
+
+    fn run_one(
+        &self,
+        g: &GeneratedDag,
+        variant: SimVariant,
+        algo: &dyn Scheduler,
+        repeats: u64,
+    ) -> CellResult {
+        let cluster = self.testbed.nominal_cluster();
+        let (sim_makespan, schedule) = match variant {
+            SimVariant::Analytic => {
+                let sim = Simulator::new(cluster, mps_core::model::AnalyticModel::paper_jvm());
+                let out = sim
+                    .schedule_and_simulate(&g.dag, algo)
+                    .expect("simulation cannot fail on valid schedules");
+                (out.result.makespan, out.schedule)
+            }
+            SimVariant::Profile => {
+                let sim = Simulator::new(cluster, self.profile_model.clone());
+                let out = sim
+                    .schedule_and_simulate(&g.dag, algo)
+                    .expect("simulation cannot fail on valid schedules");
+                (out.result.makespan, out.schedule)
+            }
+            SimVariant::Empirical => {
+                let sim = Simulator::new(cluster, self.empirical_model.clone());
+                let out = sim
+                    .schedule_and_simulate(&g.dag, algo)
+                    .expect("simulation cannot fail on valid schedules");
+                (out.result.makespan, out.schedule)
+            }
+        };
+
+        let real_runs: Vec<f64> = (0..repeats.max(1))
+            .map(|r| {
+                self.testbed
+                    .execute(&g.dag, &schedule, g.seed.wrapping_add(r))
+                    .expect("testbed execution cannot fail on valid schedules")
+                    .makespan
+            })
+            .collect();
+        let real_makespan = real_runs.iter().sum::<f64>() / real_runs.len() as f64;
+
+        CellResult {
+            dag: g.name(),
+            n: g.params.matrix_size,
+            variant,
+            algo: algo.name().to_string(),
+            sim_makespan,
+            real_makespan,
+            real_runs,
+        }
+    }
+
+    /// Runs the full grid (54 DAGs × 3 variants × {HCPA, MCPA}),
+    /// parallelized over DAGs.
+    pub fn run_grid(&self, repeats: u64) -> Vec<CellResult> {
+        let corpus = self.corpus();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(corpus.len().max(1));
+        let results = parking_lot::Mutex::new(Vec::with_capacity(corpus.len() * 6));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= corpus.len() {
+                        break;
+                    }
+                    let g = &corpus[i];
+                    let mut local = Vec::with_capacity(6);
+                    for variant in SimVariant::ALL {
+                        local.push(self.run_one(g, variant, &Hcpa, repeats));
+                        local.push(self.run_one(g, variant, &Mcpa, repeats));
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        let mut out = results.into_inner();
+        // Deterministic order: by dag name, then variant, then algo.
+        out.sort_by(|a, b| {
+            a.dag
+                .cmp(&b.dag)
+                .then_with(|| a.variant.name().cmp(b.variant.name()))
+                .then_with(|| a.algo.cmp(&b.algo))
+        });
+        out
+    }
+
+    /// Runs the grid for a subset of the corpus (for tests and quick
+    /// looks).
+    pub fn run_subset(&self, take: usize, repeats: u64) -> Vec<CellResult> {
+        let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
+        let mut out = Vec::new();
+        for g in &corpus {
+            for variant in SimVariant::ALL {
+                out.push(self.run_one(g, variant, &Hcpa, repeats));
+                out.push(self.run_one(g, variant, &Mcpa, repeats));
+            }
+        }
+        out
+    }
+
+    /// Returns the model for a variant as a trait object (for reporting).
+    pub fn model_of(&self, variant: SimVariant) -> Box<dyn PerfModel + '_> {
+        match variant {
+            SimVariant::Analytic => Box::new(mps_core::model::AnalyticModel::paper_jvm()),
+            SimVariant::Profile => Box::new(&self.profile_model),
+            SimVariant::Empirical => Box::new(&self.empirical_model),
+        }
+    }
+}
+
+/// Pairs HCPA/MCPA cells per DAG for one variant, yielding
+/// `(dag, n, rel_sim, rel_real)` — the Figures 1/5/7 data.
+pub fn paired_relative_makespans(
+    cells: &[CellResult],
+    variant: SimVariant,
+    n: usize,
+) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    let hcpa: Vec<&CellResult> = cells
+        .iter()
+        .filter(|c| c.variant == variant && c.n == n && c.algo == "HCPA")
+        .collect();
+    for h in hcpa {
+        if let Some(m) = cells
+            .iter()
+            .find(|c| c.variant == variant && c.dag == h.dag && c.algo == "MCPA")
+        {
+            let rel_sim = mps_core::stats::relative_makespan(h.sim_makespan, m.sim_makespan);
+            let rel_real = mps_core::stats::relative_makespan(h.real_makespan, m.real_makespan);
+            out.push((h.dag.clone(), rel_sim, rel_real));
+        }
+    }
+    // The paper sorts DAGs by increasing simulated relative makespan.
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_and_runs_a_subset() {
+        let h = Harness::new(2011);
+        let cells = h.run_subset(2, 1);
+        assert_eq!(cells.len(), 2 * 3 * 2);
+        for c in &cells {
+            assert!(c.sim_makespan > 0.0);
+            assert!(c.real_makespan > 0.0);
+            assert!(c.error_pct().is_finite());
+        }
+    }
+
+    #[test]
+    fn refined_variants_have_lower_error_than_analytic() {
+        let h = Harness::new(2011);
+        let cells = h.run_subset(4, 1);
+        let mean_err = |v: SimVariant| -> f64 {
+            let errs: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.variant == v)
+                .map(CellResult::error_pct)
+                .collect();
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let analytic = mean_err(SimVariant::Analytic);
+        let profile = mean_err(SimVariant::Profile);
+        let empirical = mean_err(SimVariant::Empirical);
+        assert!(
+            profile < analytic,
+            "profile {profile}% should beat analytic {analytic}%"
+        );
+        assert!(
+            empirical < analytic,
+            "empirical {empirical}% should beat analytic {analytic}%"
+        );
+        assert!(profile < 15.0, "profile error {profile}% (paper: <10%)");
+    }
+
+    #[test]
+    fn paired_relative_makespans_cover_the_n2000_half() {
+        let h = Harness::new(2011);
+        let cells = h.run_subset(6, 1);
+        let n2000: usize = cells
+            .iter()
+            .filter(|c| c.n == 2000 && c.variant == SimVariant::Analytic && c.algo == "HCPA")
+            .count();
+        let pairs = paired_relative_makespans(&cells, SimVariant::Analytic, 2000);
+        assert_eq!(pairs.len(), n2000);
+        // Sorted by simulated relative makespan.
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn grid_runner_is_deterministic() {
+        let h = Harness::new(7);
+        let a = h.run_subset(2, 2);
+        let b = h.run_subset(2, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,277 @@
+//! 1-D column-block data distributions.
+//!
+//! The paper's parallel kernels use a "vanilla 1D parallelization": an
+//! `n × n` matrix mapped onto `p` processors is split by columns, each
+//! processor holding a contiguous block. The *vanilla* split gives every
+//! processor `⌊n/p⌋` columns and dumps the remainder on the last processor —
+//! exactly the implementation detail that produces the paper's load-imbalance
+//! outlier at `n = 3000, p = 16` (§VII.A: "the last processor is simply
+//! allocated too many matrix rows/columns").
+//!
+//! A balanced split (remainder spread one column each over the first
+//! `n mod p` processors) is also provided for comparison and for the
+//! redistribution engine tests.
+
+use std::ops::Range;
+
+/// How remainder columns are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitRule {
+    /// `⌊n/p⌋` columns everywhere, remainder appended to the *last* rank —
+    /// the paper's vanilla implementation.
+    Vanilla,
+    /// First `n mod p` ranks get one extra column — balanced within ±1.
+    Balanced,
+}
+
+/// A 1-D column-block distribution of `n` columns over `p` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockDist1D {
+    n: usize,
+    p: usize,
+    rule: SplitRule,
+}
+
+impl BlockDist1D {
+    /// Vanilla distribution (the paper's).
+    pub fn vanilla(n: usize, p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        assert!(n >= 1, "need at least one column");
+        BlockDist1D {
+            n,
+            p,
+            rule: SplitRule::Vanilla,
+        }
+    }
+
+    /// Balanced distribution.
+    pub fn balanced(n: usize, p: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        assert!(n >= 1, "need at least one column");
+        BlockDist1D {
+            n,
+            p,
+            rule: SplitRule::Balanced,
+        }
+    }
+
+    /// Number of columns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The split rule in use.
+    pub fn rule(&self) -> SplitRule {
+        self.rule
+    }
+
+    /// Half-open column range owned by `rank`.
+    ///
+    /// Ranks beyond the matrix width (possible when `p > n`) own an empty
+    /// range.
+    pub fn columns(&self, rank: usize) -> Range<usize> {
+        assert!(rank < self.p, "rank out of range");
+        match self.rule {
+            SplitRule::Vanilla => {
+                let base = self.n / self.p;
+                if base == 0 {
+                    // Degenerate p > n case: first n ranks get one column.
+                    if rank < self.n {
+                        rank..rank + 1
+                    } else {
+                        self.n..self.n
+                    }
+                } else {
+                    let start = rank * base;
+                    let end = if rank == self.p - 1 {
+                        self.n
+                    } else {
+                        start + base
+                    };
+                    start..end
+                }
+            }
+            SplitRule::Balanced => {
+                let base = self.n / self.p;
+                let rem = self.n % self.p;
+                let start = rank * base + rank.min(rem);
+                let len = base + usize::from(rank < rem);
+                start..start + len
+            }
+        }
+    }
+
+    /// Number of columns owned by `rank`.
+    pub fn block_len(&self, rank: usize) -> usize {
+        self.columns(rank).len()
+    }
+
+    /// Rank owning column `col`.
+    pub fn owner(&self, col: usize) -> usize {
+        assert!(col < self.n, "column out of range");
+        for rank in 0..self.p {
+            if self.columns(rank).contains(&col) {
+                return rank;
+            }
+        }
+        unreachable!("every column has an owner")
+    }
+
+    /// Largest block size over all ranks.
+    pub fn max_block(&self) -> usize {
+        (0..self.p).map(|r| self.block_len(r)).max().unwrap_or(0)
+    }
+
+    /// Load-imbalance factor: largest block over the ideal `n/p` share.
+    /// 1.0 means perfectly balanced; the paper's vanilla split at
+    /// `n = 3000, p = 16` gives ≈ 1.04 from the remainder pile-up.
+    pub fn imbalance_factor(&self) -> f64 {
+        self.max_block() as f64 / (self.n as f64 / self.p as f64)
+    }
+
+    /// Columns shared between `self`'s rank `src` and `other`'s rank `dst`
+    /// (both distributions must cover the same matrix width).
+    pub fn overlap(&self, src: usize, other: &BlockDist1D, dst: usize) -> usize {
+        assert_eq!(
+            self.n, other.n,
+            "overlap requires equal matrix widths"
+        );
+        let a = self.columns(src);
+        let b = other.columns(dst);
+        let lo = a.start.max(b.start);
+        let hi = a.end.min(b.end);
+        hi.saturating_sub(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_even_split() {
+        let d = BlockDist1D::vanilla(8, 4);
+        assert_eq!(d.columns(0), 0..2);
+        assert_eq!(d.columns(3), 6..8);
+        assert_eq!(d.max_block(), 2);
+        assert!((d.imbalance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanilla_remainder_goes_to_last_rank() {
+        let d = BlockDist1D::vanilla(10, 4);
+        assert_eq!(d.columns(0), 0..2);
+        assert_eq!(d.columns(1), 2..4);
+        assert_eq!(d.columns(2), 4..6);
+        assert_eq!(d.columns(3), 6..10); // 2 base + 2 remainder
+        assert_eq!(d.max_block(), 4);
+    }
+
+    #[test]
+    fn paper_outlier_case_n3000_p16() {
+        // ⌊3000/16⌋ = 187; last rank gets 187 + 8 = 195.
+        let d = BlockDist1D::vanilla(3000, 16);
+        assert_eq!(d.block_len(0), 187);
+        assert_eq!(d.block_len(15), 195);
+        let f = d.imbalance_factor();
+        assert!((f - 195.0 / 187.5).abs() < 1e-12);
+        assert!(f > 1.03, "noticeable imbalance, factor = {f}");
+    }
+
+    #[test]
+    fn n2000_p16_is_perfectly_balanced() {
+        let d = BlockDist1D::vanilla(2000, 16);
+        assert!((d.imbalance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_split_spreads_remainder() {
+        let d = BlockDist1D::balanced(10, 4);
+        assert_eq!(d.columns(0), 0..3);
+        assert_eq!(d.columns(1), 3..6);
+        assert_eq!(d.columns(2), 6..8);
+        assert_eq!(d.columns(3), 8..10);
+        assert_eq!(d.max_block(), 3);
+    }
+
+    #[test]
+    fn blocks_partition_the_matrix() {
+        for &(n, p) in &[(1usize, 1usize), (7, 3), (2000, 16), (3000, 16), (5, 8)] {
+            for d in [BlockDist1D::vanilla(n, p), BlockDist1D::balanced(n, p)] {
+                let mut covered = 0;
+                let mut next = 0;
+                for r in 0..p {
+                    let c = d.columns(r);
+                    assert_eq!(c.start, next, "{d:?} rank {r}");
+                    next = c.end;
+                    covered += c.len();
+                }
+                assert_eq!(covered, n);
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_columns() {
+        let d = BlockDist1D::vanilla(10, 4);
+        for col in 0..10 {
+            let r = d.owner(col);
+            assert!(d.columns(r).contains(&col));
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_columns() {
+        let d = BlockDist1D::vanilla(3, 8);
+        assert_eq!(d.columns(0), 0..1);
+        assert_eq!(d.columns(2), 2..3);
+        assert_eq!(d.columns(5), 3..3);
+        assert_eq!(d.block_len(7), 0);
+    }
+
+    #[test]
+    fn overlap_identity() {
+        let d = BlockDist1D::vanilla(100, 4);
+        for r in 0..4 {
+            assert_eq!(d.overlap(r, &d, r), d.block_len(r));
+        }
+    }
+
+    #[test]
+    fn overlap_disjoint_ranks() {
+        let d = BlockDist1D::vanilla(100, 4);
+        assert_eq!(d.overlap(0, &d, 3), 0);
+    }
+
+    #[test]
+    fn overlap_across_different_widths() {
+        // src: 2 ranks of 50; dst: 4 ranks of 25.
+        let src = BlockDist1D::vanilla(100, 2);
+        let dst = BlockDist1D::vanilla(100, 4);
+        assert_eq!(src.overlap(0, &dst, 0), 25);
+        assert_eq!(src.overlap(0, &dst, 1), 25);
+        assert_eq!(src.overlap(0, &dst, 2), 0);
+        assert_eq!(src.overlap(1, &dst, 2), 25);
+        assert_eq!(src.overlap(1, &dst, 3), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal matrix widths")]
+    fn overlap_rejects_mismatched_widths() {
+        let a = BlockDist1D::vanilla(10, 2);
+        let b = BlockDist1D::vanilla(20, 2);
+        a.overlap(0, &b, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn columns_rejects_bad_rank() {
+        BlockDist1D::vanilla(10, 2).columns(2);
+    }
+}

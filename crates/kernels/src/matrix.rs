@@ -1,0 +1,155 @@
+//! Dense column-major matrices and column-block views.
+//!
+//! Small, dependency-free matrix support used by the *reference* kernel
+//! implementations. Column-major storage matches the 1-D column-block
+//! distribution: a rank's block is a contiguous slice.
+
+/// A dense `n × n` matrix of `f64`, column-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Matrix filled by a function of `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n);
+        for c in 0..n {
+            for r in 0..n {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[col * self.n + row]
+    }
+
+    /// Element mutation.
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.data[col * self.n + row] = v;
+    }
+
+    /// Contiguous slice holding columns `[start, end)`.
+    pub fn columns(&self, start: usize, end: usize) -> &[f64] {
+        &self.data[start * self.n..end * self.n]
+    }
+
+    /// Mutable contiguous slice holding columns `[start, end)`.
+    pub fn columns_mut(&mut self, start: usize, end: usize) -> &mut [f64] {
+        &mut self.data[start * self.n..end * self.n]
+    }
+
+    /// Maximum absolute element difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sequential reference `C = A · B`.
+pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n(), b.n());
+    let n = a.n();
+    let mut c = Matrix::zeros(n);
+    for j in 0..n {
+        for k in 0..n {
+            let bkj = b.get(k, j);
+            if bkj == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let v = c.get(i, j) + a.get(i, k) * bkj;
+                c.set(i, j, v);
+            }
+        }
+    }
+    c
+}
+
+/// Sequential reference `C = A + B`.
+pub fn matadd_seq(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.n(), b.n());
+    let n = a.n();
+    Matrix::from_fn(n, |i, j| a.get(i, j) + b.get(i, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(8, |i, j| (i * 8 + j) as f64);
+        let c = matmul_seq(&a, &Matrix::identity(8));
+        assert_eq!(c.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn small_known_product() {
+        // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 3.0);
+        a.set(1, 1, 4.0);
+        let mut b = Matrix::zeros(2);
+        b.set(0, 0, 5.0);
+        b.set(0, 1, 6.0);
+        b.set(1, 0, 7.0);
+        b.set(1, 1, 8.0);
+        let c = matmul_seq(&a, &b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn addition_is_elementwise() {
+        let a = Matrix::from_fn(5, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(5, |i, j| (i * j) as f64);
+        let c = matadd_seq(&a, &b);
+        assert_eq!(c.get(3, 4), (3 + 4) as f64 + (3 * 4) as f64);
+    }
+
+    #[test]
+    fn column_slices_are_contiguous() {
+        let m = Matrix::from_fn(4, |i, j| (j * 10 + i) as f64);
+        let cols = m.columns(1, 3);
+        assert_eq!(cols.len(), 8);
+        assert_eq!(cols[0], 10.0); // (0,1)
+        assert_eq!(cols[7], 23.0); // (3,2)
+    }
+}

@@ -1,0 +1,500 @@
+//! The L07 simulator: platform resources + parallel-task submission.
+//!
+//! Maps a [`mps_platform::Cluster`] onto DES resources (one CPU per
+//! host, one resource per private-link direction, one for the backbone) and
+//! turns [`PTaskSpec`]s into single fluid activities:
+//!
+//! * each participating host CPU is consumed with weight = that host's flop
+//!   amount;
+//! * each link on the route of each flow is consumed with weight = the
+//!   flow's byte count (flows sharing a link contend there, reproducing
+//!   SimGrid's link-contention behaviour cited in §IV);
+//! * the whole task advances with a **single progress rate** — computation
+//!   and communication are coupled, exactly like `Ptask_L07`;
+//! * network latency is charged once, as the maximum route latency over the
+//!   task's flows (plus any caller-provided extra latency).
+
+use std::collections::HashMap;
+
+use mps_des::{ActivityId, ActivitySpec, Completion, Engine, EngineError, ResourceId};
+use mps_platform::{Cluster, HostId, LinkId};
+
+use crate::ptask::PTaskSpec;
+
+/// Errors raised by the L07 simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum L07Error {
+    /// A task referenced a host outside the platform.
+    UnknownHost(HostId),
+    /// A numeric field was negative or NaN.
+    InvalidNumber {
+        /// Which quantity was invalid.
+        context: &'static str,
+    },
+    /// The DES engine failed.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for L07Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            L07Error::UnknownHost(h) => write!(f, "unknown host {h}"),
+            L07Error::InvalidNumber { context } => write!(f, "invalid number in {context}"),
+            L07Error::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for L07Error {}
+
+impl From<EngineError> for L07Error {
+    fn from(e: EngineError) -> Self {
+        L07Error::Engine(e)
+    }
+}
+
+/// Identifier of a submitted parallel task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PTaskId(ActivityId);
+
+/// A completion event: which task finished and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PTaskCompletion {
+    /// The completed task.
+    pub task: PTaskId,
+    /// Simulated completion time (seconds).
+    pub time: f64,
+}
+
+/// The parallel-task simulator.
+#[derive(Debug)]
+pub struct L07Sim {
+    engine: Engine,
+    cluster: Cluster,
+    cpu: Vec<ResourceId>,
+    up: Vec<ResourceId>,
+    down: Vec<ResourceId>,
+    backbone: ResourceId,
+}
+
+impl L07Sim {
+    /// Builds a simulator over a cluster platform.
+    pub fn new(cluster: Cluster) -> Self {
+        let mut engine = Engine::new();
+        let n = cluster.node_count();
+        let cpu = (0..n)
+            .map(|i| engine.add_resource(cluster.host_speed(HostId(i))))
+            .collect();
+        let up = (0..n)
+            .map(|i| engine.add_resource(cluster.link_props(LinkId::Up(i)).bandwidth))
+            .collect();
+        let down = (0..n)
+            .map(|i| engine.add_resource(cluster.link_props(LinkId::Down(i)).bandwidth))
+            .collect();
+        let backbone = engine.add_resource(cluster.link_props(LinkId::Backbone).bandwidth);
+        L07Sim {
+            engine,
+            cluster,
+            cpu,
+            up,
+            down,
+            backbone,
+        }
+    }
+
+    /// Enables DES trace recording.
+    pub fn enable_tracing(&mut self) {
+        self.engine.enable_tracing();
+    }
+
+    /// Enables resource-utilization metering (CPUs and links). Call before
+    /// submitting tasks.
+    pub fn enable_usage_metering(&mut self) {
+        self.engine.enable_usage_metering();
+    }
+
+    /// Mean utilization of every host CPU over the simulated horizon
+    /// (`None` unless metering was enabled).
+    pub fn cpu_utilization(&self) -> Option<Vec<f64>> {
+        let usage = self.engine.resource_usage()?;
+        Some(self.cpu.iter().map(|r| usage[r.index()].utilization()).collect())
+    }
+
+    /// Mean utilization of the backbone link (`None` unless metering was
+    /// enabled).
+    pub fn backbone_utilization(&self) -> Option<f64> {
+        let usage = self.engine.resource_usage()?;
+        Some(usage[self.backbone.index()].utilization())
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &mps_des::Trace {
+        self.engine.trace()
+    }
+
+    /// The platform.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Current simulated time (seconds).
+    pub fn now(&self) -> f64 {
+        self.engine.now()
+    }
+
+    /// Number of unfinished tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.engine.live_activities()
+    }
+
+    /// True when no task is pending.
+    pub fn is_idle(&self) -> bool {
+        self.engine.is_idle()
+    }
+
+    fn resource_of_link(&self, link: LinkId) -> ResourceId {
+        match link {
+            LinkId::Up(i) => self.up[i],
+            LinkId::Down(i) => self.down[i],
+            LinkId::Backbone => self.backbone,
+        }
+    }
+
+    /// Submits a parallel task; it starts consuming resources immediately.
+    pub fn submit(&mut self, spec: PTaskSpec) -> Result<PTaskId, L07Error> {
+        let n = self.cluster.node_count();
+        for &(h, f) in &spec.comp {
+            if h.index() >= n {
+                return Err(L07Error::UnknownHost(h));
+            }
+            if f.is_nan() || f < 0.0 {
+                return Err(L07Error::InvalidNumber {
+                    context: "computation amount",
+                });
+            }
+        }
+        for &(s, d, b) in &spec.flows {
+            if s.index() >= n {
+                return Err(L07Error::UnknownHost(s));
+            }
+            if d.index() >= n {
+                return Err(L07Error::UnknownHost(d));
+            }
+            if b.is_nan() || b < 0.0 {
+                return Err(L07Error::InvalidNumber {
+                    context: "flow bytes",
+                });
+            }
+        }
+        if spec.extra_latency.is_nan() || spec.extra_latency < 0.0 {
+            return Err(L07Error::InvalidNumber {
+                context: "extra latency",
+            });
+        }
+
+        // Accumulate per-resource weights: the task progresses from 0 to 1,
+        // so weights are the full amounts.
+        let mut weights: HashMap<ResourceId, f64> = HashMap::new();
+        for &(h, f) in &spec.comp {
+            if f > 0.0 {
+                *weights.entry(self.cpu[h.index()]).or_insert(0.0) += f;
+            }
+        }
+        let mut max_route_latency = 0.0_f64;
+        for &(s, d, b) in &spec.flows {
+            if s == d || b <= 0.0 {
+                continue;
+            }
+            for link in self.cluster.route(s, d) {
+                *weights.entry(self.resource_of_link(link)).or_insert(0.0) += b;
+            }
+            max_route_latency = max_route_latency.max(self.cluster.route_latency(s, d));
+        }
+
+        let mut sorted: Vec<(ResourceId, f64)> = weights.into_iter().collect();
+        sorted.sort_by_key(|&(r, _)| r);
+
+        let mut act = ActivitySpec::new(1.0)
+            .with_latency(max_route_latency + spec.extra_latency)
+            .with_rate_bound(spec.rate_bound);
+        act.weights = sorted;
+        if let Some(label) = spec.label {
+            act = act.with_label(label);
+        }
+        let id = self.engine.start(act)?;
+        Ok(PTaskId(id))
+    }
+
+    /// Advances to the next completion(s). `None` when idle.
+    pub fn next_completions(&mut self) -> Result<Option<Vec<PTaskCompletion>>, L07Error> {
+        match self.engine.step()? {
+            None => Ok(None),
+            Some(step) => {
+                let out = step
+                    .completed
+                    .into_iter()
+                    .filter_map(|c| match c {
+                        Completion::Activity(id) => Some(PTaskCompletion {
+                            task: PTaskId(id),
+                            time: step.time,
+                        }),
+                        Completion::Timer(_) => None,
+                    })
+                    .collect();
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Runs a single task to completion on an otherwise idle simulator and
+    /// returns its duration. Convenience for model validation.
+    pub fn run_single(&mut self, spec: PTaskSpec) -> Result<f64, L07Error> {
+        let start = self.now();
+        let id = self.submit(spec)?;
+        loop {
+            match self.next_completions()? {
+                None => {
+                    return Err(L07Error::Engine(EngineError::Stalled { time: self.now() }))
+                }
+                Some(completions) => {
+                    if let Some(c) = completions.iter().find(|c| c.task == id) {
+                        return Ok(c.time - start);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs everything currently submitted to completion; returns the final
+    /// simulated time.
+    pub fn run_to_idle(&mut self) -> Result<f64, L07Error> {
+        while self.next_completions()?.is_some() {}
+        Ok(self.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_platform::units::GBPS;
+    use mps_platform::ClusterSpec;
+
+    fn sim() -> L07Sim {
+        L07Sim::new(Cluster::bayreuth())
+    }
+
+    fn hosts(ids: &[usize]) -> Vec<HostId> {
+        ids.iter().map(|&i| HostId(i)).collect()
+    }
+
+    #[test]
+    fn uniform_compute_task_time() {
+        // 2·2000³ flops over 4 hosts at 250 MFlop/s: 16 s.
+        let mut s = sim();
+        let h = hosts(&[0, 1, 2, 3]);
+        let flops = 2.0 * 2000.0_f64.powi(3) / 4.0;
+        let t = s
+            .run_single(PTaskSpec::compute_uniform(&h, flops))
+            .unwrap();
+        assert!((t - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalanced_compute_is_limited_by_the_largest_share() {
+        // L07 couples all components: the task finishes when the slowest
+        // host finishes.
+        let mut s = sim();
+        let h = hosts(&[0, 1]);
+        let t = s
+            .run_single(PTaskSpec::compute(&h, &[500.0e6, 250.0e6]))
+            .unwrap();
+        assert!((t - 2.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn p2p_transfer_time_matches_platform_formula() {
+        let mut s = sim();
+        let t = s
+            .run_single(PTaskSpec::p2p(HostId(0), HostId(1), 125.0e6))
+            .unwrap();
+        // 3 links à 100 µs + 125 MB / 125 MB/s.
+        assert!((t - (3.0e-4 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_flow_costs_nothing() {
+        let mut s = sim();
+        let t = s
+            .run_single(PTaskSpec::p2p(HostId(0), HostId(0), 1.0e9))
+            .unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn two_transfers_contend_on_the_backbone() {
+        // Different host pairs, so only the backbone is shared: each flow
+        // gets half the backbone bandwidth.
+        let mut s = sim();
+        s.submit(PTaskSpec::p2p(HostId(0), HostId(1), 125.0e6))
+            .unwrap();
+        s.submit(PTaskSpec::p2p(HostId(2), HostId(3), 125.0e6))
+            .unwrap();
+        let t = s.run_to_idle().unwrap();
+        assert!((t - (3.0e-4 + 2.0)).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn wider_backbone_removes_contention() {
+        let mut spec = ClusterSpec::bayreuth();
+        spec.backbone_bandwidth = 10.0 * GBPS;
+        let mut s = L07Sim::new(spec.build().unwrap());
+        s.submit(PTaskSpec::p2p(HostId(0), HostId(1), 125.0e6))
+            .unwrap();
+        s.submit(PTaskSpec::p2p(HostId(2), HostId(3), 125.0e6))
+            .unwrap();
+        let t = s.run_to_idle().unwrap();
+        assert!((t - (3.0e-4 + 1.0)).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn coupled_compute_and_communication() {
+        // A task that computes 250 Mflop on one host (1 s alone) and moves
+        // 250 MB over the network (2 s alone at 125 MB/s): the coupled L07
+        // rate is bound by the slower component → 2 s (+ latency).
+        let mut s = sim();
+        let mut spec = PTaskSpec::compute(&hosts(&[0]), &[250.0e6]);
+        spec.flows.push((HostId(0), HostId(1), 250.0e6));
+        let t = s.run_single(spec).unwrap();
+        assert!((t - (3.0e-4 + 2.0)).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn ring_pattern_contends_on_private_links() {
+        // 2-host ring: two flows 0→1 and 1→0. Each private link direction
+        // carries one flow; backbone carries both: backbone is the
+        // bottleneck at 125 MB/s for 2 × B bytes.
+        let mut s = sim();
+        let spec = PTaskSpec::transfers(vec![
+            (HostId(0), HostId(1), 125.0e6),
+            (HostId(1), HostId(0), 125.0e6),
+        ]);
+        let t = s.run_single(spec).unwrap();
+        assert!((t - (3.0e-4 + 2.0)).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn extra_latency_is_charged_once() {
+        let mut s = sim();
+        let spec = PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6).with_extra_latency(0.7);
+        let t = s.run_single(spec).unwrap();
+        assert!((t - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_task_completes_instantly() {
+        let mut s = sim();
+        let t = s.run_single(PTaskSpec::new()).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn unknown_host_is_rejected() {
+        let mut s = sim();
+        let err = s
+            .submit(PTaskSpec::compute_uniform(&hosts(&[40]), 1.0))
+            .unwrap_err();
+        assert_eq!(err, L07Error::UnknownHost(HostId(40)));
+    }
+
+    #[test]
+    fn negative_flow_is_rejected() {
+        let mut s = sim();
+        let err = s
+            .submit(PTaskSpec::p2p(HostId(0), HostId(1), -5.0))
+            .unwrap_err();
+        assert!(matches!(err, L07Error::InvalidNumber { .. }));
+    }
+
+    #[test]
+    fn compute_tasks_on_same_host_share_the_cpu() {
+        let mut s = sim();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        let t = s.run_to_idle().unwrap();
+        assert!((t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_tasks_on_distinct_hosts_run_concurrently() {
+        let mut s = sim();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[1]), 250.0e6))
+            .unwrap();
+        let t = s.run_to_idle().unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_mm_task_on_8_hosts() {
+        // Full MM task with ring communication at n = 2000, p = 8:
+        // compute: 2n³/8 per host = 2 Gflop → 8 s at 250 MFlop/s.
+        // comm: each ring edge carries 7 · (n²/8) · 8 B = 28 MB. Each
+        // private link direction carries one edge; the backbone carries all
+        // eight (224 MB at 125 MB/s = 1.792 s if alone).
+        // Coupled rate: CPU needs 8 s, network needs max(28/125, 224/125)
+        // → CPU-bound at 8 s (+ 300 µs latency).
+        let mut s = sim();
+        let h = hosts(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let n = 2000.0_f64;
+        let per_host = 2.0 * n.powi(3) / 8.0;
+        let edge_bytes = 7.0 * (n * n / 8.0) * 8.0;
+        let mut spec = PTaskSpec::compute_uniform(&h, per_host);
+        for i in 0..8usize {
+            spec.flows
+                .push((HostId(i), HostId((i + 1) % 8), edge_bytes));
+        }
+        let t = s.run_single(spec).unwrap();
+        assert!((t - (8.0 + 3.0e-4)).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn utilization_metering_reports_busy_cpus() {
+        let mut s = sim();
+        s.enable_usage_metering();
+        // Saturate host 0 for the whole run; host 1 stays idle.
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        s.run_to_idle().unwrap();
+        let cpu = s.cpu_utilization().unwrap();
+        assert!((cpu[0] - 1.0).abs() < 1e-9, "host 0 busy: {}", cpu[0]);
+        assert_eq!(cpu[1], 0.0);
+        assert_eq!(s.backbone_utilization().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn backbone_utilization_tracks_transfers() {
+        let mut s = sim();
+        s.enable_usage_metering();
+        s.submit(PTaskSpec::p2p(HostId(0), HostId(1), 125.0e6))
+            .unwrap();
+        s.run_to_idle().unwrap();
+        // The transfer saturates the backbone for essentially the whole
+        // horizon (minus the latency phase).
+        let bb = s.backbone_utilization().unwrap();
+        assert!(bb > 0.99, "backbone {bb}");
+    }
+
+    #[test]
+    fn live_task_count() {
+        let mut s = sim();
+        assert!(s.is_idle());
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 1.0))
+            .unwrap();
+        assert_eq!(s.live_tasks(), 1);
+        s.run_to_idle().unwrap();
+        assert!(s.is_idle());
+    }
+}

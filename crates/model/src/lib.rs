@@ -1,0 +1,79 @@
+//! # mps-model — task-time and overhead performance models
+//!
+//! The three model families behind the paper's three simulator versions:
+//!
+//! * [`AnalyticModel`] — flop counts over a benchmarked machine rate (§IV);
+//! * [`ProfileModel`] — brute-force measured lookup tables (§VI);
+//! * [`EmpiricalModel`] — sparse-sample regressions, including the exact
+//!   published Table II coefficients (§VII).
+//!
+//! All three implement the [`PerfModel`] trait consumed by the schedulers
+//! (for their `T(t, p)` estimates) and by the simulators (for task
+//! durations and overhead injection).
+//!
+//! ```
+//! use mps_model::{AnalyticModel, EmpiricalModel, PerfModel};
+//! use mps_kernels::Kernel;
+//!
+//! let k = Kernel::MatMul { n: 2000 };
+//! let analytic = AnalyticModel::paper_jvm();
+//! let empirical = EmpiricalModel::table_ii();
+//! // The analytic model underestimates massively at p = 1: 64 s vs the
+//! // measured ≈ 123 s the empirical curve reproduces.
+//! assert!(empirical.task_time(k, 1) > 1.8 * analytic.task_time(k, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod empirical;
+pub mod profile;
+pub mod traits;
+
+pub use analytic::AnalyticModel;
+pub use empirical::{
+    EmpiricalError, EmpiricalModel, TaskCurve, MA_POINTS, MM_HIGH_POINTS, MM_LOW_POINTS,
+    OVERHEAD_POINTS,
+};
+pub use profile::{ProfileError, ProfileModel, ProfileTables};
+pub use traits::PerfModel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_kernels::Kernel;
+
+    #[test]
+    fn models_are_object_safe_behind_references() {
+        let analytic = AnalyticModel::paper_jvm();
+        let empirical = EmpiricalModel::table_ii();
+        let models: Vec<&dyn PerfModel> = vec![&analytic, &empirical];
+        let k = Kernel::MatMul { n: 2000 };
+        for m in models {
+            assert!(m.task_time(k, 4) > 0.0);
+        }
+    }
+
+    #[test]
+    fn analytic_vs_empirical_gap_matches_figure_2_regime() {
+        // Fig. 2 (left): the analytic model's relative error for the Java
+        // MM reaches tens of percent. Our Table II curve vs the analytic
+        // model shows the same magnitude of disagreement across p.
+        let analytic = AnalyticModel::paper_jvm();
+        let empirical = EmpiricalModel::table_ii();
+        for n in [2000usize, 3000] {
+            let k = Kernel::MatMul { n };
+            let rels: Vec<f64> = (1..=32usize)
+                .map(|p| {
+                    let pred = analytic.task_time(k, p);
+                    let meas = empirical.task_time(k, p);
+                    ((pred - meas) / meas).abs()
+                })
+                .collect();
+            let mean = rels.iter().sum::<f64>() / rels.len() as f64;
+            let max = rels.iter().copied().fold(0.0, f64::max);
+            assert!(mean > 0.2, "n={n} mean rel err {mean}");
+            assert!(max > 0.4, "n={n} max rel err {max}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The profile-based (brute-force) performance model (§VI).
+//!
+//! Task times come from a lookup table of measured execution times for
+//! **every** allocation size `p = 1..=P` and every kernel instance; startup
+//! overheads from a per-`p` table of measured no-op launches; and
+//! redistribution overheads from a per-`p_dst` table (the paper observes
+//! the overhead "depends mostly on p(dst)" and averages over `p_src`,
+//! §VI-C).
+//!
+//! Allocation sizes outside a table are clamped to the nearest measured
+//! point (cannot occur in the paper's setup, where the full range is
+//! profiled).
+
+use serde::{Deserialize, Serialize};
+
+use mps_kernels::Kernel;
+
+use crate::traits::PerfModel;
+
+/// Errors when assembling profile tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A table was empty.
+    EmptyTable {
+        /// Which table.
+        what: &'static str,
+    },
+    /// A kernel was looked up that has no profile.
+    UnknownKernel(Kernel),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::EmptyTable { what } => write!(f, "empty profile table: {what}"),
+            ProfileError::UnknownKernel(k) => write!(f, "no profile for kernel {k}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Measured profile tables. Serializable so a profiling run can be saved
+/// and reused (in the paper these measurements took dedicated cluster
+/// time; caching them is the whole point of §VII).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProfileTables {
+    /// Per-kernel execution times; `times[p-1]` is the measurement at
+    /// allocation `p`.
+    pub task: Vec<(Kernel, Vec<f64>)>,
+    /// Startup overhead per allocation size; `startup[p-1]`.
+    pub startup: Vec<f64>,
+    /// Redistribution overhead per destination allocation size;
+    /// `redist_by_dst[p_dst-1]` (averaged over `p_src`).
+    pub redist_by_dst: Vec<f64>,
+}
+
+impl ProfileTables {
+    /// Validates non-emptiness of the three tables.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.task.is_empty() || self.task.iter().any(|(_, t)| t.is_empty()) {
+            return Err(ProfileError::EmptyTable { what: "task" });
+        }
+        if self.startup.is_empty() {
+            return Err(ProfileError::EmptyTable { what: "startup" });
+        }
+        if self.redist_by_dst.is_empty() {
+            return Err(ProfileError::EmptyTable {
+                what: "redist_by_dst",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The profile-based model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileModel {
+    tables: ProfileTables,
+}
+
+fn clamped(table: &[f64], p: usize) -> f64 {
+    let idx = p.saturating_sub(1).min(table.len() - 1);
+    table[idx]
+}
+
+impl ProfileModel {
+    /// Builds the model, validating the tables.
+    pub fn new(tables: ProfileTables) -> Result<Self, ProfileError> {
+        tables.validate()?;
+        Ok(ProfileModel { tables })
+    }
+
+    /// The underlying tables.
+    pub fn tables(&self) -> &ProfileTables {
+        &self.tables
+    }
+
+    /// Looks up the exact table entry; errors for unknown kernels (unlike
+    /// the trait method, which panics — use this when the kernel set is
+    /// dynamic).
+    pub fn try_task_time(&self, kernel: Kernel, p: usize) -> Result<f64, ProfileError> {
+        self.tables
+            .task
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, t)| clamped(t, p))
+            .ok_or(ProfileError::UnknownKernel(kernel))
+    }
+}
+
+impl PerfModel for ProfileModel {
+    fn name(&self) -> &'static str {
+        "profile"
+    }
+
+    fn task_time(&self, kernel: Kernel, p: usize) -> f64 {
+        self.try_task_time(kernel, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn startup_overhead(&self, p: usize) -> f64 {
+        clamped(&self.tables.startup, p)
+    }
+
+    fn redist_overhead(&self, _p_src: usize, p_dst: usize) -> f64 {
+        clamped(&self.tables.redist_by_dst, p_dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> ProfileTables {
+        ProfileTables {
+            task: vec![
+                (Kernel::MatMul { n: 2000 }, vec![100.0, 55.0, 40.0, 30.0]),
+                (Kernel::MatAdd { n: 2000 }, vec![20.0, 11.0, 8.0, 6.0]),
+            ],
+            startup: vec![0.7, 0.75, 0.8, 0.9],
+            redist_by_dst: vec![0.1, 0.12, 0.15, 0.2],
+        }
+    }
+
+    #[test]
+    fn lookups_hit_the_table() {
+        let m = ProfileModel::new(tables()).unwrap();
+        assert_eq!(m.task_time(Kernel::MatMul { n: 2000 }, 1), 100.0);
+        assert_eq!(m.task_time(Kernel::MatMul { n: 2000 }, 3), 40.0);
+        assert_eq!(m.task_time(Kernel::MatAdd { n: 2000 }, 4), 6.0);
+        assert_eq!(m.startup_overhead(2), 0.75);
+        assert_eq!(m.redist_overhead(99, 3), 0.15);
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let m = ProfileModel::new(tables()).unwrap();
+        assert_eq!(m.task_time(Kernel::MatMul { n: 2000 }, 99), 30.0);
+        assert_eq!(m.startup_overhead(0), 0.7);
+        assert_eq!(m.redist_overhead(1, 99), 0.2);
+    }
+
+    #[test]
+    fn unknown_kernel_errors() {
+        let m = ProfileModel::new(tables()).unwrap();
+        let err = m
+            .try_task_time(Kernel::MatMul { n: 3000 }, 1)
+            .unwrap_err();
+        assert_eq!(err, ProfileError::UnknownKernel(Kernel::MatMul { n: 3000 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no profile for kernel")]
+    fn trait_lookup_panics_on_unknown_kernel() {
+        let m = ProfileModel::new(tables()).unwrap();
+        m.task_time(Kernel::MatMul { n: 3000 }, 1);
+    }
+
+    #[test]
+    fn empty_tables_are_rejected() {
+        let mut t = tables();
+        t.startup.clear();
+        assert!(ProfileModel::new(t).is_err());
+        let mut t = tables();
+        t.task.clear();
+        assert!(ProfileModel::new(t).is_err());
+        let mut t = tables();
+        t.redist_by_dst.clear();
+        assert!(ProfileModel::new(t).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = tables();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ProfileTables = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn name_and_fixed_duration_semantics() {
+        let m = ProfileModel::new(tables()).unwrap();
+        assert_eq!(m.name(), "profile");
+        assert!(!m.simulate_task_analytically());
+    }
+}

@@ -1,0 +1,102 @@
+//! The performance-model interface shared by schedulers and simulators.
+//!
+//! Each of the paper's three simulator versions is the same simulation
+//! engine wired to a different *performance model*:
+//!
+//! | version   | task time            | startup | redistribution overhead |
+//! |-----------|----------------------|---------|--------------------------|
+//! | analytic  | flop counts via L07  | none    | none                     |
+//! | profile   | measured lookup      | table   | table (by `p_dst`)       |
+//! | empirical | regression curves    | `a·p+b` | `a·p_dst+b`              |
+//!
+//! Schedulers consult the same model for their `T(t, p)` estimates, so a
+//! simulator version computes schedules *and* makespans under one coherent
+//! world-view — matching the paper's methodology where each refined
+//! simulator re-runs the scheduling algorithms.
+
+use mps_kernels::Kernel;
+
+/// A model of task execution times and environment overheads.
+pub trait PerfModel {
+    /// Short name for reports (`analytic`, `profile`, `empirical`).
+    fn name(&self) -> &'static str;
+
+    /// Predicted wall-clock execution time (seconds) of `kernel` on `p`
+    /// processors, **excluding** the task startup overhead.
+    fn task_time(&self, kernel: Kernel, p: usize) -> f64;
+
+    /// Task startup overhead (seconds) for an allocation of `p` processors
+    /// (JVM spawning via SSH in the paper's TGrid environment). Zero for
+    /// the analytic model — that is one of its identified flaws (§V-C b).
+    fn startup_overhead(&self, _p: usize) -> f64 {
+        0.0
+    }
+
+    /// Data-redistribution protocol overhead (seconds) for a transfer from
+    /// a `p_src`-processor task to a `p_dst`-processor task (subnet-manager
+    /// registration in TGrid). Zero for the analytic model (§V-C c).
+    fn redist_overhead(&self, _p_src: usize, _p_dst: usize) -> f64 {
+        0.0
+    }
+
+    /// When true, the simulator should simulate the task's internals
+    /// analytically (flop vector + communication matrix through the L07
+    /// engine) rather than treating [`PerfModel::task_time`] as a fixed
+    /// occupation duration. Only the analytic model returns true: profiles
+    /// already embody the internal communication of the measured runs.
+    fn simulate_task_analytically(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket impl so `&M` and boxed models work wherever a model is expected.
+impl<M: PerfModel + ?Sized> PerfModel for &M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn task_time(&self, kernel: Kernel, p: usize) -> f64 {
+        (**self).task_time(kernel, p)
+    }
+    fn startup_overhead(&self, p: usize) -> f64 {
+        (**self).startup_overhead(p)
+    }
+    fn redist_overhead(&self, p_src: usize, p_dst: usize) -> f64 {
+        (**self).redist_overhead(p_src, p_dst)
+    }
+    fn simulate_task_analytically(&self) -> bool {
+        (**self).simulate_task_analytically()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl PerfModel for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn task_time(&self, _k: Kernel, p: usize) -> f64 {
+            10.0 / p as f64
+        }
+    }
+
+    #[test]
+    fn defaults_are_zero_overhead_fixed_duration() {
+        let m = Fixed;
+        assert_eq!(m.startup_overhead(8), 0.0);
+        assert_eq!(m.redist_overhead(4, 8), 0.0);
+        assert!(!m.simulate_task_analytically());
+    }
+
+    #[test]
+    fn reference_blanket_impl() {
+        fn takes_model(m: impl PerfModel) -> f64 {
+            m.task_time(Kernel::MatMul { n: 100 }, 2)
+        }
+        let m = Fixed;
+        assert_eq!(takes_model(&m), 5.0);
+        assert_eq!(m.name(), "fixed");
+    }
+}

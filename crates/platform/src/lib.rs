@@ -1,0 +1,79 @@
+//! # mps-platform — cluster platform model
+//!
+//! Platform descriptions for the `mps` workspace: homogeneous clusters with
+//! a star (hub-and-spoke) interconnect, as used by the paper's case study
+//! (32 × AMD Opteron nodes behind a Gigabit Ethernet switch at the
+//! University of Bayreuth).
+//!
+//! A platform here is *data*: hosts with flop rates, links with bandwidth
+//! and latency, and a routing function. Simulation happens in
+//! [`mps-l07`](../mps_l07/index.html), which maps these links and CPUs onto
+//! shared resources of the DES engine.
+//!
+//! ```
+//! use mps_platform::{Cluster, HostId};
+//!
+//! let cluster = Cluster::bayreuth();
+//! assert_eq!(cluster.node_count(), 32);
+//! // 32 MB (a 2000×2000 double matrix) across the switch:
+//! let t = cluster.p2p_transfer_time(HostId(0), HostId(1), 32.0e6);
+//! assert!(t > 0.25 && t < 0.26);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod units;
+
+pub use cluster::{Cluster, ClusterSpec, HostId, LinkId, LinkProps, PlatformError};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every cross-host route has exactly three links and is symmetric in
+        /// shape (up, backbone, down).
+        #[test]
+        fn routes_are_well_formed(
+            nodes in 1usize..64,
+            src in 0usize..64,
+            dst in 0usize..64,
+        ) {
+            let mut spec = ClusterSpec::bayreuth();
+            spec.nodes = nodes;
+            let c = spec.build().unwrap();
+            let src = HostId(src % nodes);
+            let dst = HostId(dst % nodes);
+            let route = c.route(src, dst);
+            if src == dst {
+                prop_assert!(route.is_empty());
+            } else {
+                prop_assert_eq!(route.len(), 3);
+                prop_assert_eq!(route[0], LinkId::Up(src.index()));
+                prop_assert_eq!(route[1], LinkId::Backbone);
+                prop_assert_eq!(route[2], LinkId::Down(dst.index()));
+            }
+        }
+
+        /// Transfer time is monotone in message size and bounded below by the
+        /// route latency.
+        #[test]
+        fn transfer_time_monotone(
+            bytes_a in 0.0f64..1e9,
+            bytes_b in 0.0f64..1e9,
+        ) {
+            let c = Cluster::bayreuth();
+            let (small, big) = if bytes_a <= bytes_b {
+                (bytes_a, bytes_b)
+            } else {
+                (bytes_b, bytes_a)
+            };
+            let t_small = c.p2p_transfer_time(HostId(0), HostId(1), small);
+            let t_big = c.p2p_transfer_time(HostId(0), HostId(1), big);
+            prop_assert!(t_small <= t_big);
+            prop_assert!(t_small >= c.route_latency(HostId(0), HostId(1)) - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Basis functions for one-regressor affine models `y = a·f(p) + b`.
+
+/// The regressor transform `f(p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Basis {
+    /// `f(p) = 1/p` — hyperbolic speedup model (Table II: additions,
+    /// multiplication at `n = 3000`, small `p`).
+    Recip,
+    /// `f(p) = 1/(2p)` — the paper's parameterization for multiplication at
+    /// `n = 2000`. Equivalent to [`Basis::Recip`] with `a` doubled; kept so
+    /// Table II prints in the paper's exact form.
+    RecipHalf,
+    /// `f(p) = p` — linear overhead model (large `p`, startup and
+    /// redistribution overheads).
+    Identity,
+}
+
+impl Basis {
+    /// Evaluates `f(p)`.
+    pub fn eval(self, p: f64) -> f64 {
+        match self {
+            Basis::Recip => 1.0 / p,
+            Basis::RecipHalf => 1.0 / (2.0 * p),
+            Basis::Identity => p,
+        }
+    }
+
+    /// Human-readable formula with placeholders, e.g. `a·1/p + b`.
+    pub fn formula(self) -> &'static str {
+        match self {
+            Basis::Recip => "a·1/p + b",
+            Basis::RecipHalf => "a·1/(2p) + b",
+            Basis::Identity => "a·p + b",
+        }
+    }
+}
+
+impl std::fmt::Display for Basis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.formula())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluations() {
+        assert_eq!(Basis::Recip.eval(4.0), 0.25);
+        assert_eq!(Basis::RecipHalf.eval(4.0), 0.125);
+        assert_eq!(Basis::Identity.eval(4.0), 4.0);
+    }
+
+    #[test]
+    fn recip_half_is_half_of_recip() {
+        for p in [1.0, 2.0, 7.5, 32.0] {
+            assert!((Basis::RecipHalf.eval(p) - Basis::Recip.eval(p) / 2.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn formulas() {
+        assert_eq!(Basis::Recip.to_string(), "a·1/p + b");
+        assert_eq!(Basis::Identity.to_string(), "a·p + b");
+    }
+}

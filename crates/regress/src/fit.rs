@@ -1,0 +1,238 @@
+//! Closed-form least-squares fitting for `y = a·f(p) + b`.
+
+use crate::basis::Basis;
+
+/// Errors from fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two samples, or mismatched input lengths.
+    NotEnoughData,
+    /// All transformed regressor values are identical — `a` is unidentifiable.
+    DegenerateRegressor,
+    /// A sample value was NaN or infinite.
+    NonFiniteSample,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughData => write!(f, "need at least two (p, y) samples"),
+            FitError::DegenerateRegressor => {
+                write!(f, "regressor values are constant; slope unidentifiable")
+            }
+            FitError::NonFiniteSample => write!(f, "samples must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted affine model `y = a·f(p) + b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineModel {
+    /// Basis function.
+    pub basis: Basis,
+    /// Slope coefficient.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl AffineModel {
+    /// Constructs a model from known coefficients (e.g. Table II).
+    pub fn from_coefficients(basis: Basis, a: f64, b: f64) -> Self {
+        AffineModel { basis, a, b }
+    }
+
+    /// Predicted value at processor count `p`.
+    pub fn predict(&self, p: f64) -> f64 {
+        self.a * self.basis.eval(p) + self.b
+    }
+
+    /// Fit statistics against a data set.
+    pub fn stats(&self, ps: &[f64], ys: &[f64]) -> FitStats {
+        assert_eq!(ps.len(), ys.len());
+        let n = ys.len() as f64;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        let mut max_abs = 0.0_f64;
+        for (&p, &y) in ps.iter().zip(ys) {
+            let r = y - self.predict(p);
+            ss_res += r * r;
+            ss_tot += (y - mean_y) * (y - mean_y);
+            max_abs = max_abs.max(r.abs());
+        }
+        FitStats {
+            r2: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 },
+            rmse: (ss_res / n).sqrt(),
+            max_abs_residual: max_abs,
+        }
+    }
+
+    /// Residuals `y_i − ŷ_i`.
+    pub fn residuals(&self, ps: &[f64], ys: &[f64]) -> Vec<f64> {
+        ps.iter()
+            .zip(ys)
+            .map(|(&p, &y)| y - self.predict(p))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for AffineModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} with (a, b) = ({:.4}, {:.4})",
+            self.basis.formula(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// Goodness-of-fit summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitStats {
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Largest absolute residual.
+    pub max_abs_residual: f64,
+}
+
+/// Least-squares fit of `y = a·f(p) + b` over `(ps, ys)` samples.
+pub fn fit_affine(basis: Basis, ps: &[f64], ys: &[f64]) -> Result<AffineModel, FitError> {
+    if ps.len() != ys.len() || ps.len() < 2 {
+        return Err(FitError::NotEnoughData);
+    }
+    if ps.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteSample);
+    }
+    let xs: Vec<f64> = ps.iter().map(|&p| basis.eval(p)).collect();
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(FitError::NonFiniteSample);
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx <= 0.0 {
+        return Err(FitError::DegenerateRegressor);
+    }
+    let a = sxy / sxx;
+    let b = mean_y - a * mean_x;
+    Ok(AffineModel { basis, a, b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_data_exactly() {
+        let ps = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0]; // y = 2p + 1
+        let m = fit_affine(Basis::Identity, &ps, &ys).unwrap();
+        assert!((m.a - 2.0).abs() < 1e-12);
+        assert!((m.b - 1.0).abs() < 1e-12);
+        assert!((m.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_hyperbolic_data_exactly() {
+        let ps = [1.0, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = ps.iter().map(|&p| 100.0 / p + 3.0).collect();
+        let m = fit_affine(Basis::Recip, &ps, &ys).unwrap();
+        assert!((m.a - 100.0).abs() < 1e-9);
+        assert!((m.b - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recip_half_doubles_the_slope() {
+        let ps = [1.0, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = ps.iter().map(|&p| 100.0 / p + 3.0).collect();
+        let m = fit_affine(Basis::RecipHalf, &ps, &ys).unwrap();
+        assert!((m.a - 200.0).abs() < 1e-9);
+        assert!((m.b - 3.0).abs() < 1e-9);
+        // Predictions are identical to the Recip fit.
+        assert!((m.predict(16.0) - (100.0 / 16.0 + 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_minimizes_squares() {
+        // Perturb two points symmetrically: the fit should pass between.
+        let ps = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.5, 4.5, 7.5, 8.5]; // around y = 2p + 1
+        let m = fit_affine(Basis::Identity, &ps, &ys).unwrap();
+        let stats = m.stats(&ps, &ys);
+        assert!(stats.r2 > 0.9);
+        assert!(stats.rmse > 0.0);
+        // Any slope/intercept tweak increases squared error.
+        let base: f64 = m
+            .residuals(&ps, &ys)
+            .iter()
+            .map(|r| r * r)
+            .sum();
+        for (da, db) in [(0.01, 0.0), (-0.01, 0.0), (0.0, 0.01), (0.0, -0.01)] {
+            let alt = AffineModel::from_coefficients(Basis::Identity, m.a + da, m.b + db);
+            let alt_err: f64 = alt.residuals(&ps, &ys).iter().map(|r| r * r).sum();
+            assert!(alt_err >= base);
+        }
+    }
+
+    #[test]
+    fn too_few_samples_error() {
+        assert_eq!(
+            fit_affine(Basis::Recip, &[1.0], &[1.0]).unwrap_err(),
+            FitError::NotEnoughData
+        );
+        assert_eq!(
+            fit_affine(Basis::Recip, &[1.0, 2.0], &[1.0]).unwrap_err(),
+            FitError::NotEnoughData
+        );
+    }
+
+    #[test]
+    fn degenerate_regressor_error() {
+        assert_eq!(
+            fit_affine(Basis::Identity, &[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            FitError::DegenerateRegressor
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_error() {
+        assert_eq!(
+            fit_affine(Basis::Identity, &[1.0, f64::NAN], &[1.0, 2.0]).unwrap_err(),
+            FitError::NonFiniteSample
+        );
+        // 1/0 is infinite after the basis transform.
+        assert_eq!(
+            fit_affine(Basis::Recip, &[0.0, 2.0], &[1.0, 2.0]).unwrap_err(),
+            FitError::NonFiniteSample
+        );
+    }
+
+    #[test]
+    fn table_ii_startup_model_predictions() {
+        // Table II: task startup time = a·p + b with (a, b) = (0.03, 0.65).
+        let m = AffineModel::from_coefficients(Basis::Identity, 0.03, 0.65);
+        assert!((m.predict(1.0) - 0.68).abs() < 1e-12);
+        assert!((m.predict(32.0) - 1.61).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_coefficients() {
+        let m = AffineModel::from_coefficients(Basis::Recip, 537.91, -25.55);
+        let s = m.to_string();
+        assert!(s.contains("a·1/p + b"));
+        assert!(s.contains("537.9"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # mps-regress — regression models for empirical performance modelling
+//!
+//! The paper's third simulator replaces brute-force profiles with *empirical
+//! models*: two-parameter regressions of task execution time against the
+//! processor count (§VII, Table II):
+//!
+//! * `a · 1/p + b` (hyperbolic — parallel work plus fixed overhead) for
+//!   small allocations, where the paper also uses the equivalent
+//!   `a · 1/(2p) + b` parameterization for `n = 2000`;
+//! * `a · p + b` (linear — overhead-dominated) for large allocations;
+//! * a **piecewise** combination split at `p = 16`;
+//! * plain `a · p + b` fits for the startup and redistribution overheads.
+//!
+//! This crate provides closed-form least-squares fitting for any model of
+//! the form `y = a·f(p) + b`, the piecewise composition, fit-quality
+//! statistics, and outlier detection (the paper side-steps its outliers at
+//! `p = 8, 16` by substituting the sample points 7 and 15; we provide both
+//! that workaround and an automatic studentized-residual detector).
+
+#![warn(missing_docs)]
+
+pub mod basis;
+pub mod fit;
+pub mod outlier;
+pub mod piecewise;
+pub mod validate;
+
+pub use basis::Basis;
+pub use fit::{fit_affine, AffineModel, FitError, FitStats};
+pub use outlier::{detect_outliers, fit_robust, RobustFit};
+pub use piecewise::PiecewiseModel;
+pub use validate::{loo_cv, LooCv};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fitting noise-free data generated from an affine model recovers
+        /// the coefficients (for any basis).
+        #[test]
+        fn exact_recovery(
+            a in -100.0f64..100.0,
+            b in -100.0f64..100.0,
+            basis in prop::sample::select(vec![Basis::Recip, Basis::RecipHalf, Basis::Identity]),
+        ) {
+            let ps: Vec<f64> = vec![1.0, 2.0, 4.0, 7.0, 15.0, 24.0, 31.0];
+            let ys: Vec<f64> = ps.iter().map(|&p| a * basis.eval(p) + b).collect();
+            let m = fit_affine(basis, &ps, &ys).unwrap();
+            prop_assert!((m.a - a).abs() < 1e-6 * (1.0 + a.abs()));
+            prop_assert!((m.b - b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+
+        /// R² of a perfect fit is 1 (when the data is not constant).
+        #[test]
+        fn r2_of_perfect_fit(
+            a in 0.1f64..100.0,
+            b in -10.0f64..10.0,
+        ) {
+            let ps: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0];
+            let ys: Vec<f64> = ps.iter().map(|&p| a / p + b).collect();
+            let m = fit_affine(Basis::Recip, &ps, &ys).unwrap();
+            let stats = m.stats(&ps, &ys);
+            prop_assert!(stats.r2 > 1.0 - 1e-9);
+            prop_assert!(stats.rmse < 1e-6);
+        }
+
+        /// Residuals of a least-squares fit sum to ~zero.
+        #[test]
+        fn residuals_sum_to_zero(
+            ys in proptest::collection::vec(0.1f64..1000.0, 3..12),
+        ) {
+            let ps: Vec<f64> = (1..=ys.len()).map(|i| i as f64).collect();
+            let m = fit_affine(Basis::Identity, &ps, &ys).unwrap();
+            let sum: f64 = ps
+                .iter()
+                .zip(&ys)
+                .map(|(&p, &y)| y - m.predict(p))
+                .sum();
+            prop_assert!(sum.abs() < 1e-6 * ys.iter().sum::<f64>().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's piecewise execution-time model (§VII-A).
+//!
+//! "A single regression model does not suffice because overhead starts
+//! dominating task execution times when p ≥ 16. Consequently, we use two
+//! models: a non-linear `a·1/p + b` model for `p ≤ 16`, and a linear
+//! `a·p + b` model for `p > 16`."
+
+use crate::basis::Basis;
+use crate::fit::{fit_affine, AffineModel, FitError};
+
+/// A two-regime model split at a processor count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiecewiseModel {
+    /// Model used for `p ≤ split`.
+    pub low: AffineModel,
+    /// Model used for `p > split`.
+    pub high: AffineModel,
+    /// Split point (the paper uses 16).
+    pub split: f64,
+}
+
+impl PiecewiseModel {
+    /// The paper's split point.
+    pub const PAPER_SPLIT: f64 = 16.0;
+
+    /// Builds from two fitted models.
+    pub fn new(low: AffineModel, high: AffineModel, split: f64) -> Self {
+        PiecewiseModel { low, high, split }
+    }
+
+    /// Fits the paper's piecewise model: `low_basis` over the samples with
+    /// `p ≤ split`, `Identity` (linear) over the samples with `p > split`.
+    ///
+    /// `low_points` and `high_points` are the `(p, y)` sample sets used for
+    /// the two regimes — the paper deliberately overlaps them (`p = 15`
+    /// appears in both sets in Table II).
+    pub fn fit(
+        low_basis: Basis,
+        low_points: &[(f64, f64)],
+        high_points: &[(f64, f64)],
+        split: f64,
+    ) -> Result<Self, FitError> {
+        let (lp, ly): (Vec<f64>, Vec<f64>) = low_points.iter().copied().unzip();
+        let (hp, hy): (Vec<f64>, Vec<f64>) = high_points.iter().copied().unzip();
+        Ok(PiecewiseModel {
+            low: fit_affine(low_basis, &lp, &ly)?,
+            high: fit_affine(Basis::Identity, &hp, &hy)?,
+            split,
+        })
+    }
+
+    /// Predicted value at `p`.
+    pub fn predict(&self, p: f64) -> f64 {
+        if p <= self.split {
+            self.low.predict(p)
+        } else {
+            self.high.predict(p)
+        }
+    }
+}
+
+impl std::fmt::Display for PiecewiseModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p ≤ {}: {}; p > {}: {}",
+            self.split, self.low, self.split, self.high
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_ii_mm_2000() -> PiecewiseModel {
+        // Table II, multiplication n = 2000:
+        // a·1/(2p)+b for p ≤ 16, c·p+d for p > 16,
+        // (a, b, c, d) = (239.44, 3.43, 0.08, 1.93).
+        PiecewiseModel::new(
+            AffineModel::from_coefficients(Basis::RecipHalf, 239.44, 3.43),
+            AffineModel::from_coefficients(Basis::Identity, 0.08, 1.93),
+            PiecewiseModel::PAPER_SPLIT,
+        )
+    }
+
+    #[test]
+    fn regime_selection() {
+        let m = table_ii_mm_2000();
+        // p = 2 → 239.44/4 + 3.43 ≈ 63.29 s.
+        assert!((m.predict(2.0) - (239.44 / 4.0 + 3.43)).abs() < 1e-9);
+        // p = 16 is in the low regime (p ≤ 16).
+        assert!((m.predict(16.0) - (239.44 / 32.0 + 3.43)).abs() < 1e-9);
+        // p = 24 → 0.08·24 + 1.93 = 3.85 s.
+        assert!((m.predict(24.0) - 3.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_both_regimes() {
+        // Low: y = 120/p + 2; high: y = 0.5p + 1.
+        let low: Vec<(f64, f64)> = [2.0, 4.0, 7.0, 15.0]
+            .iter()
+            .map(|&p| (p, 120.0 / p + 2.0))
+            .collect();
+        let high: Vec<(f64, f64)> = [15.0, 24.0, 31.0]
+            .iter()
+            .map(|&p| (p, 0.5 * p + 1.0))
+            .collect();
+        let m = PiecewiseModel::fit(Basis::Recip, &low, &high, 16.0).unwrap();
+        assert!((m.low.a - 120.0).abs() < 1e-9);
+        assert!((m.high.a - 0.5).abs() < 1e-9);
+        assert!((m.predict(8.0) - 17.0).abs() < 1e-9);
+        assert!((m.predict(20.0) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_sample_points_overlap_at_15() {
+        // The Table II point sets p = {2,4,7,15} and p = {15,24,31} overlap;
+        // the fit API accepts that without complaint.
+        let low: Vec<(f64, f64)> = [2.0, 4.0, 7.0, 15.0]
+            .iter()
+            .map(|&p| (p, 100.0 / p))
+            .collect();
+        let high: Vec<(f64, f64)> = [15.0, 24.0, 31.0]
+            .iter()
+            .map(|&p| (p, 0.1 * p + 5.0))
+            .collect();
+        assert!(PiecewiseModel::fit(Basis::Recip, &low, &high, 16.0).is_ok());
+    }
+
+    #[test]
+    fn display_mentions_both_regimes() {
+        let s = table_ii_mm_2000().to_string();
+        assert!(s.contains("p ≤ 16"));
+        assert!(s.contains("p > 16"));
+    }
+
+    #[test]
+    fn fit_errors_propagate() {
+        let err = PiecewiseModel::fit(Basis::Recip, &[(1.0, 1.0)], &[(2.0, 2.0)], 16.0);
+        assert!(err.is_err());
+    }
+}

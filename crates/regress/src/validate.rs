@@ -1,0 +1,118 @@
+//! Fit validation: leave-one-out cross-validation for sparse performance
+//! models.
+//!
+//! §VII notes that "for larger clusters one would likely need to perform
+//! more measurements in order to derive a robust model" (citing its ref. 16's
+//! 15–20 samples). LOO-CV quantifies exactly that: how well does the model
+//! predict a *held-out* measurement? It is the honest error estimate for
+//! sparse fits, where in-sample RMSE is overly optimistic.
+
+use crate::basis::Basis;
+use crate::fit::{fit_affine, FitError};
+
+/// Leave-one-out cross-validation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LooCv {
+    /// Per-sample held-out absolute prediction errors.
+    pub abs_errors: Vec<f64>,
+    /// Root of the mean squared held-out error.
+    pub rmse: f64,
+    /// Mean absolute relative held-out error (errors normalized by the
+    /// held-out value).
+    pub mean_rel_error: f64,
+}
+
+/// Runs LOO-CV for an affine model `y = a·f(p) + b` over `(ps, ys)`.
+///
+/// Needs at least three samples (two to fit, one to hold out).
+pub fn loo_cv(basis: Basis, ps: &[f64], ys: &[f64]) -> Result<LooCv, FitError> {
+    if ps.len() != ys.len() || ps.len() < 3 {
+        return Err(FitError::NotEnoughData);
+    }
+    let n = ps.len();
+    let mut abs_errors = Vec::with_capacity(n);
+    let mut sq_sum = 0.0;
+    let mut rel_sum = 0.0;
+    for hold in 0..n {
+        let (tp, ty): (Vec<f64>, Vec<f64>) = (0..n)
+            .filter(|&i| i != hold)
+            .map(|i| (ps[i], ys[i]))
+            .unzip();
+        let model = fit_affine(basis, &tp, &ty)?;
+        let err = (model.predict(ps[hold]) - ys[hold]).abs();
+        abs_errors.push(err);
+        sq_sum += err * err;
+        rel_sum += if ys[hold] != 0.0 {
+            err / ys[hold].abs()
+        } else {
+            0.0
+        };
+    }
+    Ok(LooCv {
+        rmse: (sq_sum / n as f64).sqrt(),
+        mean_rel_error: rel_sum / n as f64,
+        abs_errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_data_has_zero_cv_error() {
+        let ps = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = ps.iter().map(|&p| 100.0 / p + 2.0).collect();
+        let cv = loo_cv(Basis::Recip, &ps, &ys).unwrap();
+        assert!(cv.rmse < 1e-9);
+        assert!(cv.mean_rel_error < 1e-12);
+        assert_eq!(cv.abs_errors.len(), 5);
+    }
+
+    #[test]
+    fn outlier_dominates_cv_error() {
+        let ps = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mut ys: Vec<f64> = ps.iter().map(|&p| 100.0 / p + 2.0).collect();
+        ys[3] *= 1.5; // outlier at p = 8
+        let cv = loo_cv(Basis::Recip, &ps, &ys).unwrap();
+        let worst = cv
+            .abs_errors
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(worst, 3, "held-out error peaks at the outlier");
+        assert!(cv.mean_rel_error > 0.01);
+    }
+
+    #[test]
+    fn cv_error_shrinks_with_more_samples() {
+        // Same noisy generator, 4 vs 12 samples: more data → better
+        // held-out predictions (the paper's [16] observation).
+        let noisy = |p: f64, i: u64| {
+            let jitter = 1.0 + 0.08 * (((i * 2654435761) % 100) as f64 / 100.0 - 0.5);
+            (200.0 / p + 5.0) * jitter
+        };
+        let few: Vec<(f64, f64)> = (1..=4).map(|i| (i as f64 * 4.0, noisy(i as f64 * 4.0, i))).collect();
+        let many: Vec<(f64, f64)> = (1..=12).map(|i| (i as f64 * 2.0, noisy(i as f64 * 2.0, i))).collect();
+        let (fp, fy): (Vec<f64>, Vec<f64>) = few.into_iter().unzip();
+        let (mp, my): (Vec<f64>, Vec<f64>) = many.into_iter().unzip();
+        let cv_few = loo_cv(Basis::Recip, &fp, &fy).unwrap();
+        let cv_many = loo_cv(Basis::Recip, &mp, &my).unwrap();
+        assert!(
+            cv_many.mean_rel_error <= cv_few.mean_rel_error * 1.5,
+            "few {} vs many {}",
+            cv_few.mean_rel_error,
+            cv_many.mean_rel_error
+        );
+    }
+
+    #[test]
+    fn too_few_samples_error() {
+        assert_eq!(
+            loo_cv(Basis::Recip, &[1.0, 2.0], &[1.0, 2.0]).unwrap_err(),
+            FitError::NotEnoughData
+        );
+    }
+}

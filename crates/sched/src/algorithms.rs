@@ -1,0 +1,216 @@
+//! The complete two-step schedulers: CPA, HCPA, MCPA.
+//!
+//! Each algorithm = an allocation configuration + the shared mapping phase,
+//! driven by a [`PerfModel`] for its `τ(t, p)` estimates (task time plus
+//! the model's startup overhead, so refined models refine the schedules —
+//! the paper re-runs the algorithms inside each simulator version).
+
+use mps_dag::{Dag, TaskId};
+use mps_model::PerfModel;
+use mps_platform::Cluster;
+
+use crate::allocation::{allocate, AllocationConfig, LevelBudget, SelectionRule, StopRule};
+use crate::mapping::{default_redist_estimate, map_tasks, MappingCosts};
+use crate::schedule::Schedule;
+
+/// A two-phase mixed-parallel scheduler.
+pub trait Scheduler {
+    /// Algorithm name (`CPA`, `HCPA`, `MCPA`).
+    fn name(&self) -> &'static str;
+
+    /// Allocation configuration for the cluster.
+    fn allocation_config(&self, cluster: &Cluster) -> AllocationConfig;
+
+    /// Computes a full schedule for `dag` on `cluster` under `model`.
+    fn schedule(&self, dag: &Dag, cluster: &Cluster, model: &dyn PerfModel) -> Schedule {
+        let config = self.allocation_config(cluster);
+        let tau = |t: TaskId, p: usize| {
+            let kernel = dag.task(t).kernel;
+            model.task_time(kernel, p) + model.startup_overhead(p)
+        };
+        let allocations = allocate(dag, cluster.node_count(), &config, tau);
+
+        let exec: Vec<f64> = dag
+            .task_ids()
+            .map(|t| tau(t, allocations[t.index()]))
+            .collect();
+        let redist = |pred: TaskId, succ: TaskId| {
+            let p_src = allocations[pred.index()];
+            let p_dst = allocations[succ.index()];
+            let bytes = dag.task(pred).kernel.matrix_bytes();
+            default_redist_estimate(cluster, bytes, model.redist_overhead(p_src, p_dst))
+        };
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &redist,
+        };
+        map_tasks(dag, cluster, &allocations, &costs, self.name())
+    }
+}
+
+/// Radulescu & van Gemund's original CPA.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cpa;
+
+impl Scheduler for Cpa {
+    fn name(&self) -> &'static str {
+        "CPA"
+    }
+    fn allocation_config(&self, cluster: &Cluster) -> AllocationConfig {
+        AllocationConfig {
+            rule: SelectionRule::AbsoluteGain,
+            budget: LevelBudget::Unbounded,
+            stop: StopRule::GlobalArea,
+            max_procs: cluster.node_count(),
+        }
+    }
+}
+
+/// Heterogeneous CPA (N'takpé, Suter, Casanova) — on a homogeneous cluster
+/// its distinguishing feature is the efficiency-aware selection rule that
+/// damps CPA's over-allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hcpa;
+
+impl Scheduler for Hcpa {
+    fn name(&self) -> &'static str {
+        "HCPA"
+    }
+    fn allocation_config(&self, cluster: &Cluster) -> AllocationConfig {
+        AllocationConfig {
+            rule: SelectionRule::GainPerProcessor,
+            budget: LevelBudget::Unbounded,
+            stop: StopRule::GlobalArea,
+            max_procs: cluster.node_count(),
+        }
+    }
+}
+
+/// Modified CPA (Bansal, Kumar, Singh) — per-precedence-level allocation
+/// budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mcpa;
+
+impl Scheduler for Mcpa {
+    fn name(&self) -> &'static str {
+        "MCPA"
+    }
+    fn allocation_config(&self, cluster: &Cluster) -> AllocationConfig {
+        AllocationConfig {
+            rule: SelectionRule::AbsoluteGain,
+            budget: LevelBudget::BoundedByCluster,
+            stop: StopRule::PerLevelArea,
+            max_procs: cluster.node_count(),
+        }
+    }
+}
+
+/// The two algorithms compared throughout the paper's evaluation.
+pub fn paper_algorithms() -> Vec<Box<dyn Scheduler>> {
+    vec![Box::new(Hcpa), Box::new(Mcpa)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_dag::gen::{paper_corpus, PAPER_CORPUS_SEED};
+    use mps_model::{AnalyticModel, EmpiricalModel};
+
+    #[test]
+    fn all_algorithms_produce_valid_schedules_on_the_corpus() {
+        let cluster = Cluster::bayreuth();
+        let model = AnalyticModel::paper_jvm();
+        let algos: Vec<Box<dyn Scheduler>> =
+            vec![Box::new(Cpa), Box::new(Hcpa), Box::new(Mcpa)];
+        for g in paper_corpus(PAPER_CORPUS_SEED).iter().take(12) {
+            for algo in &algos {
+                let s = algo.schedule(&g.dag, &cluster, &model);
+                s.validate(&g.dag, &cluster)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.name(), g.name()));
+                assert!(s.est_makespan > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hcpa_and_mcpa_differ_somewhere_on_the_corpus() {
+        let cluster = Cluster::bayreuth();
+        let model = AnalyticModel::paper_jvm();
+        let mut differ = 0;
+        for g in paper_corpus(PAPER_CORPUS_SEED) {
+            let h = Hcpa.schedule(&g.dag, &cluster, &model);
+            let m = Mcpa.schedule(&g.dag, &cluster, &model);
+            if h.allocations(&g.dag) != m.allocations(&g.dag)
+                || (h.est_makespan - m.est_makespan).abs() > 1e-9
+            {
+                differ += 1;
+            }
+        }
+        assert!(differ > 10, "only {differ} of 54 DAGs differ");
+    }
+
+    #[test]
+    fn refined_model_changes_schedules() {
+        let cluster = Cluster::bayreuth();
+        let analytic = AnalyticModel::paper_jvm();
+        let empirical = EmpiricalModel::table_ii();
+        let mut changed = 0;
+        for g in paper_corpus(PAPER_CORPUS_SEED).iter().take(18) {
+            let a = Hcpa.schedule(&g.dag, &cluster, &analytic);
+            let e = Hcpa.schedule(&g.dag, &cluster, &empirical);
+            if a.allocations(&g.dag) != e.allocations(&g.dag) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "empirical model should alter some allocations");
+    }
+
+    #[test]
+    fn mcpa_respects_level_budget_on_wide_dags() {
+        let cluster = Cluster::bayreuth();
+        let model = AnalyticModel::paper_jvm();
+        for g in paper_corpus(PAPER_CORPUS_SEED) {
+            let s = Mcpa.schedule(&g.dag, &cluster, &model);
+            let allocations = s.allocations(&g.dag);
+            let levels = g.dag.precedence_levels();
+            let max_level = *levels.iter().max().unwrap();
+            for level in 0..=max_level {
+                let total: usize = g
+                    .dag
+                    .task_ids()
+                    .filter(|t| levels[t.index()] == level)
+                    .map(|t| allocations[t.index()])
+                    .sum();
+                // The budget only constrains growth beyond the initial one
+                // processor per task; a level with more than N tasks starts
+                // over budget by construction.
+                let tasks_in_level = levels.iter().filter(|&&l| l == level).count();
+                assert!(
+                    total <= cluster.node_count().max(tasks_in_level),
+                    "{}: level {level} uses {total}",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_task_dag_schedules_cleanly() {
+        use mps_kernels::Kernel;
+        let dag = Dag::new(vec![Kernel::MatMul { n: 2000 }], &[]).unwrap();
+        let cluster = Cluster::bayreuth();
+        let model = AnalyticModel::paper_jvm();
+        for algo in [&Cpa as &dyn Scheduler, &Hcpa, &Mcpa] {
+            let s = algo.schedule(&dag, &cluster, &model);
+            s.validate(&dag, &cluster).unwrap();
+            assert_eq!(s.tasks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn paper_algorithms_are_hcpa_and_mcpa() {
+        let algos = paper_algorithms();
+        let names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["HCPA", "MCPA"]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Mapping phase: placing allocated tasks on concrete processors.
+//!
+//! Classic bottom-level list scheduling, as in CPA's second step: tasks are
+//! processed in decreasing bottom-level priority (a valid topological
+//! order), and each task takes the `np(t)` hosts that let it finish
+//! earliest — i.e. the hosts that become available soonest. The start time
+//! is the maximum of the hosts' availability and the task's data-ready
+//! time; data readiness includes a redistribution estimate per incoming
+//! edge (protocol overhead from the performance model plus an uncontended
+//! transfer estimate over the cluster backbone).
+
+use mps_dag::{Dag, TaskId};
+use mps_platform::{Cluster, HostId, LinkId};
+
+use crate::schedule::{Schedule, ScheduledTask};
+
+/// Mapping inputs beyond the DAG: per-task durations and overheads, all
+/// precomputed by the caller from the active performance model.
+pub struct MappingCosts<'a> {
+    /// `exec[t]` — execution time of task `t` at its allocation (including
+    /// startup overhead).
+    pub exec: &'a [f64],
+    /// `redist(pred, succ)` — estimated data-ready delay contributed by the
+    /// edge from `pred` (at its allocation) to `succ` (at its allocation).
+    pub redist: &'a dyn Fn(TaskId, TaskId) -> f64,
+}
+
+/// Maps allocated tasks onto hosts; returns the schedule (task order =
+/// non-decreasing start time).
+pub fn map_tasks(
+    dag: &Dag,
+    cluster: &Cluster,
+    allocations: &[usize],
+    costs: &MappingCosts<'_>,
+    algorithm: &str,
+) -> Schedule {
+    assert_eq!(allocations.len(), dag.len());
+    assert_eq!(costs.exec.len(), dag.len());
+    let n_hosts = cluster.node_count();
+
+    // Priority: decreasing bottom level (ties by task id for determinism).
+    let bl = dag.bottom_levels(|t| costs.exec[t.index()]);
+    let mut order: Vec<TaskId> = dag.task_ids().collect();
+    order.sort_by(|a, b| {
+        bl[b.index()]
+            .total_cmp(&bl[a.index()])
+            .then(a.index().cmp(&b.index()))
+    });
+
+    let mut avail = vec![0.0_f64; n_hosts];
+    let mut finish = vec![0.0_f64; dag.len()];
+    let mut scheduled: Vec<ScheduledTask> = Vec::with_capacity(dag.len());
+
+    for t in order {
+        let p = allocations[t.index()].min(n_hosts).max(1);
+
+        // Data-ready time over incoming edges.
+        let mut ready = 0.0_f64;
+        for &pred in dag.predecessors(t) {
+            let arrival = finish[pred.index()] + (costs.redist)(pred, t);
+            ready = ready.max(arrival);
+        }
+
+        // Pick the p hosts with the earliest availability (deterministic
+        // tie-break by host index).
+        let mut host_order: Vec<usize> = (0..n_hosts).collect();
+        host_order.sort_by(|&a, &b| avail[a].total_cmp(&avail[b]).then(a.cmp(&b)));
+        let chosen: Vec<HostId> = host_order[..p].iter().map(|&h| HostId(h)).collect();
+        let host_free = chosen
+            .iter()
+            .map(|h| avail[h.index()])
+            .fold(0.0_f64, f64::max);
+
+        let start = ready.max(host_free);
+        let end = start + costs.exec[t.index()];
+        for h in &chosen {
+            avail[h.index()] = end;
+        }
+        finish[t.index()] = end;
+        scheduled.push(ScheduledTask {
+            task: t,
+            hosts: chosen,
+            est_start: start,
+            est_finish: end,
+        });
+    }
+
+    scheduled.sort_by(|a, b| {
+        a.est_start
+            .total_cmp(&b.est_start)
+            .then(a.task.index().cmp(&b.task.index()))
+    });
+    let est_makespan = scheduled
+        .iter()
+        .map(|s| s.est_finish)
+        .fold(0.0_f64, f64::max);
+    Schedule {
+        algorithm: algorithm.to_string(),
+        tasks: scheduled,
+        est_makespan,
+    }
+}
+
+/// Default redistribution estimate: protocol overhead plus the full output
+/// matrix over the backbone bandwidth (uncontended).
+pub fn default_redist_estimate(
+    cluster: &Cluster,
+    matrix_bytes: f64,
+    overhead: f64,
+) -> f64 {
+    let bw = cluster.link_props(LinkId::Backbone).bandwidth;
+    overhead + matrix_bytes / bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_kernels::Kernel;
+
+    fn dag_fork() -> Dag {
+        // t0 -> {t1, t2} -> t3
+        Dag::new(
+            vec![Kernel::MatMul { n: 100 }; 4],
+            &[
+                (TaskId(0), TaskId(1)),
+                (TaskId(0), TaskId(2)),
+                (TaskId(1), TaskId(3)),
+                (TaskId(2), TaskId(3)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn no_redist() -> impl Fn(TaskId, TaskId) -> f64 {
+        |_, _| 0.0
+    }
+
+    #[test]
+    fn parallel_branches_run_concurrently() {
+        let dag = dag_fork();
+        let cluster = Cluster::bayreuth();
+        let exec = vec![1.0, 2.0, 2.0, 1.0];
+        let r = no_redist();
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &r,
+        };
+        let s = map_tasks(&dag, &cluster, &[1, 1, 1, 1], &costs, "test");
+        s.validate(&dag, &cluster).unwrap();
+        let t1 = s.placement(TaskId(1)).unwrap();
+        let t2 = s.placement(TaskId(2)).unwrap();
+        // Both start right after t0 on different hosts.
+        assert!((t1.est_start - 1.0).abs() < 1e-9);
+        assert!((t2.est_start - 1.0).abs() < 1e-9);
+        assert_ne!(t1.hosts, t2.hosts);
+        assert!((s.est_makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branches_serialize_on_a_one_node_cluster() {
+        let mut spec = mps_platform::ClusterSpec::bayreuth();
+        spec.nodes = 1;
+        let cluster = spec.build().unwrap();
+        let dag = dag_fork();
+        let exec = vec![1.0, 2.0, 2.0, 1.0];
+        let r = no_redist();
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &r,
+        };
+        let s = map_tasks(&dag, &cluster, &[1, 1, 1, 1], &costs, "test");
+        s.validate(&dag, &cluster).unwrap();
+        assert!((s.est_makespan - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redistribution_delays_start() {
+        let dag = dag_fork();
+        let cluster = Cluster::bayreuth();
+        let exec = vec![1.0, 1.0, 1.0, 1.0];
+        let r = |_p: TaskId, _t: TaskId| 0.5;
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &r,
+        };
+        let s = map_tasks(&dag, &cluster, &[1, 1, 1, 1], &costs, "test");
+        let t1 = s.placement(TaskId(1)).unwrap();
+        assert!((t1.est_start - 1.5).abs() < 1e-9);
+        // t3 waits for both branches plus its own redistribution.
+        let t3 = s.placement(TaskId(3)).unwrap();
+        assert!((t3.est_start - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiprocessor_tasks_claim_multiple_hosts() {
+        let dag = Dag::new(vec![Kernel::MatMul { n: 100 }], &[]).unwrap();
+        let cluster = Cluster::bayreuth();
+        let exec = vec![4.0];
+        let r = no_redist();
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &r,
+        };
+        let s = map_tasks(&dag, &cluster, &[8], &costs, "test");
+        s.validate(&dag, &cluster).unwrap();
+        assert_eq!(s.placement(TaskId(0)).unwrap().p(), 8);
+    }
+
+    #[test]
+    fn allocation_larger_than_cluster_is_clamped() {
+        let mut spec = mps_platform::ClusterSpec::bayreuth();
+        spec.nodes = 4;
+        let cluster = spec.build().unwrap();
+        let dag = Dag::new(vec![Kernel::MatMul { n: 100 }], &[]).unwrap();
+        let exec = vec![1.0];
+        let r = no_redist();
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &r,
+        };
+        let s = map_tasks(&dag, &cluster, &[32], &costs, "test");
+        s.validate(&dag, &cluster).unwrap();
+        assert_eq!(s.placement(TaskId(0)).unwrap().p(), 4);
+    }
+
+    #[test]
+    fn schedule_order_is_by_start_time() {
+        let dag = dag_fork();
+        let cluster = Cluster::bayreuth();
+        let exec = vec![1.0, 5.0, 1.0, 1.0];
+        let r = no_redist();
+        let costs = MappingCosts {
+            exec: &exec,
+            redist: &r,
+        };
+        let s = map_tasks(&dag, &cluster, &[2, 2, 2, 2], &costs, "test");
+        for w in s.tasks.windows(2) {
+            assert!(w[0].est_start <= w[1].est_start + 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_redist_estimate_includes_overhead_and_transfer() {
+        let cluster = Cluster::bayreuth();
+        let est = default_redist_estimate(&cluster, 125.0e6, 0.2);
+        assert!((est - 1.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,596 @@
+//! Event-driven schedule execution on the L07 platform.
+//!
+//! Shared by the three simulator versions *and* the emulated testbed: the
+//! only difference between them is the [`ExecutionModel`] that supplies
+//! task durations and overheads. Execution semantics follow the paper's
+//! TGrid module (§III): tasks run in the schedule's order on their assigned
+//! processor sets; when a task finishes, its output matrix is redistributed
+//! to each successor's processor set (point-to-point transfers computed
+//! from the 1-D block overlap); a task starts once
+//!
+//! 1. it is at the head of the queue of **every** host it uses (hosts
+//!    execute their assigned tasks in schedule order), and
+//! 2. the redistribution of every predecessor's output has completed.
+//!
+//! Task startup overhead (JVM spawning) and redistribution protocol
+//! overhead (subnet-manager registration) are charged as fixed latencies;
+//! data transfers flow through the L07 network model and contend on links.
+
+use std::collections::HashMap;
+
+use mps_dag::{Dag, TaskId};
+use mps_kernels::{BlockDist1D, RedistPlan};
+use mps_l07::{L07Error, L07Sim, PTaskId, PTaskSpec};
+use mps_platform::{Cluster, HostId};
+use mps_sched::Schedule;
+
+/// How one task's execution is simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskExecution {
+    /// Analytic: per-rank flop counts and the kernel's internal
+    /// communication matrix go through the L07 engine (the §IV simulator).
+    Analytic,
+    /// A fixed wall-clock duration (profile/empirical models and the
+    /// testbed's measured ground truth).
+    Fixed(f64),
+}
+
+/// Supplies the concrete quantities for one execution run.
+///
+/// `&mut self` so stochastic environments (the testbed) can draw fresh
+/// noise per task.
+pub trait ExecutionModel {
+    /// Execution mode/duration for a task on its host set.
+    fn task_execution(
+        &mut self,
+        task: TaskId,
+        kernel: mps_kernels::Kernel,
+        hosts: &[HostId],
+    ) -> TaskExecution;
+
+    /// Startup overhead (seconds) charged before the task's execution.
+    fn startup_overhead(&mut self, task: TaskId, p: usize) -> f64;
+
+    /// Redistribution protocol overhead (seconds) for an edge from a
+    /// `p_src`-processor producer to a `p_dst`-processor consumer.
+    fn redist_overhead(&mut self, p_src: usize, p_dst: usize) -> f64;
+}
+
+/// Execution outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// Application makespan (seconds).
+    pub makespan: f64,
+    /// Per-task `(start, finish)` times, indexed by task id. Start includes
+    /// the startup overhead phase.
+    pub task_spans: Vec<(f64, f64)>,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The schedule failed validation against the DAG/platform.
+    InvalidSchedule(String),
+    /// The underlying simulator failed.
+    Sim(L07Error),
+    /// The execution deadlocked (should be impossible for valid schedules;
+    /// reported defensively instead of hanging).
+    Stuck {
+        /// Tasks that never started.
+        unstarted: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+            ExecError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExecError::Stuck { unstarted } => {
+                write!(f, "execution stuck with {unstarted} unstarted tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<L07Error> for ExecError {
+    fn from(e: L07Error) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Waiting,
+    Running,
+    Done,
+}
+
+/// Executes `schedule` for `dag` on `cluster` under `model`.
+pub fn execute(
+    dag: &Dag,
+    cluster: &Cluster,
+    schedule: &Schedule,
+    model: &mut dyn ExecutionModel,
+) -> Result<ExecutionResult, ExecError> {
+    schedule
+        .validate(dag, cluster)
+        .map_err(|e| ExecError::InvalidSchedule(e.to_string()))?;
+
+    let n_tasks = dag.len();
+    if n_tasks == 0 {
+        return Ok(ExecutionResult {
+            makespan: 0.0,
+            task_spans: Vec::new(),
+        });
+    }
+
+    let mut sim = L07Sim::new(cluster.clone());
+
+    // Placement lookup.
+    let mut hosts_of: Vec<Vec<HostId>> = vec![Vec::new(); n_tasks];
+    for st in &schedule.tasks {
+        hosts_of[st.task.index()] = st.hosts.clone();
+    }
+
+    // Per-host task queues in schedule order.
+    let n_hosts = cluster.node_count();
+    let mut queue: Vec<Vec<TaskId>> = vec![Vec::new(); n_hosts];
+    for st in &schedule.tasks {
+        for h in &st.hosts {
+            queue[h.index()].push(st.task);
+        }
+    }
+    let mut queue_head = vec![0usize; n_hosts];
+
+    // Incoming redistributions still pending per task.
+    let mut pending_redists: Vec<usize> = dag
+        .task_ids()
+        .map(|t| dag.predecessors(t).len())
+        .collect();
+
+    let mut state = vec![TaskState::Waiting; n_tasks];
+    let mut spans = vec![(0.0_f64, 0.0_f64); n_tasks];
+    let mut done_count = 0usize;
+
+    // Maps in-flight simulator activities to what they mean.
+    #[derive(Debug, Clone, Copy)]
+    enum Meaning {
+        TaskRun(TaskId),
+        Redist {
+            succ: TaskId,
+        },
+    }
+    let mut in_flight: HashMap<PTaskId, Meaning> = HashMap::new();
+
+    // Tries to start every eligible waiting task. Returns how many started.
+    let try_start = |sim: &mut L07Sim,
+                     in_flight: &mut HashMap<PTaskId, Meaning>,
+                     state: &mut Vec<TaskState>,
+                     spans: &mut Vec<(f64, f64)>,
+                     queue_head: &[usize],
+                     pending_redists: &[usize],
+                     model: &mut dyn ExecutionModel|
+     -> Result<usize, ExecError> {
+        let mut started = 0;
+        for st in &schedule.tasks {
+            let t = st.task;
+            if state[t.index()] != TaskState::Waiting {
+                continue;
+            }
+            if pending_redists[t.index()] > 0 {
+                continue;
+            }
+            let at_head = st
+                .hosts
+                .iter()
+                .all(|h| queue[h.index()].get(queue_head[h.index()]) == Some(&t));
+            if !at_head {
+                continue;
+            }
+            // Launch: startup latency + execution.
+            let kernel = dag.task(t).kernel;
+            let p = st.hosts.len();
+            let startup = model.startup_overhead(t, p);
+            let spec = match model.task_execution(t, kernel, &st.hosts) {
+                TaskExecution::Analytic => {
+                    let flops = kernel.flops_per_proc(p);
+                    let comm = kernel.comm_matrix(p);
+                    PTaskSpec::compute(&st.hosts, &vec![flops; p])
+                        .with_comm_matrix(&st.hosts, &comm)
+                        .with_extra_latency(startup)
+                }
+                TaskExecution::Fixed(duration) => {
+                    PTaskSpec::new().with_extra_latency(startup + duration.max(0.0))
+                }
+            }
+            .with_label(format!("task-{}", t.index()));
+            let id = sim.submit(spec)?;
+            in_flight.insert(id, Meaning::TaskRun(t));
+            state[t.index()] = TaskState::Running;
+            spans[t.index()].0 = sim.now();
+            started += 1;
+        }
+        Ok(started)
+    };
+
+    try_start(
+        &mut sim,
+        &mut in_flight,
+        &mut state,
+        &mut spans,
+        &queue_head,
+        &pending_redists,
+        model,
+    )?;
+
+    while done_count < n_tasks {
+        let completions = match sim.next_completions()? {
+            Some(c) => c,
+            None => {
+                return Err(ExecError::Stuck {
+                    unstarted: state
+                        .iter()
+                        .filter(|&&s| s != TaskState::Done)
+                        .count(),
+                })
+            }
+        };
+        for c in completions {
+            match in_flight.remove(&c.task) {
+                Some(Meaning::TaskRun(t)) => {
+                    state[t.index()] = TaskState::Done;
+                    spans[t.index()].1 = c.time;
+                    done_count += 1;
+                    // Release host queues.
+                    for h in &hosts_of[t.index()] {
+                        debug_assert_eq!(
+                            queue[h.index()][queue_head[h.index()]],
+                            t,
+                            "queue discipline violated"
+                        );
+                        queue_head[h.index()] += 1;
+                    }
+                    // Start redistributions to every successor.
+                    let src_hosts = &hosts_of[t.index()];
+                    let n = dag.task(t).kernel.n();
+                    for &succ in dag.successors(t) {
+                        let dst_hosts = &hosts_of[succ.index()];
+                        let plan = RedistPlan::compute(
+                            &BlockDist1D::vanilla(n, src_hosts.len()),
+                            &BlockDist1D::vanilla(n, dst_hosts.len()),
+                        );
+                        let src_idx: Vec<usize> =
+                            src_hosts.iter().map(|h| h.index()).collect();
+                        let dst_idx: Vec<usize> =
+                            dst_hosts.iter().map(|h| h.index()).collect();
+                        let flows: Vec<(HostId, HostId, f64)> = plan
+                            .network_transfers(&src_idx, &dst_idx)
+                            .into_iter()
+                            .map(|(s, d, b)| (HostId(s), HostId(d), b))
+                            .collect();
+                        let overhead =
+                            model.redist_overhead(src_hosts.len(), dst_hosts.len());
+                        let spec = PTaskSpec::transfers(flows)
+                            .with_extra_latency(overhead)
+                            .with_label(format!(
+                                "redist-{}-{}",
+                                t.index(),
+                                succ.index()
+                            ));
+                        let id = sim.submit(spec)?;
+                        in_flight.insert(id, Meaning::Redist { succ });
+                    }
+                }
+                Some(Meaning::Redist { succ }) => {
+                    pending_redists[succ.index()] -= 1;
+                }
+                None => unreachable!("unknown completion"),
+            }
+        }
+        try_start(
+            &mut sim,
+            &mut in_flight,
+            &mut state,
+            &mut spans,
+            &queue_head,
+            &pending_redists,
+            model,
+        )?;
+    }
+
+    let makespan = spans.iter().map(|&(_, f)| f).fold(0.0_f64, f64::max);
+    Ok(ExecutionResult {
+        makespan,
+        task_spans: spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_kernels::Kernel;
+    use mps_sched::{Hcpa, Scheduler, Schedule, ScheduledTask};
+    use mps_model::AnalyticModel;
+
+    /// Instrumented model: counts calls, returns fixed quantities.
+    struct Counting {
+        task_calls: usize,
+        startup_calls: usize,
+        redist_calls: usize,
+        duration: f64,
+        startup: f64,
+        redist: f64,
+    }
+
+    impl Counting {
+        fn new(duration: f64, startup: f64, redist: f64) -> Self {
+            Counting {
+                task_calls: 0,
+                startup_calls: 0,
+                redist_calls: 0,
+                duration,
+                startup,
+                redist,
+            }
+        }
+    }
+
+    impl ExecutionModel for Counting {
+        fn task_execution(
+            &mut self,
+            _task: TaskId,
+            _kernel: Kernel,
+            _hosts: &[HostId],
+        ) -> TaskExecution {
+            self.task_calls += 1;
+            TaskExecution::Fixed(self.duration)
+        }
+        fn startup_overhead(&mut self, _task: TaskId, _p: usize) -> f64 {
+            self.startup_calls += 1;
+            self.startup
+        }
+        fn redist_overhead(&mut self, _p_src: usize, _p_dst: usize) -> f64 {
+            self.redist_calls += 1;
+            self.redist
+        }
+    }
+
+    fn diamond() -> Dag {
+        Dag::new(
+            vec![Kernel::MatAdd { n: 2000 }; 4],
+            &[
+                (TaskId(0), TaskId(1)),
+                (TaskId(0), TaskId(2)),
+                (TaskId(1), TaskId(3)),
+                (TaskId(2), TaskId(3)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn schedule_for(dag: &Dag, cluster: &Cluster) -> Schedule {
+        Hcpa.schedule(dag, cluster, &AnalyticModel::paper_jvm())
+    }
+
+    #[test]
+    fn model_is_consulted_once_per_task_and_edge() {
+        let dag = diamond();
+        let cluster = Cluster::bayreuth();
+        let schedule = schedule_for(&dag, &cluster);
+        let mut model = Counting::new(1.0, 0.5, 0.1);
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        assert_eq!(model.task_calls, 4);
+        assert_eq!(model.startup_calls, 4);
+        assert_eq!(model.redist_calls, 4, "one per DAG edge");
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn makespan_decomposes_for_a_serial_chain() {
+        // Chain of 3 on one host: makespan = Σ (startup + duration) +
+        // redistribution overheads between stages (transfers are local).
+        let dag = Dag::new(
+            vec![Kernel::MatAdd { n: 2000 }; 3],
+            &[(TaskId(0), TaskId(1)), (TaskId(1), TaskId(2))],
+        )
+        .unwrap();
+        let cluster = Cluster::bayreuth();
+        let mk = |t: usize| ScheduledTask {
+            task: TaskId(t),
+            hosts: vec![HostId(0)],
+            est_start: t as f64 * 10.0,
+            est_finish: (t + 1) as f64 * 10.0,
+        };
+        let schedule = Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![mk(0), mk(1), mk(2)],
+            est_makespan: 30.0,
+        };
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        let expected = 3.0 * (2.0 + 0.5) + 2.0 * 0.25;
+        assert!((r.makespan - expected).abs() < 1e-9, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn zero_duration_tasks_still_flow_through_dependencies() {
+        // All tasks co-located on the same host set: every redistribution
+        // is local, so with zero model quantities the whole run collapses
+        // to (near) zero time.
+        let dag = diamond();
+        let cluster = Cluster::bayreuth();
+        let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+        let mk = |t: usize| ScheduledTask {
+            task: TaskId(t),
+            hosts: hosts.clone(),
+            est_start: t as f64,
+            est_finish: t as f64 + 1.0,
+        };
+        let schedule = Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![mk(0), mk(1), mk(2), mk(3)],
+            est_makespan: 4.0,
+        };
+        let mut model = Counting::new(0.0, 0.0, 0.0);
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        assert!(r.makespan < 1e-9, "makespan {}", r.makespan);
+        for &(s, f) in &r.task_spans {
+            assert!(f >= s);
+        }
+    }
+
+    #[test]
+    fn spans_respect_dependencies_under_any_positive_quantities() {
+        let dag = diamond();
+        let cluster = Cluster::bayreuth();
+        let schedule = schedule_for(&dag, &cluster);
+        for (d, su, re) in [(1.0, 0.0, 0.0), (0.5, 2.0, 0.0), (3.0, 0.1, 1.5)] {
+            let mut model = Counting::new(d, su, re);
+            let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+            for t in dag.task_ids() {
+                for &pred in dag.predecessors(t) {
+                    assert!(
+                        r.task_spans[t.index()].0 >= r.task_spans[pred.index()].1 - 1e-9,
+                        "task {t} started before {pred} finished (d={d} su={su} re={re})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_duration_is_clamped_not_propagated() {
+        let dag = Dag::new(vec![Kernel::MatAdd { n: 2000 }], &[]).unwrap();
+        let cluster = Cluster::bayreuth();
+        let schedule = Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![ScheduledTask {
+                task: TaskId(0),
+                hosts: vec![HostId(0)],
+                est_start: 0.0,
+                est_finish: 1.0,
+            }],
+            est_makespan: 1.0,
+        };
+        struct NanModel;
+        impl ExecutionModel for NanModel {
+            fn task_execution(
+                &mut self,
+                _t: TaskId,
+                _k: Kernel,
+                _h: &[HostId],
+            ) -> TaskExecution {
+                TaskExecution::Fixed(f64::NAN)
+            }
+            fn startup_overhead(&mut self, _t: TaskId, _p: usize) -> f64 {
+                0.0
+            }
+            fn redist_overhead(&mut self, _s: usize, _d: usize) -> f64 {
+                0.0
+            }
+        }
+        let r = execute(&dag, &cluster, &schedule, &mut NanModel).unwrap();
+        assert!(r.makespan.is_finite());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mps_dag::{generate, DagGenParams};
+    use mps_model::{AnalyticModel, EmpiricalModel, PerfModel};
+    use mps_sched::{Hcpa, Mcpa, Scheduler};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// For arbitrary generated DAGs and both algorithms, execution under
+        /// a deterministic model yields finite makespans, dependency-ordered
+        /// spans, and a makespan at least the longest single task.
+        #[test]
+        fn execution_invariants(
+            tasks in 1usize..14,
+            width_exp in 1u32..4,
+            ratio in 0.0f64..1.0,
+            seed in 0u64..3000,
+            use_empirical in any::<bool>(),
+        ) {
+            let params = DagGenParams {
+                tasks,
+                input_matrices: 2usize.pow(width_exp),
+                add_ratio: ratio,
+                matrix_size: 2000,
+            };
+            let dag = generate(&params, seed);
+            let cluster = Cluster::bayreuth();
+            for algo in [&Hcpa as &dyn Scheduler, &Mcpa] {
+                let (schedule, result) = if use_empirical {
+                    let model = EmpiricalModel::table_ii();
+                    let schedule = algo.schedule(&dag, &cluster, &model);
+                    let mut exec = crate::simulator::ModelExecution::new(model);
+                    let result = execute(&dag, &cluster, &schedule, &mut exec).unwrap();
+                    (schedule, result)
+                } else {
+                    let model = AnalyticModel::paper_jvm();
+                    let schedule = algo.schedule(&dag, &cluster, &model);
+                    let mut exec = crate::simulator::ModelExecution::new(model);
+                    let result = execute(&dag, &cluster, &schedule, &mut exec).unwrap();
+                    (schedule, result)
+                };
+                prop_assert!(result.makespan.is_finite() && result.makespan >= 0.0);
+                // Dependencies respected.
+                for t in dag.task_ids() {
+                    let (s, f) = result.task_spans[t.index()];
+                    prop_assert!(f >= s - 1e-9);
+                    for &pred in dag.predecessors(t) {
+                        prop_assert!(s >= result.task_spans[pred.index()].1 - 1e-9);
+                    }
+                }
+                // The makespan covers every span.
+                for &(_, f) in &result.task_spans {
+                    prop_assert!(result.makespan >= f - 1e-9);
+                }
+                // Host-exclusivity: tasks sharing a host never overlap.
+                for a in &schedule.tasks {
+                    for b in &schedule.tasks {
+                        if a.task >= b.task {
+                            continue;
+                        }
+                        let share = a.hosts.iter().any(|h| b.hosts.contains(h));
+                        if share {
+                            let (sa, fa) = result.task_spans[a.task.index()];
+                            let (sb, fb) = result.task_spans[b.task.index()];
+                            prop_assert!(
+                                fa <= sb + 1e-9 || fb <= sa + 1e-9,
+                                "overlap: {:?} vs {:?}",
+                                (sa, fa),
+                                (sb, fb)
+                            );
+                        }
+                    }
+                }
+                // The model is consulted at least once per task; makespan is
+                // bounded below by the longest single task duration.
+                let longest = dag
+                    .task_ids()
+                    .map(|t| {
+                        let p = schedule
+                            .placement(t)
+                            .expect("placed")
+                            .p();
+                        if use_empirical {
+                            EmpiricalModel::table_ii().task_time(dag.task(t).kernel, p)
+                        } else {
+                            AnalyticModel::paper_jvm().task_time(dag.task(t).kernel, p)
+                        }
+                    })
+                    .fold(0.0_f64, f64::max);
+                prop_assert!(result.makespan >= longest * 0.999);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII Gantt charts of executed schedules.
+//!
+//! Renders one row per host, with each cell showing which task occupied
+//! the host at that time — the quickest way to see why two schedules'
+//! makespans differ (idle gaps from redistribution waits, serialization
+//! from host conflicts, startup overheads).
+
+use mps_sched::Schedule;
+
+use crate::executor::ExecutionResult;
+
+/// Renders a Gantt chart of `result` (per-task spans) against `schedule`
+/// (per-task host sets), `width` characters wide.
+///
+/// Tasks are labelled `0`–`9`, then `a`–`z`, then `*`.
+pub fn render_gantt(schedule: &Schedule, result: &ExecutionResult, width: usize) -> String {
+    let width = width.max(10);
+    let makespan = result.makespan.max(1e-12);
+    let n_hosts = schedule
+        .tasks
+        .iter()
+        .flat_map(|st| st.hosts.iter())
+        .map(|h| h.index() + 1)
+        .max()
+        .unwrap_or(0);
+
+    let glyph = |task: usize| -> char {
+        match task {
+            0..=9 => (b'0' + task as u8) as char,
+            10..=35 => (b'a' + (task - 10) as u8) as char,
+            _ => '*',
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Gantt ({} tasks, makespan {:.2} s; '.' = idle)\n",
+        schedule.tasks.len(),
+        result.makespan
+    ));
+    for host in 0..n_hosts {
+        let mut row = vec!['.'; width];
+        for st in &schedule.tasks {
+            if !st.hosts.iter().any(|h| h.index() == host) {
+                continue;
+            }
+            let (start, finish) = result.task_spans[st.task.index()];
+            let c0 = ((start / makespan) * width as f64).floor() as usize;
+            let c1 = ((finish / makespan) * width as f64).ceil() as usize;
+            for cell in row.iter_mut().take(c1.min(width)).skip(c0.min(width)) {
+                *cell = glyph(st.task.index());
+            }
+        }
+        out.push_str(&format!(
+            "h{host:<3} {}\n",
+            row.into_iter().collect::<String>()
+        ));
+    }
+    out.push_str(&format!(
+        "     0{:>w$}\n",
+        format!("{:.1}s", result.makespan),
+        w = width - 1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_platform::HostId;
+    use mps_sched::ScheduledTask;
+    use mps_dag::TaskId;
+
+    fn schedule_and_result() -> (Schedule, ExecutionResult) {
+        let schedule = Schedule {
+            algorithm: "test".into(),
+            tasks: vec![
+                ScheduledTask {
+                    task: TaskId(0),
+                    hosts: vec![HostId(0), HostId(1)],
+                    est_start: 0.0,
+                    est_finish: 5.0,
+                },
+                ScheduledTask {
+                    task: TaskId(1),
+                    hosts: vec![HostId(1)],
+                    est_start: 5.0,
+                    est_finish: 10.0,
+                },
+            ],
+            est_makespan: 10.0,
+        };
+        let result = ExecutionResult {
+            makespan: 10.0,
+            task_spans: vec![(0.0, 5.0), (5.0, 10.0)],
+        };
+        (schedule, result)
+    }
+
+    #[test]
+    fn renders_one_row_per_host() {
+        let (s, r) = schedule_and_result();
+        let g = render_gantt(&s, &r, 40);
+        let rows: Vec<&str> = g.lines().filter(|l| l.starts_with('h')).collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn task_glyphs_occupy_their_spans() {
+        let (s, r) = render_input();
+        let g = render_gantt(&s, &r, 40);
+        let h0: &str = g.lines().find(|l| l.starts_with("h0")).unwrap();
+        let h1: &str = g.lines().find(|l| l.starts_with("h1")).unwrap();
+        // Host 0 runs task 0 in the first half then idles.
+        assert!(h0.contains('0'));
+        assert!(h0.contains('.'));
+        assert!(!h0.contains('1'));
+        // Host 1 runs both tasks back to back.
+        assert!(h1.contains('0'));
+        assert!(h1.contains('1'));
+    }
+
+    fn render_input() -> (Schedule, ExecutionResult) {
+        schedule_and_result()
+    }
+
+    #[test]
+    fn empty_schedule_renders_header_only() {
+        let s = Schedule {
+            algorithm: "t".into(),
+            tasks: vec![],
+            est_makespan: 0.0,
+        };
+        let r = ExecutionResult {
+            makespan: 0.0,
+            task_spans: vec![],
+        };
+        let g = render_gantt(&s, &r, 30);
+        assert!(g.starts_with("Gantt (0 tasks"));
+        assert!(!g.lines().any(|l| l.starts_with('h')));
+    }
+
+    #[test]
+    fn many_tasks_use_letter_glyphs() {
+        // Task ids ≥ 10 map to letters.
+        let schedule = Schedule {
+            algorithm: "t".into(),
+            tasks: vec![ScheduledTask {
+                task: TaskId(11),
+                hosts: vec![HostId(0)],
+                est_start: 0.0,
+                est_finish: 1.0,
+            }],
+            est_makespan: 1.0,
+        };
+        let mut spans = vec![(0.0, 0.0); 12];
+        spans[11] = (0.0, 1.0);
+        let result = ExecutionResult {
+            makespan: 1.0,
+            task_spans: spans,
+        };
+        let g = render_gantt(&schedule, &result, 20);
+        assert!(g.contains('b'), "task 11 renders as 'b': {g}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text renderers for the paper's figure styles.
+//!
+//! The experiment harness regenerates each figure's *data*; these renderers
+//! give a quick visual check in the terminal: paired bar charts
+//! (Figures 1/5/7), line-ish profiles (Figures 2/3/6), a surface table
+//! (Figure 4), and box-and-whisker strips (Figure 8).
+
+use crate::descriptive::BoxPlot;
+
+/// Renders a paired bar chart of two series sharing an x-axis (simulation
+/// vs experiment). Bars are horizontal; zero is a centre column.
+pub fn paired_bars(
+    title: &str,
+    labels: &[String],
+    sim: &[f64],
+    exp: &[f64],
+    width: usize,
+) -> String {
+    assert_eq!(labels.len(), sim.len());
+    assert_eq!(labels.len(), exp.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max_abs = sim
+        .iter()
+        .chain(exp)
+        .fold(0.0_f64, |m, &v| m.max(v.abs()))
+        .max(1e-12);
+    let half = (width / 2).max(1);
+    let bar = |v: f64| -> String {
+        let cells = ((v.abs() / max_abs) * half as f64).round() as usize;
+        let mut s = vec![' '; 2 * half + 1];
+        s[half] = '|';
+        if v < 0.0 {
+            for c in s.iter_mut().take(half).skip(half - cells.min(half)) {
+                *c = '#';
+            }
+        } else {
+            for c in s.iter_mut().skip(half + 1).take(cells.min(half)) {
+                *c = '#';
+            }
+        }
+        s.into_iter().collect()
+    };
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    for i in 0..labels.len() {
+        out.push_str(&format!(
+            "{:label_w$}  sim {} {:+8.3}\n{:label_w$}  exp {} {:+8.3}\n",
+            labels[i],
+            bar(sim[i]),
+            sim[i],
+            "",
+            bar(exp[i]),
+            exp[i],
+        ));
+    }
+    out
+}
+
+/// Renders an `x → y` profile as an aligned two-column listing with a spark
+/// bar (Figures 2, 3, 6 are 1-D profiles over `p`).
+pub fn profile(title: &str, xs: &[f64], ys: &[f64], width: usize) -> String {
+    assert_eq!(xs.len(), ys.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = ys.iter().copied().fold(0.0_f64, f64::max).max(1e-12);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let cells = ((y / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{:>6}  {:>12.4}  {}\n",
+            x,
+            y,
+            "#".repeat(cells.min(width))
+        ));
+    }
+    out
+}
+
+/// Renders a matrix as a table with row/column headers (Figure 4 surface).
+pub fn surface(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    assert_eq!(row_labels.len(), values.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>8}", ""));
+    for c in col_labels {
+        out.push_str(&format!("{c:>10}"));
+    }
+    out.push('\n');
+    for (r, row) in values.iter().enumerate() {
+        assert_eq!(row.len(), col_labels.len());
+        out.push_str(&format!("{:>8}", row_labels[r]));
+        for v in row {
+            out.push_str(&format!("{v:>10.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders labelled box plots on a shared scale (Figure 8).
+pub fn boxplots(title: &str, labels: &[String], boxes: &[BoxPlot], width: usize) -> String {
+    assert_eq!(labels.len(), boxes.len());
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let hi = boxes
+        .iter()
+        .flat_map(|b| {
+            b.outliers
+                .iter()
+                .copied()
+                .chain([b.whisker_hi])
+        })
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let pos = |v: f64| -> usize { ((v / hi) * (width - 1) as f64).round().max(0.0) as usize };
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    for (label, b) in labels.iter().zip(boxes) {
+        let mut line = vec![' '; width];
+        let lo = pos(b.whisker_lo);
+        let hi = pos(b.whisker_hi).min(width - 1);
+        for cell in line.iter_mut().take(hi + 1).skip(lo) {
+            *cell = '-';
+        }
+        let q1 = pos(b.q1);
+        let q3 = pos(b.q3).min(width - 1);
+        for cell in line.iter_mut().take(q3 + 1).skip(q1) {
+            *cell = '=';
+        }
+        let m = pos(b.median).min(width - 1);
+        line[m] = '|';
+        for &o in &b.outliers {
+            let i = pos(o).min(width - 1);
+            line[i] = 'o';
+        }
+        out.push_str(&format!(
+            "{:label_w$} {}  (med {:.1}, q3 {:.1}, max-ish {:.1})\n",
+            label,
+            line.iter().collect::<String>(),
+            b.median,
+            b.q3,
+            b.whisker_hi,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::boxplot;
+
+    #[test]
+    fn paired_bars_renders_all_rows() {
+        let labels = vec!["d1".to_string(), "d2".to_string()];
+        let s = paired_bars("T", &labels, &[-0.2, 0.3], &[0.1, 0.2], 20);
+        assert!(s.starts_with("T\n"));
+        assert_eq!(s.matches("sim").count(), 2);
+        assert_eq!(s.matches("exp").count(), 2);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn paired_bars_handles_all_zero() {
+        let labels = vec!["d".to_string()];
+        let s = paired_bars("T", &labels, &[0.0], &[0.0], 10);
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn profile_scales_to_max() {
+        let s = profile("P", &[1.0, 2.0], &[1.0, 2.0], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].matches('#').count() >= lines[1].matches('#').count());
+    }
+
+    #[test]
+    fn surface_has_headers_and_rows() {
+        let s = surface(
+            "S",
+            &["r1".to_string()],
+            &["c1".to_string(), "c2".to_string()],
+            &[vec![1.0, 2.0]],
+        );
+        assert!(s.contains("c1"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("2.0"));
+    }
+
+    #[test]
+    fn boxplots_render_median_marker() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = boxplot(&xs).unwrap();
+        let s = boxplots("B", &["x".to_string()], &[b], 40);
+        assert!(s.contains('|'));
+        assert!(s.contains('='));
+    }
+
+    #[test]
+    #[should_panic]
+    fn paired_bars_validates_lengths() {
+        paired_bars("T", &["a".to_string()], &[1.0, 2.0], &[1.0], 10);
+    }
+}

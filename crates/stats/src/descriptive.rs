@@ -1,0 +1,189 @@
+//! Descriptive statistics: summaries, quantiles, box-and-whisker data.
+
+/// Basic summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes a [`Summary`]; `None` for an empty sample.
+pub fn summary(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(Summary {
+        n: xs.len(),
+        mean,
+        std: var.sqrt(),
+        min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7 / the R default). `q` is clamped to `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50 % quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Box-and-whisker data in Tukey's convention: whiskers extend to the most
+/// extreme points within 1.5·IQR of the quartiles; everything beyond is an
+/// outlier. This is the format of the paper's Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lower whisker end.
+    pub whisker_lo: f64,
+    /// Upper whisker end.
+    pub whisker_hi: f64,
+    /// Points beyond the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+/// Computes Tukey box-plot data; `None` for an empty sample.
+pub fn boxplot(xs: &[f64]) -> Option<BoxPlot> {
+    if xs.is_empty() {
+        return None;
+    }
+    let q1 = quantile(xs, 0.25)?;
+    let med = quantile(xs, 0.5)?;
+    let q3 = quantile(xs, 0.75)?;
+    let iqr = q3 - q1;
+    let lo_fence = q1 - 1.5 * iqr;
+    let hi_fence = q3 + 1.5 * iqr;
+    let mut whisker_lo = f64::INFINITY;
+    let mut whisker_hi = f64::NEG_INFINITY;
+    let mut outliers = Vec::new();
+    for &x in xs {
+        if x < lo_fence || x > hi_fence {
+            outliers.push(x);
+        } else {
+            whisker_lo = whisker_lo.min(x);
+            whisker_hi = whisker_hi.max(x);
+        }
+    }
+    // Degenerate: all points are outliers cannot happen (median is inside),
+    // but guard anyway.
+    if !whisker_lo.is_finite() {
+        whisker_lo = med;
+        whisker_hi = med;
+    }
+    outliers.sort_by(f64::total_cmp);
+    Some(BoxPlot {
+        q1,
+        median: med,
+        q3,
+        whisker_lo,
+        whisker_hi,
+        outliers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summary(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (1.25_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(summary(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(boxplot(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&a, 0.5), quantile(&b, 0.5));
+        assert_eq!(median(&a).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn boxplot_without_outliers() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = boxplot(&xs).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 9.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn boxplot_detects_outliers() {
+        let mut xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        xs.push(100.0);
+        let b = boxplot(&xs).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi <= 9.0 + 1e-12);
+    }
+
+    #[test]
+    fn boxplot_constant_sample() {
+        let xs = [4.0; 6];
+        let b = boxplot(&xs).unwrap();
+        assert_eq!(b.median, 4.0);
+        assert_eq!(b.whisker_lo, 4.0);
+        assert_eq!(b.whisker_hi, 4.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -0.5).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.5).unwrap(), 2.0);
+    }
+}

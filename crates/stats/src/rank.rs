@@ -1,0 +1,146 @@
+//! Rank correlation between simulated and measured series.
+//!
+//! Sign agreement (Figures 1/5/7) only asks "same winner?". Spearman's ρ
+//! asks the stronger question: does the simulator *order* the scenarios the
+//! way reality does? A simulator with ρ ≈ 1 ranks workloads faithfully even
+//! when its absolute errors are large — a useful companion metric the
+//! harness reports next to Figure 8.
+
+/// Average ranks (ties share their mean rank), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Tie group [i, j).
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        let mean_rank = ((i + 1 + j) as f64) / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = mean_rank;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Pearson correlation of two equal-length series. `None` when either
+/// series is constant or shorter than 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation. `None` for constant or too-short series.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Kendall's τ-a (concordant − discordant pairs over all pairs). `None`
+/// for series shorter than 2.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = (xs[i] - xs[j]).signum();
+            let dy = (ys[i] - ys[j]).signum();
+            let s = dx * dy;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_inversion() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_based_not_linear() {
+        // y = exp(x) is nonlinear but perfectly monotone.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ties_share_mean_ranks() {
+        let r = ranks(&[5.0, 1.0, 5.0]);
+        assert_eq!(r[1], 1.0);
+        assert_eq!(r[0], 2.5);
+        assert_eq!(r[2], 2.5);
+    }
+
+    #[test]
+    fn constant_series_is_none() {
+        assert!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(pearson(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        assert!(spearman(&[1.0], &[1.0]).is_none());
+        assert!(kendall_tau(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 3.0, 2.0, 4.0]; // one swapped pair
+        let tau = kendall_tau(&xs, &ys).unwrap();
+        assert!(tau > 0.0 && tau < 1.0);
+        let rho = spearman(&xs, &ys).unwrap();
+        assert!(rho > 0.0 && rho < 1.0);
+    }
+}

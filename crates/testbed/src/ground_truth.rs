@@ -1,0 +1,376 @@
+//! The hidden ground-truth performance model of the emulated cluster.
+//!
+//! This module is the substitute for the paper's physical 32-node cluster
+//! running TGrid/MPIJava (see DESIGN.md §2). It defines what task
+//! executions, task startups, and data redistributions *really* cost on the
+//! emulated machine. Simulators never read these curves directly — they
+//! only observe them through the measurement APIs in
+//! [`measure`](crate::measure), exactly as the paper's authors had to.
+//!
+//! The curves are **calibrated to the paper's published Table II empirical
+//! models**, with the perturbations §V-C/§VII identify layered on top:
+//!
+//! * a deterministic per-`(kernel, p)` *wiggle* (JVM/cache effects, ±12 %);
+//! * *outlier* multipliers at `p = 8` (slow local updates — memory
+//!   hierarchy) and `p = 16` for `n = 3000` (vanilla-1D load imbalance,
+//!   computed from the actual remainder distribution, plus a memory
+//!   effect);
+//! * a non-monotonic startup-overhead curve around `0.65 + 0.03·p` seconds
+//!   (Figure 3);
+//! * a redistribution protocol overhead dominated by `p_dst` with weak
+//!   `p_src` and interaction terms (Figure 4);
+//! * TCP efficiency < line rate on the network (`network_efficiency`),
+//!   making real redistributions slower than the analytic model expects.
+//!
+//! Because the analytic model (250 MFlop/s flop counting) underestimates
+//! these curves by ≈ 2–3×, the three root causes of §V-C are all present.
+
+use mps_kernels::{BlockDist1D, Kernel};
+
+/// Deterministic hash → uniform value in `[-1, 1]`.
+///
+/// SplitMix64 finalizer — stable across platforms, no RNG state.
+pub fn hash_noise(parts: &[u64]) -> f64 {
+    let mut z = 0x9E37_79B9_7F4A_7C15_u64;
+    for &p in parts {
+        z = z.wrapping_add(p).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+    }
+    z = (z ^ (z >> 31)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map the top 53 bits to [0, 1), then to [-1, 1].
+    ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// The hidden truth for the emulated Bayreuth cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// Identity seed: different values give a different (but equally
+    /// plausible) machine. The paper's machine is seed 0.
+    pub machine_seed: u64,
+    /// Relative amplitude of the deterministic execution-time wiggle.
+    pub wiggle_amplitude: f64,
+    /// Fraction of nominal link bandwidth actually achieved (TCP efficiency).
+    pub network_efficiency: f64,
+    /// Scale on the startup-overhead curve (1.0 = the paper's machine,
+    /// 0.0 = a hypothetical environment with free task launches).
+    /// Ablation knob for §V-C root cause (b).
+    pub startup_scale: f64,
+    /// Scale on the redistribution protocol overhead (§V-C root cause (c)).
+    pub redist_scale: f64,
+    /// When true, task times follow the *analytic* flop-count model
+    /// exactly (no JVM inefficiency, wiggle or outliers) — ablation knob
+    /// for §V-C root cause (a).
+    pub analytic_tasks: bool,
+}
+
+impl Default for GroundTruth {
+    fn default() -> Self {
+        GroundTruth {
+            machine_seed: 0,
+            wiggle_amplitude: 0.12,
+            network_efficiency: 0.75,
+            startup_scale: 1.0,
+            redist_scale: 1.0,
+            analytic_tasks: false,
+        }
+    }
+}
+
+impl GroundTruth {
+    /// The calibrated emulation of the paper's cluster.
+    pub fn bayreuth() -> Self {
+        Self::default()
+    }
+
+    /// Base execution-time curve (seconds) — the Table II shapes.
+    fn base_task_time(kernel: Kernel, p: usize) -> f64 {
+        let pf = p as f64;
+        match kernel {
+            Kernel::MatMul { n: 2000 } => {
+                // Regime change at p ≈ 14: the Table II low-regime fit
+                // overshoots at its range edge (its own high-regime model
+                // gives ≈ 3.1 s at p = 15), so the coherent machine curve
+                // switches to the linear regime before the paper's sample
+                // point p = 15.
+                if p <= 14 {
+                    239.44 / (2.0 * pf) + 3.43
+                } else {
+                    0.08 * pf + 1.93
+                }
+            }
+            Kernel::MatMul { n: 3000 } => {
+                if p <= 16 {
+                    (537.91 / pf - 25.55).max(6.0)
+                } else {
+                    (-0.09 * pf + 11.47).max(6.0)
+                }
+            }
+            Kernel::MatAdd { n: 2000 } => 22.99 / pf + 0.03,
+            Kernel::MatAdd { n: 3000 } => 73.59 / pf + 0.38,
+            // Sizes outside the paper grid: scale the JVM-inefficiency
+            // regime from the analytic cost (≈ 1.9× slower than the
+            // 250 MFlop/s nominal rate, plus a fixed overhead).
+            k => 1.9 * k.flops_per_proc(p) / 250.0e6 + 0.02 * pf,
+        }
+    }
+
+    /// Deterministic wiggle factor for `(kernel, p)` — the unpredictable
+    /// JVM/cache sensitivity of §V-C a.
+    pub fn wiggle(&self, kernel: Kernel, p: usize) -> f64 {
+        let tag = match kernel {
+            Kernel::MatMul { n } => (1u64 << 32) | n as u64,
+            Kernel::MatAdd { n } => (2u64 << 32) | n as u64,
+        };
+        1.0 + self.wiggle_amplitude * hash_noise(&[self.machine_seed, tag, p as u64])
+    }
+
+    /// Outlier multiplier (≥ 1): the `p = 8` memory-hierarchy effect and
+    /// the `p = 16` vanilla-1D imbalance of §VII-A.
+    pub fn outlier_factor(&self, kernel: Kernel, p: usize) -> f64 {
+        let n = kernel.n();
+        let mut factor = 1.0;
+        if let Kernel::MatMul { .. } = kernel {
+            if p == 8 {
+                // "the computation of the local matrix updates ... simply
+                // slower"; stronger for the larger working set.
+                factor *= if n >= 3000 { 1.35 } else { 1.12 };
+            }
+            if p == 16 && n == 3000 {
+                // Load imbalance from the vanilla distribution (real, from
+                // the block math) amplified by a strong memory effect — the
+                // paper's Fig. 6 shows this point far above the curve, and
+                // §VII-B traces its largest empirical-simulation errors to
+                // schedules that allocate p = 16.
+                let imbalance = BlockDist1D::vanilla(n, p).imbalance_factor();
+                factor *= imbalance * 2.1;
+            }
+        }
+        factor
+    }
+
+    /// Mean task execution time (seconds) — deterministic, before run
+    /// noise.
+    pub fn task_time_mean(&self, kernel: Kernel, p: usize) -> f64 {
+        assert!(p >= 1, "allocation must be at least one processor");
+        if self.analytic_tasks {
+            // Ablation: the machine magically matches the analytic L07
+            // world — an isolated task's duration is the max of its compute
+            // time and its ring-communication time on the nominal Gigabit
+            // star (each private-link direction carries one ring edge, the
+            // backbone carries all p of them), plus the route latency.
+            let compute = kernel.flops_per_proc(p) / 250.0e6;
+            if p == 1 {
+                return compute;
+            }
+            let edge_bytes = kernel.total_comm_bytes(p) / p as f64;
+            let link_bw = 125.0e6;
+            let link_time = edge_bytes / link_bw;
+            let backbone_time = p as f64 * edge_bytes / link_bw;
+            return compute.max(link_time).max(backbone_time) + 3.0e-4;
+        }
+        Self::base_task_time(kernel, p) * self.wiggle(kernel, p) * self.outlier_factor(kernel, p)
+    }
+
+    /// Mean task startup overhead (seconds): the JVM-over-SSH launch curve
+    /// of Figure 3 — increasing on average but *not monotonic*.
+    pub fn startup_mean(&self, p: usize) -> f64 {
+        assert!(p >= 1);
+        let pf = p as f64;
+        let wiggle = 0.12 * hash_noise(&[self.machine_seed, 0xBEEF, p as u64]);
+        self.startup_scale * (0.65 + 0.03 * pf + wiggle).max(0.05)
+    }
+
+    /// Mean redistribution protocol overhead (seconds) between a
+    /// `p_src`-processor producer and a `p_dst`-processor consumer: the
+    /// subnet-manager registration cost of Figure 4, dominated by `p_dst`.
+    pub fn redist_mean(&self, p_src: usize, p_dst: usize) -> f64 {
+        assert!(p_src >= 1 && p_dst >= 1);
+        let s = p_src as f64;
+        let d = p_dst as f64;
+        let wiggle = 0.006
+            * hash_noise(&[self.machine_seed, 0xD157, p_src as u64, p_dst as u64]);
+        self.redist_scale
+            * (0.108_58 + 0.007_88 * d + 0.000_8 * s + 0.000_06 * s * d + wiggle).max(0.005)
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+
+    #[test]
+    fn analytic_tasks_flag_matches_flop_model() {
+        let gt = GroundTruth {
+            analytic_tasks: true,
+            ..GroundTruth::default()
+        };
+        let k = Kernel::MatMul { n: 2000 };
+        // Serial: pure flop time, no communication.
+        assert!((gt.task_time_mean(k, 1) - 64.0).abs() < 1e-9);
+        // p = 4: compute 16 s dominates the ring traffic
+        // (backbone: 4 edges × 24 MB = 96 MB → 0.77 s).
+        assert!((gt.task_time_mean(k, 4) - (16.0 + 3.0e-4)).abs() < 1e-9);
+        // p = 32: backbone-bound — 32 edges × (31/32)·n²·8/32 B each.
+        let edge = 31.0 * (2000.0_f64 * 2000.0 / 32.0) * 8.0;
+        let expect = (32.0 * edge / 125.0e6) + 3.0e-4;
+        assert!((gt.task_time_mean(k, 32) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn startup_scale_zero_disables_the_overhead() {
+        let gt = GroundTruth {
+            startup_scale: 0.0,
+            ..GroundTruth::default()
+        };
+        assert_eq!(gt.startup_mean(16), 0.0);
+    }
+
+    #[test]
+    fn redist_scale_halves_the_overhead() {
+        let base = GroundTruth::default();
+        let half = GroundTruth {
+            redist_scale: 0.5,
+            ..GroundTruth::default()
+        };
+        assert!((half.redist_mean(8, 16) - base.redist_mean(8, 16) / 2.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_noise_is_deterministic_and_bounded() {
+        for i in 0..1000u64 {
+            let a = hash_noise(&[i, 7]);
+            let b = hash_noise(&[i, 7]);
+            assert_eq!(a, b);
+            assert!((-1.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn hash_noise_varies_with_inputs() {
+        let vals: Vec<f64> = (0..100).map(|i| hash_noise(&[i, 3])).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.2, "roughly centred, mean = {mean}");
+        let distinct = vals
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).abs() > 1e-12)
+            .count();
+        assert!(distinct > 90);
+    }
+
+    #[test]
+    fn truth_is_slower_than_analytic_model() {
+        // §V-C: "simulated execution times are often grossly
+        // underestimated". The Table II-calibrated truth sits well above
+        // the flop-count prediction through the hyperbolic regime; in the
+        // n = 3000 linear regime the published fit dips close to (or
+        // slightly below) the analytic line — which is fine: Fig. 2 shows
+        // the analytic error *fluctuating*, not uniformly signed.
+        let gt = GroundTruth::bayreuth();
+        for n in [2000usize, 3000] {
+            let k = Kernel::MatMul { n };
+            for p in [1usize, 2, 4, 8] {
+                let analytic = k.flops_per_proc(p) / 250.0e6;
+                let truth = gt.task_time_mean(k, p);
+                assert!(
+                    truth > 1.2 * analytic,
+                    "n={n} p={p}: truth {truth} vs analytic {analytic}"
+                );
+            }
+            // Mean ratio across all allocations stays clearly above 1.
+            let mean_ratio: f64 = (1..=32)
+                .map(|p| gt.task_time_mean(k, p) / (k.flops_per_proc(p) / 250.0e6))
+                .sum::<f64>()
+                / 32.0;
+            // n = 2000 is grossly underestimated everywhere; n = 3000's
+            // published curve tracks the analytic line more closely at
+            // mid-range p (which is why the paper's analytic simulator is
+            // wrong on 60 % of n = 2000 DAGs but only 26 % of n = 3000).
+            let floor = if n == 2000 { 1.3 } else { 1.15 };
+            assert!(mean_ratio > floor, "n={n}: mean ratio {mean_ratio}");
+        }
+    }
+
+    #[test]
+    fn outliers_are_planted_where_the_paper_found_them() {
+        let gt = GroundTruth::bayreuth();
+        let k = Kernel::MatMul { n: 3000 };
+        assert!(gt.outlier_factor(k, 8) > 1.3);
+        assert!(gt.outlier_factor(k, 16) > 1.25);
+        assert_eq!(gt.outlier_factor(k, 7), 1.0);
+        assert_eq!(gt.outlier_factor(k, 15), 1.0);
+        // Additions have no planted outliers.
+        assert_eq!(gt.outlier_factor(Kernel::MatAdd { n: 3000 }, 8), 1.0);
+    }
+
+    #[test]
+    fn startup_curve_is_in_figure_3_range_and_non_monotonic() {
+        let gt = GroundTruth::bayreuth();
+        let curve: Vec<f64> = (1..=32).map(|p| gt.startup_mean(p)).collect();
+        for &v in &curve {
+            assert!((0.4..=1.9).contains(&v), "startup {v}");
+        }
+        // Non-monotonic: at least one decrease.
+        assert!(
+            curve.windows(2).any(|w| w[1] < w[0]),
+            "curve should wiggle: {curve:?}"
+        );
+        // But increasing overall.
+        assert!(curve[31] > curve[0]);
+    }
+
+    #[test]
+    fn redistribution_overhead_is_dominated_by_p_dst() {
+        let gt = GroundTruth::bayreuth();
+        // Varying p_dst changes the overhead much more than varying p_src.
+        let d_range = gt.redist_mean(16, 32) - gt.redist_mean(16, 1);
+        let s_range = gt.redist_mean(32, 16) - gt.redist_mean(1, 16);
+        assert!(d_range > 2.0 * s_range, "d {d_range} vs s {s_range}");
+        assert!(gt.redist_mean(1, 1) > 0.0);
+    }
+
+    #[test]
+    fn task_times_are_positive_and_finite_everywhere() {
+        let gt = GroundTruth::bayreuth();
+        for n in [500usize, 2000, 3000] {
+            for p in 1..=32usize {
+                for k in [Kernel::MatMul { n }, Kernel::MatAdd { n }] {
+                    let t = gt.task_time_mean(k, p);
+                    assert!(t.is_finite() && t > 0.0, "{k} p={p} -> {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_machine_seeds_differ() {
+        let a = GroundTruth {
+            machine_seed: 0,
+            ..GroundTruth::default()
+        };
+        let b = GroundTruth {
+            machine_seed: 1,
+            ..GroundTruth::default()
+        };
+        let k = Kernel::MatMul { n: 2000 };
+        let diffs = (1..=32)
+            .filter(|&p| (a.task_time_mean(k, p) - b.task_time_mean(k, p)).abs() > 1e-9)
+            .count();
+        assert!(diffs > 20);
+    }
+
+    #[test]
+    fn n3000_p16_includes_real_imbalance() {
+        // The imbalance component is the actual block-distribution ratio.
+        let imb = BlockDist1D::vanilla(3000, 16).imbalance_factor();
+        assert!(imb > 1.03 && imb < 1.05);
+        let gt = GroundTruth::bayreuth();
+        let f = gt.outlier_factor(Kernel::MatMul { n: 3000 }, 16);
+        assert!((f - imb * 2.1).abs() < 1e-12);
+    }
+}

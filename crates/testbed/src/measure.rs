@@ -1,0 +1,361 @@
+//! The measurement methodology of §VI–§VII, mirrored against the emulated
+//! testbed.
+//!
+//! * **Brute-force profiling** (§VI-A): time every kernel at every
+//!   allocation `p = 1..=32`, average over trials → the profile simulator's
+//!   lookup tables.
+//! * **Startup measurement** (§VI-B): launch no-op tasks at every `p`,
+//!   average over 20 trials (Figure 3).
+//! * **Redistribution measurement** (§VI-C): redistribute a mostly-empty
+//!   matrix for every `(p_src, p_dst)`, average over 3 trials, then reduce
+//!   over `p_src` because the overhead "depends mostly on p(dst)"
+//!   (Figure 4).
+//! * **Sparse sampling + regression** (§VII-A): measure only at the paper's
+//!   sample points and fit the Table II model structure.
+
+use mps_kernels::Kernel;
+use mps_model::{
+    EmpiricalError, EmpiricalModel, ProfileError, ProfileModel, ProfileTables, MA_POINTS,
+    MM_HIGH_POINTS, MM_LOW_POINTS, OVERHEAD_POINTS,
+};
+
+use crate::testbed::Testbed;
+
+/// How much measuring to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfilingConfig {
+    /// Largest allocation measured (the paper's 32).
+    pub max_p: usize,
+    /// Trials per task measurement.
+    pub task_trials: u64,
+    /// Trials per startup measurement (the paper uses 20).
+    pub startup_trials: u64,
+    /// Trials per redistribution measurement (the paper uses 3).
+    pub redist_trials: u64,
+}
+
+impl Default for ProfilingConfig {
+    fn default() -> Self {
+        ProfilingConfig {
+            max_p: 32,
+            task_trials: 3,
+            startup_trials: 20,
+            redist_trials: 3,
+        }
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>, count: u64) -> f64 {
+    values.sum::<f64>() / count as f64
+}
+
+/// Full task profiles: `result[k][p-1]` = mean measured time of kernel `k`
+/// at allocation `p`.
+pub fn profile_tasks(
+    tb: &Testbed,
+    kernels: &[Kernel],
+    cfg: &ProfilingConfig,
+) -> Vec<(Kernel, Vec<f64>)> {
+    kernels
+        .iter()
+        .map(|&k| {
+            let times = (1..=cfg.max_p)
+                .map(|p| {
+                    mean(
+                        (0..cfg.task_trials).map(|t| tb.time_task_once(k, p, t)),
+                        cfg.task_trials,
+                    )
+                })
+                .collect();
+            (k, times)
+        })
+        .collect()
+}
+
+/// Startup curve: `result[p-1]` = mean over trials (Figure 3).
+pub fn measure_startup_curve(tb: &Testbed, cfg: &ProfilingConfig) -> Vec<f64> {
+    (1..=cfg.max_p)
+        .map(|p| {
+            mean(
+                (0..cfg.startup_trials).map(|t| tb.time_startup_once(p, t)),
+                cfg.startup_trials,
+            )
+        })
+        .collect()
+}
+
+/// Redistribution surface: `result[p_src-1][p_dst-1]` (Figure 4).
+pub fn measure_redist_surface(tb: &Testbed, cfg: &ProfilingConfig) -> Vec<Vec<f64>> {
+    (1..=cfg.max_p)
+        .map(|p_src| {
+            (1..=cfg.max_p)
+                .map(|p_dst| {
+                    mean(
+                        (0..cfg.redist_trials)
+                            .map(|t| tb.time_redistribution_once(p_src, p_dst, t)),
+                        cfg.redist_trials,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Reduces the surface over `p_src` (the paper's §VI-C averaging).
+pub fn redist_by_dst(surface: &[Vec<f64>]) -> Vec<f64> {
+    if surface.is_empty() {
+        return Vec::new();
+    }
+    let cols = surface[0].len();
+    (0..cols)
+        .map(|d| surface.iter().map(|row| row[d]).sum::<f64>() / surface.len() as f64)
+        .collect()
+}
+
+/// The §VI brute-force pipeline: full profiles → a profile model.
+pub fn build_profile_model(
+    tb: &Testbed,
+    kernels: &[Kernel],
+    cfg: &ProfilingConfig,
+) -> Result<ProfileModel, ProfileError> {
+    let tables = ProfileTables {
+        task: profile_tasks(tb, kernels, cfg),
+        startup: measure_startup_curve(tb, cfg),
+        redist_by_dst: redist_by_dst(&measure_redist_surface(tb, cfg)),
+    };
+    ProfileModel::new(tables)
+}
+
+/// The §VII sparse pipeline: measure only the paper's sample points and
+/// fit the Table II model structure.
+///
+/// Multiplications use `p ∈ {2, 4, 7, 15}` (hyperbolic) and `{15, 24, 31}`
+/// (linear) — the substituted points that dodge the `p = 8, 16` outliers;
+/// additions use all six; overheads use `p ∈ {1, 16, 32}`.
+pub fn fit_empirical_model(
+    tb: &Testbed,
+    kernels: &[Kernel],
+    cfg: &ProfilingConfig,
+) -> Result<EmpiricalModel, EmpiricalError> {
+    let task_samples: Vec<(Kernel, Vec<(usize, f64)>)> = kernels
+        .iter()
+        .map(|&k| {
+            let points: Vec<usize> = match k {
+                Kernel::MatMul { .. } => {
+                    let mut v: Vec<usize> =
+                        MM_LOW_POINTS.iter().chain(MM_HIGH_POINTS.iter()).copied().collect();
+                    v.dedup();
+                    v
+                }
+                Kernel::MatAdd { .. } => MA_POINTS.to_vec(),
+            };
+            let samples = points
+                .into_iter()
+                .filter(|&p| p <= cfg.max_p)
+                .map(|p| {
+                    (
+                        p,
+                        mean(
+                            (0..cfg.task_trials).map(|t| tb.time_task_once(k, p, t)),
+                            cfg.task_trials,
+                        ),
+                    )
+                })
+                .collect();
+            (k, samples)
+        })
+        .collect();
+
+    let startup_samples: Vec<(usize, f64)> = OVERHEAD_POINTS
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                mean(
+                    (0..cfg.startup_trials).map(|t| tb.time_startup_once(p, t)),
+                    cfg.startup_trials,
+                ),
+            )
+        })
+        .collect();
+
+    // Redistribution: average over a few p_src values at each sampled
+    // p_dst, as the paper reduces over the source dimension.
+    let src_probe = [1usize, 8, 16, 24, 32];
+    let redist_samples: Vec<(usize, f64)> = OVERHEAD_POINTS
+        .iter()
+        .map(|&p_dst| {
+            let v = src_probe
+                .iter()
+                .map(|&p_src| {
+                    mean(
+                        (0..cfg.redist_trials)
+                            .map(|t| tb.time_redistribution_once(p_src, p_dst, t)),
+                        cfg.redist_trials,
+                    )
+                })
+                .sum::<f64>()
+                / src_probe.len() as f64;
+            (p_dst, v)
+        })
+        .collect();
+
+    EmpiricalModel::fit(&task_samples, &startup_samples, &redist_samples)
+}
+
+/// The four kernels of the paper's corpus.
+pub fn paper_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel::MatMul { n: 2000 },
+        Kernel::MatMul { n: 3000 },
+        Kernel::MatAdd { n: 2000 },
+        Kernel::MatAdd { n: 3000 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_model::PerfModel;
+
+    fn quick_cfg() -> ProfilingConfig {
+        ProfilingConfig {
+            max_p: 32,
+            task_trials: 2,
+            startup_trials: 5,
+            redist_trials: 2,
+        }
+    }
+
+    #[test]
+    fn profiles_cover_every_allocation() {
+        let tb = Testbed::bayreuth(3);
+        let profiles = profile_tasks(&tb, &paper_kernels(), &quick_cfg());
+        assert_eq!(profiles.len(), 4);
+        for (k, times) in &profiles {
+            assert_eq!(times.len(), 32, "{k}");
+            assert!(times.iter().all(|&t| t > 0.0));
+        }
+    }
+
+    #[test]
+    fn profile_means_track_ground_truth() {
+        let tb = Testbed::bayreuth(3);
+        let cfg = ProfilingConfig {
+            task_trials: 20,
+            ..quick_cfg()
+        };
+        let profiles = profile_tasks(&tb, &[Kernel::MatMul { n: 2000 }], &cfg);
+        let truth = tb.ground_truth();
+        for (p, &measured) in profiles[0].1.iter().enumerate() {
+            let t = truth.task_time_mean(Kernel::MatMul { n: 2000 }, p + 1);
+            assert!(
+                (measured / t - 1.0).abs() < 0.05,
+                "p={}: {measured} vs {t}",
+                p + 1
+            );
+        }
+    }
+
+    #[test]
+    fn startup_curve_has_figure_3_shape() {
+        let tb = Testbed::bayreuth(3);
+        let curve = measure_startup_curve(&tb, &quick_cfg());
+        assert_eq!(curve.len(), 32);
+        assert!(curve[31] > curve[0], "growing overall");
+        assert!(curve.windows(2).any(|w| w[1] < w[0]), "non-monotonic");
+    }
+
+    #[test]
+    fn redist_surface_and_reduction() {
+        let tb = Testbed::bayreuth(3);
+        let cfg = ProfilingConfig {
+            max_p: 8,
+            ..quick_cfg()
+        };
+        let surface = measure_redist_surface(&tb, &cfg);
+        assert_eq!(surface.len(), 8);
+        assert_eq!(surface[0].len(), 8);
+        let by_dst = redist_by_dst(&surface);
+        assert_eq!(by_dst.len(), 8);
+        // Dominated by p_dst: the reduced curve grows.
+        assert!(by_dst[7] > by_dst[0]);
+    }
+
+    #[test]
+    fn profile_model_reproduces_measured_values() {
+        let tb = Testbed::bayreuth(3);
+        let cfg = quick_cfg();
+        let model = build_profile_model(&tb, &paper_kernels(), &cfg).unwrap();
+        let profiles = profile_tasks(&tb, &paper_kernels(), &cfg);
+        for (k, times) in profiles {
+            for (i, &t) in times.iter().enumerate() {
+                assert_eq!(model.task_time(k, i + 1), t);
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_fit_lands_near_table_ii() {
+        let tb = Testbed::bayreuth(3);
+        let cfg = ProfilingConfig {
+            task_trials: 10,
+            startup_trials: 20,
+            redist_trials: 5,
+            max_p: 32,
+        };
+        let fitted = fit_empirical_model(&tb, &paper_kernels(), &cfg).unwrap();
+        let paper = EmpiricalModel::table_ii();
+        // Startup fit: slope/intercept within a reasonable band of
+        // (0.03, 0.65) — the ground truth wiggles by design.
+        assert!((fitted.startup.a - paper.startup.a).abs() < 0.01);
+        assert!((fitted.startup.b - paper.startup.b).abs() < 0.15);
+        // Redistribution slope within a band of 7.88 ms/proc.
+        assert!(
+            (fitted.redist.a - paper.redist.a).abs() < 0.006,
+            "redist slope {} vs {}",
+            fitted.redist.a,
+            paper.redist.a
+        );
+        // Task predictions within a band of the paper curve at small p
+        // (the truth's wiggle is ±12 %; the n = 2000 curve additionally
+        // enters its linear regime before p = 15, where the paper's own
+        // low/high fits contradict each other — see GroundTruth docs).
+        for k in paper_kernels() {
+            for p in [2usize, 4, 7] {
+                let a = fitted.task_time(k, p);
+                let b = paper.task_time(k, p);
+                assert!(
+                    (a / b - 1.0).abs() < 0.30,
+                    "{k} p={p}: fitted {a} vs table {b}"
+                );
+            }
+        }
+        // The high regime of the n = 2000 multiplication matches the
+        // paper's linear model closely (that is where its samples live).
+        let k2000 = Kernel::MatMul { n: 2000 };
+        for p in [24usize, 31] {
+            let a = fitted.task_time(k2000, p);
+            let b = paper.task_time(k2000, p);
+            assert!(
+                (a / b - 1.0).abs() < 0.30,
+                "mm2000 p={p}: fitted {a} vs table {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_fit_avoids_the_outliers() {
+        // Fitted on {2,4,7,15}, the model must under-predict the planted
+        // outlier at (n=3000, p=8) — the Fig. 7 discrepancy mechanism.
+        let tb = Testbed::bayreuth(3);
+        let fitted = fit_empirical_model(&tb, &paper_kernels(), &quick_cfg()).unwrap();
+        let k = Kernel::MatMul { n: 3000 };
+        let measured = tb.ground_truth().task_time_mean(k, 8);
+        let predicted = fitted.task_time(k, 8);
+        assert!(
+            measured > 1.15 * predicted,
+            "outlier should exceed the fit: {measured} vs {predicted}"
+        );
+    }
+}

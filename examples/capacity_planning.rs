@@ -1,0 +1,97 @@
+//! Capacity planning with a calibrated simulator: how many cluster nodes
+//! does a workload actually need?
+//!
+//! The paper's conclusion suggests calibrated models "could be instantiated
+//! for an existing execution environment and scaled to simulate an
+//! hypothetical execution environment". This example does exactly that:
+//! it calibrates on the 32-node emulated cluster, then sweeps hypothetical
+//! cluster sizes and reports the simulated makespan of a workflow batch —
+//! the knee of the curve is the sensible purchase.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use mps_core::prelude::*;
+
+fn main() {
+    // Calibrate once against the existing 32-node environment.
+    let testbed = Testbed::bayreuth(77);
+    let cfg = ProfilingConfig::default();
+    let kernels = vec![
+        Kernel::MatMul { n: 2000 },
+        Kernel::MatAdd { n: 2000 },
+    ];
+    let model = fit_empirical_model(&testbed, &kernels, &cfg).expect("fit succeeds");
+
+    // The workload: a batch of DAGs from the corpus (n = 2000 only).
+    let corpus = paper_corpus(PAPER_CORPUS_SEED);
+    let batch: Vec<_> = corpus
+        .iter()
+        .filter(|g| g.params.matrix_size == 2000)
+        .take(6)
+        .collect();
+
+    println!("capacity planning for a {}-DAG batch (HCPA, empirical model)", batch.len());
+    println!("{:>6} {:>16} {:>14}", "nodes", "batch makespan", "vs 32 nodes");
+
+    let mut baseline = None;
+    for nodes in [4usize, 8, 12, 16, 24, 32, 48, 64] {
+        // A hypothetical cluster: same node/interconnect characteristics,
+        // different size.
+        let mut spec = ClusterSpec::bayreuth();
+        spec.nodes = nodes;
+        let cluster = spec.build().expect("valid spec");
+        let sim = Simulator::new(cluster, model.clone());
+
+        // DAGs run back to back (the scheduler owns the whole machine per
+        // DAG — the paper's dedicated-access setting).
+        let total: f64 = batch
+            .iter()
+            .map(|g| {
+                sim.schedule_and_simulate(&g.dag, &Hcpa)
+                    .expect("simulates")
+                    .result
+                    .makespan
+            })
+            .sum();
+        if nodes == 32 {
+            baseline = Some(total);
+        }
+        match baseline {
+            Some(b) => println!("{nodes:>6} {total:>15.1}s {:>13.2}x", total / b),
+            None => println!("{nodes:>6} {total:>15.1}s {:>13}", "-"),
+        }
+    }
+
+    println!();
+    println!("Diminishing returns set in once per-task allocations hit the");
+    println!("overhead regime (startup ~0.03·p s, flattening task times): the");
+    println!("calibrated model exposes exactly the effect the analytic model hides.");
+
+    // Second question: keep 32 nodes but buy faster ones? Scale the
+    // calibrated model (the paper's closing suggestion) — environment
+    // overheads (SSH/JVM startup, redistribution protocol) do not scale
+    // with CPU speed, which is exactly what makes this interesting.
+    println!();
+    println!("upgrading node speed instead (32 nodes, scaled empirical model):");
+    println!("{:>8} {:>16}", "speedup", "batch makespan");
+    for speedup in [1.0f64, 2.0, 4.0, 8.0] {
+        let scaled = model.scaled(speedup, false);
+        let sim = Simulator::new(Cluster::bayreuth(), scaled);
+        let total: f64 = batch
+            .iter()
+            .map(|g| {
+                sim.schedule_and_simulate(&g.dag, &Hcpa)
+                    .expect("simulates")
+                    .result
+                    .makespan
+            })
+            .sum();
+        println!("{speedup:>7}x {total:>15.1}s");
+    }
+    println!();
+    println!("CPU speedups saturate against the fixed environment overheads —");
+    println!("Amdahl's law at the cluster-runtime level, visible only because the");
+    println!("calibrated model keeps startup/redistribution costs separate.");
+}

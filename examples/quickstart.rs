@@ -1,0 +1,63 @@
+//! Quickstart: schedule one mixed-parallel application, simulate it with
+//! all three simulator versions, and compare against the emulated
+//! "experiment".
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mps_core::prelude::*;
+
+fn main() {
+    // 1. A mixed-parallel application: one DAG from the paper's Table I
+    //    corpus (10 moldable matrix tasks, n = 2000).
+    let corpus = paper_corpus(PAPER_CORPUS_SEED);
+    let g = corpus
+        .iter()
+        .find(|g| g.params.matrix_size == 2000)
+        .expect("corpus has n = 2000 DAGs");
+    println!("application: {} ({} tasks, {} edges, depth {})", g.name(), g.dag.len(), g.dag.edge_count(), g.dag.depth());
+    println!("{}", g.dag.to_dot(&g.name()));
+
+    // 2. The emulated execution environment (ground truth hidden inside).
+    let testbed = Testbed::bayreuth(42);
+
+    // 3. Instantiate the three simulator models. The analytic model needs
+    //    nothing; profile and empirical models are built from testbed
+    //    measurements, as §VI/§VII of the paper do.
+    let cfg = ProfilingConfig::default();
+    let kernels = vec![
+        Kernel::MatMul { n: 2000 },
+        Kernel::MatAdd { n: 2000 },
+    ];
+    let profile = build_profile_model(&testbed, &kernels, &cfg).expect("profiling succeeds");
+    let empirical = fit_empirical_model(&testbed, &kernels, &cfg).expect("fitting succeeds");
+
+    // 4. For each simulator version: schedule with HCPA under that model,
+    //    simulate, then run the same schedule on the testbed.
+    println!("{:<10} {:>14} {:>14} {:>10}", "simulator", "simulated [s]", "measured [s]", "error");
+    run_variant(&testbed, &g.dag, AnalyticModel::paper_jvm());
+    run_variant(&testbed, &g.dag, profile);
+    run_variant(&testbed, &g.dag, empirical);
+
+    println!();
+    println!("The analytic simulator underestimates badly (missing startup and");
+    println!("redistribution overheads, mis-modelled task times); the measured");
+    println!("profile version tracks the experiment closely — the paper's core result.");
+}
+
+fn run_variant<M: PerfModel + Clone>(testbed: &Testbed, dag: &Dag, model: M) {
+    let name = model.name();
+    let sim = Simulator::new(testbed.nominal_cluster(), model);
+    let out = sim
+        .schedule_and_simulate(dag, &Hcpa)
+        .expect("valid schedule simulates");
+    let real = testbed
+        .execute(dag, &out.schedule, 0)
+        .expect("valid schedule executes");
+    let err = (out.result.makespan - real.makespan).abs() / real.makespan * 100.0;
+    println!(
+        "{:<10} {:>14.2} {:>14.2} {:>9.1}%",
+        name, out.result.makespan, real.makespan, err
+    );
+}

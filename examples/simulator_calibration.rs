@@ -1,0 +1,89 @@
+//! Calibrating a simulator against a real (here: emulated) environment —
+//! the paper's §VI–§VII methodology as a reusable recipe.
+//!
+//! Walks through: (1) quantify the analytic model's error; (2) measure the
+//! environment (profiles, startup, redistribution); (3) fit sparse
+//! regression models, with and without outlier handling; (4) verify the
+//! calibrated simulator against fresh executions.
+//!
+//! ```text
+//! cargo run --release --example simulator_calibration
+//! ```
+
+use mps_core::prelude::*;
+use mps_core::regress::{detect_outliers, fit_robust};
+
+fn main() {
+    let testbed = Testbed::bayreuth(1234);
+    let mm3000 = Kernel::MatMul { n: 3000 };
+
+    // -- Step 1: how wrong is the analytic model? ------------------------
+    let analytic = AnalyticModel::paper_jvm();
+    println!("Step 1 — analytic-model error for mm(n=3000):");
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let meas: f64 = (0..5).map(|t| testbed.time_task_once(mm3000, p, t)).sum::<f64>() / 5.0;
+        let pred = analytic.task_time(mm3000, p);
+        println!(
+            "  p = {p:>2}: predicted {pred:>7.1} s, measured {meas:>7.1} s ({:+.0}%)",
+            (pred - meas) / meas * 100.0
+        );
+    }
+
+    // -- Step 2: sparse measurements at powers of two --------------------
+    let naive_points = [1usize, 2, 4, 8, 16, 32];
+    let samples: Vec<(f64, f64)> = naive_points
+        .iter()
+        .map(|&p| {
+            let t: f64 =
+                (0..5).map(|tr| testbed.time_task_once(mm3000, p, tr)).sum::<f64>() / 5.0;
+            (p as f64, t)
+        })
+        .collect();
+    let (ps, ys): (Vec<f64>, Vec<f64>) = samples.iter().copied().unzip();
+
+    // -- Step 3: fit, detect outliers, refit robustly ---------------------
+    let naive = fit_affine(Basis::Recip, &ps, &ys).expect("fit");
+    println!("\nStep 2/3 — naive fit over powers of two: {naive}");
+    let flagged = detect_outliers(Basis::Recip, &ps, &ys, 1.0).expect("detect");
+    println!(
+        "  flagged outliers at p = {:?} (the paper found p = 8, 16)",
+        flagged.iter().map(|&i| ps[i] as usize).collect::<Vec<_>>()
+    );
+    let robust = fit_robust(Basis::Recip, &ps, &ys, 1.0, 4).expect("robust fit");
+    println!(
+        "  robust fit after discarding {:?}: {}",
+        robust
+            .discarded
+            .iter()
+            .map(|&i| ps[i] as usize)
+            .collect::<Vec<_>>(),
+        robust.model
+    );
+    println!("  (paper's manual workaround: substitute sample points 7 and 15)");
+
+    // -- Step 4: full empirical model + verification ----------------------
+    let cfg = ProfilingConfig::default();
+    let kernels = vec![
+        Kernel::MatMul { n: 3000 },
+        Kernel::MatAdd { n: 3000 },
+    ];
+    let model = fit_empirical_model(&testbed, &kernels, &cfg).expect("fit");
+    println!("\nStep 4 — calibrated empirical simulator vs fresh executions:");
+    let corpus = paper_corpus(PAPER_CORPUS_SEED);
+    let sim = Simulator::new(testbed.nominal_cluster(), model);
+    let mut errors = Vec::new();
+    for g in corpus.iter().filter(|g| g.params.matrix_size == 3000).take(5) {
+        let out = sim.schedule_and_simulate(&g.dag, &Hcpa).expect("simulates");
+        let real = testbed.execute(&g.dag, &out.schedule, 99).expect("executes");
+        let err = (out.result.makespan - real.makespan).abs() / real.makespan * 100.0;
+        errors.push(err);
+        println!(
+            "  {}: simulated {:>7.1} s, measured {:>7.1} s, error {err:.1}%",
+            g.name(),
+            out.result.makespan,
+            real.makespan
+        );
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!("  mean error {mean:.1}% — calibrated simulation is usable (paper: <10%)");
+}

@@ -1,0 +1,1 @@
+//! Workspace root: examples and integration tests live here.

@@ -1,0 +1,150 @@
+//! Workspace-spanning integration tests: the full §V-A pipeline — generate
+//! DAGs, schedule, simulate with all three simulator versions, execute on
+//! the emulated testbed — and the paper's qualitative claims on a corpus
+//! subset.
+
+use mps_core::prelude::*;
+
+fn subset(n: usize) -> Vec<GeneratedDag> {
+    paper_corpus(PAPER_CORPUS_SEED).into_iter().take(n).collect()
+}
+
+#[test]
+fn full_pipeline_produces_valid_results_for_all_models() {
+    let testbed = Testbed::bayreuth(42);
+    let cfg = ProfilingConfig {
+        task_trials: 2,
+        startup_trials: 5,
+        redist_trials: 2,
+        max_p: 32,
+    };
+    let kernels = vec![
+        Kernel::MatMul { n: 2000 },
+        Kernel::MatMul { n: 3000 },
+        Kernel::MatAdd { n: 2000 },
+        Kernel::MatAdd { n: 3000 },
+    ];
+    let profile = build_profile_model(&testbed, &kernels, &cfg).unwrap();
+    let empirical = fit_empirical_model(&testbed, &kernels, &cfg).unwrap();
+
+    for g in subset(6) {
+        for algo in [&Hcpa as &dyn Scheduler, &Mcpa] {
+            // Analytic.
+            let sim = Simulator::new(testbed.nominal_cluster(), AnalyticModel::paper_jvm());
+            let a = sim.schedule_and_simulate(&g.dag, algo).unwrap();
+            a.schedule.validate(&g.dag, &testbed.nominal_cluster()).unwrap();
+            // Profile.
+            let sim = Simulator::new(testbed.nominal_cluster(), profile.clone());
+            let p = sim.schedule_and_simulate(&g.dag, algo).unwrap();
+            // Empirical.
+            let sim = Simulator::new(testbed.nominal_cluster(), empirical.clone());
+            let e = sim.schedule_and_simulate(&g.dag, algo).unwrap();
+
+            for out in [&a, &p, &e] {
+                assert!(out.result.makespan.is_finite() && out.result.makespan > 0.0);
+                let real = testbed.execute(&g.dag, &out.schedule, 0).unwrap();
+                assert!(real.makespan > 0.0);
+                // Every task has a coherent span in both worlds.
+                for (i, &(s, f)) in out.result.task_spans.iter().enumerate() {
+                    assert!(f >= s, "task {i} sim span");
+                    let (rs, rf) = real.task_spans[i];
+                    assert!(rf >= rs, "task {i} real span");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn refined_simulators_track_reality_and_analytic_does_not() {
+    let testbed = Testbed::bayreuth(2011);
+    let cfg = ProfilingConfig::default();
+    let kernels = vec![
+        Kernel::MatMul { n: 2000 },
+        Kernel::MatMul { n: 3000 },
+        Kernel::MatAdd { n: 2000 },
+        Kernel::MatAdd { n: 3000 },
+    ];
+    let profile = build_profile_model(&testbed, &kernels, &cfg).unwrap();
+    let empirical = fit_empirical_model(&testbed, &kernels, &cfg).unwrap();
+
+    let mut analytic_errs = Vec::new();
+    let mut profile_errs = Vec::new();
+    let mut empirical_errs = Vec::new();
+    for g in subset(10) {
+        let run = |m: &dyn Fn() -> (f64, Schedule)| -> f64 {
+            let (sim_ms, schedule) = m();
+            let real = testbed.execute(&g.dag, &schedule, 1).unwrap();
+            (sim_ms - real.makespan).abs() / real.makespan
+        };
+        let c = testbed.nominal_cluster();
+        analytic_errs.push(run(&|| {
+            let s = Simulator::new(c.clone(), AnalyticModel::paper_jvm());
+            let o = s.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+            (o.result.makespan, o.schedule)
+        }));
+        profile_errs.push(run(&|| {
+            let s = Simulator::new(c.clone(), profile.clone());
+            let o = s.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+            (o.result.makespan, o.schedule)
+        }));
+        empirical_errs.push(run(&|| {
+            let s = Simulator::new(c.clone(), empirical.clone());
+            let o = s.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+            (o.result.makespan, o.schedule)
+        }));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (a, p, e) = (
+        mean(&analytic_errs),
+        mean(&profile_errs),
+        mean(&empirical_errs),
+    );
+    // The paper's ordering: analytic ≫ empirical ≥ profile.
+    assert!(a > 3.0 * p, "analytic {a} vs profile {p}");
+    assert!(a > 2.0 * e, "analytic {a} vs empirical {e}");
+    assert!(p < 0.10, "profile mean error {p} (paper: <10%)");
+}
+
+#[test]
+fn schedules_transfer_between_platforms() {
+    // A schedule computed against the nominal platform is valid on the
+    // testbed's derated platform (same node count) — and vice versa.
+    let testbed = Testbed::bayreuth(0);
+    let g = &subset(1)[0];
+    let schedule = Hcpa.schedule(
+        &g.dag,
+        &testbed.nominal_cluster(),
+        &AnalyticModel::paper_jvm(),
+    );
+    schedule.validate(&g.dag, testbed.cluster()).unwrap();
+}
+
+#[test]
+fn corpus_regeneration_is_stable_across_calls() {
+    let a = paper_corpus(PAPER_CORPUS_SEED);
+    let b = paper_corpus(PAPER_CORPUS_SEED);
+    assert_eq!(a.len(), 54);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.dag, y.dag);
+        assert_eq!(x.name(), y.name());
+    }
+}
+
+#[test]
+fn testbed_experiments_are_deterministic_per_seed_and_noisy_across_seeds() {
+    let testbed = Testbed::bayreuth(5);
+    let g = &subset(1)[0];
+    let schedule = Hcpa.schedule(
+        &g.dag,
+        &testbed.nominal_cluster(),
+        &AnalyticModel::paper_jvm(),
+    );
+    let a = testbed.execute(&g.dag, &schedule, 10).unwrap();
+    let b = testbed.execute(&g.dag, &schedule, 10).unwrap();
+    assert_eq!(a, b, "same run seed → identical execution");
+    let c = testbed.execute(&g.dag, &schedule, 11).unwrap();
+    assert_ne!(a.makespan, c.makespan, "different run seed → noise");
+    let spread = (a.makespan - c.makespan).abs() / a.makespan;
+    assert!(spread < 0.25, "noise is bounded: {spread}");
+}

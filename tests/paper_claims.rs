@@ -1,0 +1,104 @@
+//! The paper's headline claims, asserted over the **full** 54-DAG corpus —
+//! the same computation as `repro all`, with the reproduction contract
+//! encoded as assertions. Run in release for speed
+//! (`cargo test --release --test paper_claims`), though debug is fine too.
+
+use mps_exp::{paired_relative_makespans, CellResult, Harness, SimVariant};
+
+fn median(xs: &mut Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn median_error(cells: &[CellResult], v: SimVariant) -> f64 {
+    let mut errs: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.variant == v)
+        .map(CellResult::error_pct)
+        .collect();
+    median(&mut errs)
+}
+
+fn wrong_verdicts(cells: &[CellResult], v: SimVariant, n: usize) -> (usize, usize) {
+    let pairs = paired_relative_makespans(cells, v, n);
+    let sim: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let exp: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    let c = mps_core::stats::count_agreement(&sim, &exp, 0.0);
+    (c.disagree, c.total())
+}
+
+#[test]
+fn headline_claims_hold_on_the_full_corpus() {
+    let harness = Harness::new(2011);
+    let cells = harness.run_grid(1);
+    assert_eq!(cells.len(), 54 * 3 * 2);
+
+    // Claim 1 (Fig. 8): analytic error ≫ profile and empirical errors.
+    let a = median_error(&cells, SimVariant::Analytic);
+    let p = median_error(&cells, SimVariant::Profile);
+    let e = median_error(&cells, SimVariant::Empirical);
+    assert!(a > 5.0 * p, "analytic {a}% vs profile {p}%");
+    assert!(a > 3.0 * e, "analytic {a}% vs empirical {e}%");
+
+    // Claim 2 (§VI): profile errors under 10 % on average.
+    assert!(p < 10.0, "profile median {p}%");
+
+    // Claim 3 (Figs. 1/5/7): the verdict-error ordering.
+    for n in [2000usize, 3000] {
+        let (wa, ta) = wrong_verdicts(&cells, SimVariant::Analytic, n);
+        let (wp, _) = wrong_verdicts(&cells, SimVariant::Profile, n);
+        let (we, _) = wrong_verdicts(&cells, SimVariant::Empirical, n);
+        assert_eq!(ta, 27, "27 DAGs per size");
+        assert!(
+            wa > wp && wa > we,
+            "n={n}: analytic {wa} vs profile {wp} vs empirical {we}"
+        );
+        // The analytic simulator is wrong often enough to be unusable
+        // (paper: 26–60 %; we require ≥ 20 %).
+        assert!(wa * 5 >= ta, "n={n}: analytic only {wa}/{ta} wrong");
+        // The profile simulator is nearly always right (paper: ≤ 3).
+        assert!(wp <= 3, "n={n}: profile {wp} wrong");
+    }
+
+    // Claim 4 (§VI-D prose, adapted): with refined models, simulation and
+    // experiment agree on a consistent overall winner at n = 2000. (In the
+    // paper that winner "happens to be" HCPA; with our reimplemented
+    // algorithm internals it is MCPA — the incidental direction flips, the
+    // transferable claim is the agreement. See EXPERIMENTS.md.)
+    let pairs = paired_relative_makespans(&cells, SimVariant::Profile, 2000);
+    let exp_hcpa_wins = pairs.iter().filter(|p| p.2 < 0.0).count();
+    let sim_hcpa_wins = pairs.iter().filter(|p| p.1 < 0.0).count();
+    let exp_consistent = exp_hcpa_wins * 3 <= pairs.len() || exp_hcpa_wins * 3 >= 2 * pairs.len();
+    assert!(exp_consistent, "no clear experimental winner: {exp_hcpa_wins}/{}", pairs.len());
+    let same_side = (exp_hcpa_wins * 2 > pairs.len()) == (sim_hcpa_wins * 2 > pairs.len());
+    assert!(
+        same_side,
+        "sim ({sim_hcpa_wins}) and experiment ({exp_hcpa_wins}) disagree on the overall winner"
+    );
+}
+
+#[test]
+fn simulated_makespans_rank_reality_well() {
+    // Rank-fidelity companion: every simulator orders the 108 cells
+    // broadly like the testbed; the refined ones almost perfectly.
+    let harness = Harness::new(2011);
+    let cells = harness.run_grid(1);
+    for (variant, floor) in [
+        (SimVariant::Analytic, 0.8),
+        (SimVariant::Profile, 0.99),
+        (SimVariant::Empirical, 0.9),
+    ] {
+        let sims: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.variant == variant)
+            .map(|c| c.sim_makespan)
+            .collect();
+        let reals: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.variant == variant)
+            .map(|c| c.real_makespan)
+            .collect();
+        let rho = mps_core::stats::spearman(&sims, &reals).expect("non-constant");
+        assert!(rho > floor, "{}: ρ = {rho}", variant.name());
+    }
+}

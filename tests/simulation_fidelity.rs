@@ -1,0 +1,210 @@
+//! Cross-crate checks that the simulation stack is numerically coherent:
+//! the L07 engine, the redistribution planner, the schedulers and the
+//! executor agree on hand-computable scenarios.
+
+use mps_core::dag::TaskId;
+use mps_core::prelude::*;
+use mps_core::sched::ScheduledTask;
+
+/// A two-task chain where every quantity is hand-computable under the
+/// analytic model.
+#[test]
+fn hand_computed_chain_makespan() {
+    // t0: mm(n=2000) on hosts {0,1}; t1: ma(n=2000) on host {2}.
+    let dag = Dag::new(
+        vec![Kernel::MatMul { n: 2000 }, Kernel::MatAdd { n: 2000 }],
+        &[(TaskId(0), TaskId(1))],
+    )
+    .unwrap();
+    let schedule = Schedule {
+        algorithm: "manual".into(),
+        tasks: vec![
+            ScheduledTask {
+                task: TaskId(0),
+                hosts: vec![HostId(0), HostId(1)],
+                est_start: 0.0,
+                est_finish: 32.0,
+            },
+            ScheduledTask {
+                task: TaskId(1),
+                hosts: vec![HostId(2)],
+                est_start: 32.0,
+                est_finish: 41.0,
+            },
+        ],
+        est_makespan: 41.0,
+    };
+    let sim = Simulator::new(Cluster::bayreuth(), AnalyticModel::paper_jvm());
+    let r = sim.simulate(&dag, &schedule).unwrap();
+
+    // t0 compute: 2·2000³/2 flops per host / 250 MFlop/s = 32 s; ring
+    // communication (2 hosts): 2 edges × (n²/2)·8 B = 16 MB each, both
+    // crossing the backbone (32 MB → 0.256 s < 32 s, coupled rate is
+    // CPU-bound) + 300 µs latency.
+    // redistribution to host 2: the full 32 MB matrix crosses the network
+    // from hosts 0 and 1 → backbone carries 32 MB → 0.256 s + 300 µs.
+    // t1: adjusted addition (n/4 reps): 500·(2000²) flops = 2e9 → 8 s.
+    let expected = (32.0 + 3.0e-4) + (0.256 + 3.0e-4) + 8.0;
+    assert!(
+        (r.makespan - expected).abs() < 1e-3,
+        "makespan {} vs {expected}",
+        r.makespan
+    );
+}
+
+/// The redistribution planner and the executor agree: co-located ranks do
+/// not use the network, so a same-hosts chain has near-zero transfer time.
+#[test]
+fn co_located_chain_skips_network() {
+    let dag = Dag::new(
+        vec![Kernel::MatAdd { n: 2000 }, Kernel::MatAdd { n: 2000 }],
+        &[(TaskId(0), TaskId(1))],
+    )
+    .unwrap();
+    let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+    let mk = |task, start, finish| ScheduledTask {
+        task,
+        hosts: hosts.clone(),
+        est_start: start,
+        est_finish: finish,
+    };
+    let schedule = Schedule {
+        algorithm: "manual".into(),
+        tasks: vec![mk(TaskId(0), 0.0, 2.0), mk(TaskId(1), 2.0, 4.0)],
+        est_makespan: 4.0,
+    };
+    let sim = Simulator::new(Cluster::bayreuth(), AnalyticModel::paper_jvm());
+    let r = sim.simulate(&dag, &schedule).unwrap();
+    // Two additions of 2e9/4 flops per host = 2 s each, back to back; the
+    // identity redistribution is all-local (zero network time, zero
+    // overhead under the analytic model).
+    assert!((r.makespan - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+}
+
+/// Processor queues serialize tasks that share hosts even when the DAG
+/// allows parallelism.
+#[test]
+fn host_conflicts_serialize_independent_tasks() {
+    let dag = Dag::new(
+        vec![Kernel::MatAdd { n: 2000 }, Kernel::MatAdd { n: 2000 }],
+        &[],
+    )
+    .unwrap();
+    let mk = |task, hosts: Vec<usize>, s, f| ScheduledTask {
+        task,
+        hosts: hosts.into_iter().map(HostId).collect(),
+        est_start: s,
+        est_finish: f,
+    };
+    // Overlapping host sets {0,1} and {1,2}: must serialize on host 1.
+    let schedule = Schedule {
+        algorithm: "manual".into(),
+        tasks: vec![
+            mk(TaskId(0), vec![0, 1], 0.0, 4.0),
+            mk(TaskId(1), vec![1, 2], 4.0, 8.0),
+        ],
+        est_makespan: 8.0,
+    };
+    let sim = Simulator::new(Cluster::bayreuth(), AnalyticModel::paper_jvm());
+    let r = sim.simulate(&dag, &schedule).unwrap();
+    // Each addition: 1e9 flops/host → 4 s. Serialized: 8 s.
+    assert!((r.makespan - 8.0).abs() < 1e-6, "makespan {}", r.makespan);
+
+    // Disjoint hosts run in parallel: 4 s.
+    let schedule = Schedule {
+        algorithm: "manual".into(),
+        tasks: vec![
+            mk(TaskId(0), vec![0, 1], 0.0, 4.0),
+            mk(TaskId(1), vec![2, 3], 0.0, 4.0),
+        ],
+        est_makespan: 4.0,
+    };
+    let r = sim.simulate(&dag, &schedule).unwrap();
+    assert!((r.makespan - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+}
+
+/// Scheduler estimates and executor results agree under a deterministic
+/// model (the estimate is an upper-level approximation; they must be in
+/// the same ballpark, not equal).
+#[test]
+fn scheduler_estimates_are_in_the_executors_ballpark() {
+    let empirical = EmpiricalModel::table_ii();
+    let cluster = Cluster::bayreuth();
+    for g in paper_corpus(PAPER_CORPUS_SEED).iter().take(8) {
+        let schedule = Hcpa.schedule(&g.dag, &cluster, &empirical);
+        let sim = Simulator::new(cluster.clone(), empirical.clone());
+        let r = sim.simulate(&g.dag, &schedule).unwrap();
+        let ratio = r.makespan / schedule.est_makespan;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{}: executor {} vs estimate {}",
+            g.name(),
+            r.makespan,
+            schedule.est_makespan
+        );
+    }
+}
+
+/// The L07 network sees contention between concurrent redistributions:
+/// a fan-out of transfers takes longer than a single one.
+#[test]
+fn concurrent_redistributions_contend() {
+    // One producer on 4 hosts, two consumers on disjoint 4-host sets.
+    let dag_one = Dag::new(
+        vec![Kernel::MatMul { n: 3000 }, Kernel::MatAdd { n: 3000 }],
+        &[(TaskId(0), TaskId(1))],
+    )
+    .unwrap();
+    let dag_two = Dag::new(
+        vec![
+            Kernel::MatMul { n: 3000 },
+            Kernel::MatAdd { n: 3000 },
+            Kernel::MatAdd { n: 3000 },
+        ],
+        &[(TaskId(0), TaskId(1)), (TaskId(0), TaskId(2))],
+    )
+    .unwrap();
+    let hosts = |range: std::ops::Range<usize>| -> Vec<HostId> { range.map(HostId).collect() };
+    let mk = |task: TaskId, h: Vec<HostId>| {
+        // Estimated times are only sanity-checked, not used by the
+        // executor; give producers and consumers consistent slots.
+        let (s, f) = if task.index() == 0 {
+            (0.0, 100.0)
+        } else {
+            (100.0, 200.0)
+        };
+        ScheduledTask {
+            task,
+            hosts: h,
+            est_start: s,
+            est_finish: f,
+        }
+    };
+    let sim = Simulator::new(Cluster::bayreuth(), AnalyticModel::paper_jvm());
+
+    let s1 = Schedule {
+        algorithm: "manual".into(),
+        tasks: vec![mk(TaskId(0), hosts(0..4)), mk(TaskId(1), hosts(4..8))],
+        est_makespan: 0.0,
+    };
+    let r1 = sim.simulate(&dag_one, &s1).unwrap();
+
+    let s2 = Schedule {
+        algorithm: "manual".into(),
+        tasks: vec![
+            mk(TaskId(0), hosts(0..4)),
+            mk(TaskId(1), hosts(4..8)),
+            mk(TaskId(2), hosts(8..12)),
+        ],
+        est_makespan: 0.0,
+    };
+    let r2 = sim.simulate(&dag_two, &s2).unwrap();
+    // Both consumers' redistributions share the backbone; the fan-out run
+    // must be slower than the single-consumer run.
+    assert!(
+        r2.makespan > r1.makespan + 0.1,
+        "fan-out {} vs single {}",
+        r2.makespan,
+        r1.makespan
+    );
+}
