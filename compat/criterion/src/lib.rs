@@ -1,0 +1,340 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! Supports the benchmark declarations this workspace uses:
+//! `criterion_group!`/`criterion_main!`, `Criterion` configuration
+//! builders, benchmark groups, and `Bencher::{iter, iter_batched}`.
+//! Instead of criterion's statistics engine, each benchmark runs
+//! `sample_size` timed batches and reports min/mean/max wall-clock time
+//! per iteration. Like upstream, when the binary is invoked without the
+//! `--bench` flag (e.g. by `cargo test --benches`) each routine runs only
+//! once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(2),
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration (accepted for compatibility; a single untimed
+    /// iteration is used as warm-up).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Soft cap on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// CLI integration point (no-op in the stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self, &id.0, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the final summary (no-op in the stub).
+    pub fn final_summary(&self) {}
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Soft cap on measurement time for this group (no-op in the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn scoped(&self) -> Criterion {
+        let mut c = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        c
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(&self.scoped(), &label, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(&self.scoped(), &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark (optionally parameterized).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (sizes are advisory here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine call.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure to time the hot code.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    smoke: bool,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Times `f` once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warm-up
+        let start_all = Instant::now();
+        for _ in 0..self.requested {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if start_all.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm-up
+        let start_all = Instant::now();
+        for _ in 0..self.requested {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if start_all.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        budget: c.measurement_time,
+        smoke: !c.bench_mode,
+        requested: c.sample_size,
+    };
+    f(&mut bencher);
+    if bencher.smoke {
+        println!("{label}: ok (smoke test, pass --bench to measure)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples collected");
+        return;
+    }
+    let n = bencher.samples.len() as u32;
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n;
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    println!("{label}: mean {mean:?} (min {min:?}, max {max:?}, {n} samples)");
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion {
+            bench_mode: true,
+            ..Criterion::default()
+        }
+        .sample_size(5);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_with_input(BenchmarkId::new("inc", 1), &2usize, |b, &step| {
+            b.iter(|| runs += step)
+        });
+        g.finish();
+        // warm-up + 3 samples, each adding `step` = 2.
+        assert_eq!(runs, (1 + 3) * 2);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion {
+            bench_mode: true,
+            ..Criterion::default()
+        }
+        .sample_size(4);
+        let mut seen = Vec::new();
+        let mut next = 0;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(seen.len(), 5); // warm-up + 4 samples
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 API.
+//!
+//! Only [`thread::scope`] is provided, implemented over
+//! `std::thread::scope` (available since Rust 1.63). Semantics match
+//! crossbeam's: the closure receives a scope handle whose `spawn` passes
+//! the scope back into each worker closure, all workers are joined before
+//! `scope` returns, and a panicking worker surfaces as `Err` rather than
+//! a propagated panic.
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    /// Result of a scope or join: `Err` carries a worker's panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope for spawning borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to one scoped worker.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker; the closure receives the scope so it can spawn
+        /// further workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope, runs `f`, joins all spawned workers, and returns
+    /// `f`'s value — or `Err` with the panic payload if a worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn workers_borrow_and_mutate_disjoint_data() {
+        let mut blocks = vec![0u64; 8];
+        thread::scope(|scope| {
+            for (i, b) in blocks.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *b = i as u64 * 10;
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(blocks, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_worker_value() {
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(|_| 40 + 2);
+            h.join().expect("worker ok")
+        })
+        .expect("scope ok");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_passed_scope() {
+        let r = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("inner ok"))
+                .join()
+                .expect("outer ok")
+        })
+        .expect("scope ok");
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,56 @@
+//! Generator implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Not the upstream `StdRng` byte-stream (upstream uses ChaCha12), but an
+/// equally deterministic, statistically strong small-state generator —
+/// sufficient for everything in this workspace, which relies on seed
+/// determinism and distribution quality rather than a specific stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference design).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // xoshiro's state must not be all-zero; derive a non-zero state
+        // deterministically in that degenerate case.
+        if s.iter().all(|&w| w == 0) {
+            let mut sm = 0x6A09_E667_F3BC_C909;
+            for word in &mut s {
+                *word = crate::splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline drop-in subset of the `rand_distr` 0.4 API.
+//!
+//! Provides [`Normal`] and [`LogNormal`] via the Box–Muller transform.
+//! Each `sample` call consumes exactly two `u64` draws from the generator,
+//! so call counts — and therefore downstream streams — are deterministic.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Parameter errors for normal-family distributions (mirrors
+/// `rand_distr::NormalError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Mean is not finite.
+    MeanTooSmall,
+    /// Standard deviation is negative or not finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean is not finite"),
+            NormalError::BadVariance => write!(f, "standard deviation is negative or not finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Alias matching `rand_distr::Error`-style usage.
+pub type Error = NormalError;
+
+/// Gaussian distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+/// One standard-normal draw via Box–Muller; consumes exactly two `u64`s.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+    let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution of `exp(N(mu, sigma²))`; `sigma` must be
+    /// finite and `>= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_moments_are_plausible() {
+        // For sigma = 0.1 and mu = 0 the mean is exp(sigma²/2) ≈ 1.005.
+        let d = LogNormal::new(0.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.005).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_is_centred_and_scaled() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` in the
+//! offline environment). Supports exactly the shapes this workspace
+//! derives: non-generic named-field structs, tuple structs (newtypes are
+//! transparent), and enums with unit / newtype / tuple / struct variants.
+//! The only recognised field attribute is `#[serde(default)]`; anything
+//! else inside `#[serde(...)]` is a hard error so silent misbehaviour is
+//! impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// The kind of an enum variant.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// Parsed derive input.
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantKind)>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (incl. doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = ident_at(&tokens, i, "expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i, "expected type name");
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => panic!("serde_derive stub: unit structs are not supported (type `{name}`)"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("serde_derive stub: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize, msg: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: {msg}, got {other:?}"),
+    }
+}
+
+/// Consumes attributes at `i`, returning whether `#[serde(default)]` was
+/// among them. Any other `#[serde(...)]` content is rejected.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                let body = match inner.get(1) {
+                    Some(TokenTree::Group(b)) => b.stream().to_string(),
+                    _ => String::new(),
+                };
+                if body.trim() == "default" {
+                    default = true;
+                } else {
+                    panic!("serde_derive stub: unsupported serde attribute `{body}`");
+                }
+            }
+        }
+        *i += 2;
+    }
+    default
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Advances past one type, stopping at a `,` outside all angle brackets.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i, "expected field name");
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the `,` (or past the end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1;
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantKind)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i, "expected variant name");
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip discriminant-free separator.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, kind));
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn field_lookup(map_var: &str, owner: &str, field: &Field) -> String {
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"missing field `{}` in `{}`\"))",
+            field.name, owner
+        )
+    };
+    format!(
+        "{name}: match {map}.iter().find(|__e| __e.0 == \"{name}\") {{\
+           ::std::option::Option::Some(__e) => ::serde::Deserialize::deserialize_value(&__e.1)?,\
+           ::std::option::Option::None => {missing},\
+         }},",
+        name = field.name,
+        map = map_var,
+        missing = missing
+    )
+}
+
+fn map_of_fields(prefix: &str, fields: &[Field]) -> String {
+    let mut s = String::from("{ let mut __m = ::std::vec::Vec::new();");
+    for f in fields {
+        s.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_value({prefix}{name})));",
+            name = f.name,
+            prefix = prefix
+        ));
+    }
+    s.push_str("::serde::Value::Map(__m) }");
+    s
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let body = map_of_fields("&self.", fields);
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\
+               fn to_value(&self) -> ::serde::Value {{\
+                 ::serde::Serialize::to_value(&self.0)\
+               }}\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let mut pushes = String::new();
+            for idx in 0..*arity {
+                pushes.push_str(&format!(
+                    "__s.push(::serde::Serialize::to_value(&self.{idx}));"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     let mut __s = ::std::vec::Vec::new(); {pushes} ::serde::Value::Seq(__s)\
+                   }}\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, kind) in variants {
+                let arm = match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => {{\
+                           let mut __m = ::std::vec::Vec::new();\
+                           __m.push((::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Serialize::to_value(__f0)));\
+                           ::serde::Value::Map(__m)\
+                         }},"
+                    ),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let mut pushes = String::new();
+                        for b in &binds {
+                            pushes
+                                .push_str(&format!("__s.push(::serde::Serialize::to_value({b}));"));
+                        }
+                        format!(
+                            "{name}::{vname}({binds}) => {{\
+                               let mut __s = ::std::vec::Vec::new(); {pushes}\
+                               let mut __m = ::std::vec::Vec::new();\
+                               __m.push((::std::string::String::from(\"{vname}\"), \
+                                         ::serde::Value::Seq(__s)));\
+                               ::serde::Value::Map(__m)\
+                             }},",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = map_of_fields("", fields);
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {{\
+                               let __inner = {inner};\
+                               let mut __m = ::std::vec::Vec::new();\
+                               __m.push((::std::string::String::from(\"{vname}\"), __inner));\
+                               ::serde::Value::Map(__m)\
+                             }},",
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{\
+                     match self {{ {arms} }}\
+                   }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let body = match input {
+        Input::NamedStruct { name, fields } => {
+            let lookups: String = fields
+                .iter()
+                .map(|f| field_lookup("__m", name, f))
+                .collect();
+            format!(
+                "match __v {{\
+                   ::serde::Value::Map(__m) => ::std::result::Result::Ok({name} {{ {lookups} }}),\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected object for struct `{name}`\")),\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __v {{\
+                   ::serde::Value::Seq(__items) if __items.len() == {arity} => \
+                     ::std::result::Result::Ok({name}({elems})),\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected array of length {arity} for `{name}`\")),\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, kind) in variants {
+                match kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                           ::serde::Deserialize::deserialize_value(__inner)?)),"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|k| {
+                                format!("::serde::Deserialize::deserialize_value(&__items[{k}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\
+                               ::serde::Value::Seq(__items) if __items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}::{vname}({elems})),\
+                               __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected array payload for variant `{vname}`\")),\
+                             }},",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let owner = format!("{name}::{vname}");
+                        let lookups: String = fields
+                            .iter()
+                            .map(|f| field_lookup("__fm", &owner, f))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\
+                               ::serde::Value::Map(__fm) => \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {lookups} }}),\
+                               __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected object payload for variant `{vname}`\")),\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       \"unknown variant of `{name}`\")),\
+                   }},\
+                   ::serde::Value::Map(__m) if __m.len() == 1 => {{\
+                     let (__k, __inner) = (&__m[0].0, &__m[0].1);\
+                     match __k.as_str() {{\
+                       {data_arms}\
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"unknown variant of `{name}`\")),\
+                     }}\
+                   }}\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected enum representation for `{name}`\")),\
+                 }}"
+            )
+        }
+    };
+    let name = match input {
+        Input::NamedStruct { name, .. }
+        | Input::TupleStruct { name, .. }
+        | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn deserialize_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+}

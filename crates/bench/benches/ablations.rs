@@ -26,10 +26,19 @@ fn bench_dag_size_scaling(c: &mut Criterion) {
             matrix_size: 2000,
         };
         let dag = generate(&params, 1);
-        g.bench_with_input(BenchmarkId::new("schedule_and_simulate", tasks), &dag, |b, dag| {
-            let sim = Simulator::new(cluster.clone(), model);
-            b.iter(|| sim.schedule_and_simulate(dag, &Hcpa).unwrap().result.makespan);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("schedule_and_simulate", tasks),
+            &dag,
+            |b, dag| {
+                let sim = Simulator::new(cluster.clone(), model);
+                b.iter(|| {
+                    sim.schedule_and_simulate(dag, &Hcpa)
+                        .unwrap()
+                        .result
+                        .makespan
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -50,10 +59,19 @@ fn bench_cluster_size_scaling(c: &mut Criterion) {
         let mut spec = ClusterSpec::bayreuth();
         spec.nodes = nodes;
         let cluster = spec.build().unwrap();
-        g.bench_with_input(BenchmarkId::new("schedule_and_simulate", nodes), &cluster, |b, cluster| {
-            let sim = Simulator::new(cluster.clone(), model);
-            b.iter(|| sim.schedule_and_simulate(&dag, &Hcpa).unwrap().result.makespan);
-        });
+        g.bench_with_input(
+            BenchmarkId::new("schedule_and_simulate", nodes),
+            &cluster,
+            |b, cluster| {
+                let sim = Simulator::new(cluster.clone(), model);
+                b.iter(|| {
+                    sim.schedule_and_simulate(&dag, &Hcpa)
+                        .unwrap()
+                        .result
+                        .makespan
+                });
+            },
+        );
     }
     g.finish();
 }

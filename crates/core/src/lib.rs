@@ -14,6 +14,7 @@
 //! | [`sched`] | CPA / HCPA / MCPA two-phase schedulers |
 //! | [`model`] | analytic / profile / empirical performance models |
 //! | [`sim`] | the three simulator versions + schedule executor |
+//! | [`faults`] | seeded fault-injection plans and the fault model hook |
 //! | [`testbed`] | the emulated execution environment (ground truth) |
 //! | [`regress`] | least-squares fitting (Table II machinery) |
 //! | [`stats`] | statistics, box plots, figure-data helpers |
@@ -38,6 +39,7 @@
 
 pub use mps_dag as dag;
 pub use mps_des as des;
+pub use mps_faults as faults;
 pub use mps_kernels as kernels;
 pub use mps_l07 as l07;
 pub use mps_model as model;
@@ -48,18 +50,82 @@ pub use mps_sim as sim;
 pub use mps_stats as stats;
 pub use mps_testbed as testbed;
 
+/// One error type covering every layer of the stack, for applications
+/// that drive the whole pipeline and want a single `?`-able error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpsError {
+    /// Discrete-event engine failure (including watchdog timeouts).
+    Engine(mps_des::EngineError),
+    /// Max-min fair solver failure.
+    Solver(mps_des::SolverError),
+    /// L07 parallel-task simulation failure.
+    L07(mps_l07::L07Error),
+    /// Schedule execution failure (stall, timeout, exhausted retries).
+    Exec(mps_sim::ExecError),
+    /// Malformed fault-plan description.
+    FaultPlan(mps_faults::PlanParseError),
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpsError::Engine(e) => write!(f, "engine: {e}"),
+            MpsError::Solver(e) => write!(f, "solver: {e}"),
+            MpsError::L07(e) => write!(f, "l07: {e}"),
+            MpsError::Exec(e) => write!(f, "exec: {e}"),
+            MpsError::FaultPlan(e) => write!(f, "fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+impl From<mps_des::EngineError> for MpsError {
+    fn from(e: mps_des::EngineError) -> Self {
+        MpsError::Engine(e)
+    }
+}
+
+impl From<mps_des::SolverError> for MpsError {
+    fn from(e: mps_des::SolverError) -> Self {
+        MpsError::Solver(e)
+    }
+}
+
+impl From<mps_l07::L07Error> for MpsError {
+    fn from(e: mps_l07::L07Error) -> Self {
+        MpsError::L07(e)
+    }
+}
+
+impl From<mps_sim::ExecError> for MpsError {
+    fn from(e: mps_sim::ExecError) -> Self {
+        MpsError::Exec(e)
+    }
+}
+
+impl From<mps_faults::PlanParseError> for MpsError {
+    fn from(e: mps_faults::PlanParseError) -> Self {
+        MpsError::FaultPlan(e)
+    }
+}
+
 /// The most commonly used items, flattened.
 pub mod prelude {
     pub use mps_dag::gen::{paper_corpus, DagGenParams, GeneratedDag, PAPER_CORPUS_SEED};
     pub use mps_dag::{Dag, TaskId};
-    pub use mps_des::{ActivitySpec, Engine};
+    pub use mps_des::{ActivitySpec, Engine, Watchdog};
+    pub use mps_faults::{FaultModel, FaultPlan, ScriptedFaults};
     pub use mps_kernels::{BlockDist1D, Kernel, RedistPlan};
     pub use mps_l07::{L07Sim, PTaskSpec};
     pub use mps_model::{AnalyticModel, EmpiricalModel, PerfModel, ProfileModel, ProfileTables};
     pub use mps_platform::{Cluster, ClusterSpec, HostId};
     pub use mps_regress::{fit_affine, AffineModel, Basis, PiecewiseModel};
     pub use mps_sched::{Cpa, Hcpa, Mcpa, Schedule, Scheduler};
-    pub use mps_sim::{ExecutionResult, SimOutcome, Simulator};
+    pub use mps_sim::{
+        execute_with_policy, ExecError, ExecPolicy, ExecutionResult, FaultyExecution, SimOutcome,
+        Simulator,
+    };
     pub use mps_stats::{boxplot, count_agreement, relative_makespan, summary};
     pub use mps_testbed::{
         build_profile_model, fit_empirical_model, CrayPdgemmEnv, GroundTruth, ProfilingConfig,
@@ -96,6 +162,49 @@ mod facade_tests {
     }
 
     #[test]
+    fn unified_error_wraps_every_layer() {
+        let e: crate::MpsError = mps_sim::ExecError::Timeout { time: 3.0 }.into();
+        assert!(e.to_string().contains("exec"));
+        let e: crate::MpsError = mps_des::EngineError::Timeout {
+            time: 1.0,
+            steps: 2,
+        }
+        .into();
+        assert!(matches!(e, crate::MpsError::Engine(_)));
+        let parse_err = FaultPlan::parse("bogus-clause", 4, 100.0).unwrap_err();
+        let e: crate::MpsError = parse_err.into();
+        assert!(e.to_string().contains("fault plan"));
+        // Round-trip through the std error trait.
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!boxed.to_string().is_empty());
+    }
+
+    #[test]
+    fn prelude_exposes_fault_injection() {
+        // A crash plan through the facade: wrap the testbed path via
+        // Testbed::execute_with_faults and check determinism.
+        let g = &paper_corpus(PAPER_CORPUS_SEED)[0];
+        let testbed = Testbed::bayreuth(1);
+        let sim = Simulator::new(testbed.nominal_cluster(), AnalyticModel::paper_jvm());
+        let out = sim.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+        let plan = FaultPlan::builder(3)
+            .node_crash(HostId(0), 0.0, 5.0)
+            .build();
+        let policy = ExecPolicy {
+            max_retries: 6,
+            ..ExecPolicy::default()
+        };
+        let a = testbed
+            .execute_with_faults(&g.dag, &out.schedule, 0, &plan, &policy)
+            .unwrap();
+        let b = testbed
+            .execute_with_faults(&g.dag, &out.schedule, 0, &plan, &policy)
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.total_retries() > 0);
+    }
+
+    #[test]
     fn module_paths_are_reachable() {
         // The per-subsystem module re-exports.
         let _ = crate::des::SharingProblem::new();
@@ -106,5 +215,6 @@ mod facade_tests {
         let _ = crate::regress::Basis::Recip;
         let _ = crate::dag::shapes::chain(crate::kernels::Kernel::MatAdd { n: 100 }, 2);
         let _ = crate::testbed::GroundTruth::bayreuth();
+        let _ = crate::faults::FaultPlan::none();
     }
 }

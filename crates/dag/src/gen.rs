@@ -63,10 +63,7 @@ impl GeneratedDag {
     pub fn name(&self) -> String {
         format!(
             "w{}-r{}-n{}-s{}",
-            self.params.input_matrices,
-            self.params.add_ratio,
-            self.params.matrix_size,
-            self.sample
+            self.params.input_matrices, self.params.add_ratio, self.params.matrix_size, self.sample
         )
     }
 }

@@ -213,7 +213,11 @@ impl Dag {
 
     /// Number of distinct precedence levels.
     pub fn depth(&self) -> usize {
-        self.precedence_levels().iter().copied().max().map_or(0, |d| d + 1)
+        self.precedence_levels()
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |d| d + 1)
     }
 
     /// Bottom levels under a task-duration function: `bl(t) = time(t) +
@@ -283,11 +287,7 @@ impl Dag {
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{name}\" {{");
         for t in &self.tasks {
-            let _ = writeln!(
-                out,
-                "  t{} [label=\"t{}: {}\"];",
-                t.id.0, t.id.0, t.kernel
-            );
+            let _ = writeln!(out, "  t{} [label=\"t{}: {}\"];", t.id.0, t.id.0, t.kernel);
         }
         for (a, b) in self.edges() {
             let _ = writeln!(out, "  t{} -> t{};", a.0, b.0);
@@ -347,11 +347,7 @@ mod tests {
     #[test]
     fn cycles_are_rejected() {
         let kernels = vec![Kernel::MatMul { n: 10 }, Kernel::MatMul { n: 10 }];
-        let err = Dag::new(
-            kernels,
-            &[(TaskId(0), TaskId(1)), (TaskId(1), TaskId(0))],
-        )
-        .unwrap_err();
+        let err = Dag::new(kernels, &[(TaskId(0), TaskId(1)), (TaskId(1), TaskId(0))]).unwrap_err();
         assert_eq!(err, DagError::Cyclic);
     }
 
@@ -370,11 +366,7 @@ mod tests {
     #[test]
     fn duplicate_edge_is_rejected() {
         let kernels = vec![Kernel::MatMul { n: 10 }, Kernel::MatMul { n: 10 }];
-        let err = Dag::new(
-            kernels,
-            &[(TaskId(0), TaskId(1)), (TaskId(0), TaskId(1))],
-        )
-        .unwrap_err();
+        let err = Dag::new(kernels, &[(TaskId(0), TaskId(1)), (TaskId(0), TaskId(1))]).unwrap_err();
         assert_eq!(err, DagError::DuplicateEdge(TaskId(0), TaskId(1)));
     }
 

@@ -85,8 +85,8 @@ pub fn metrics(dag: &Dag, reference_rate: f64) -> DagMetrics {
 mod tests {
     use super::*;
     use crate::gen::{paper_corpus, PAPER_CORPUS_SEED};
-    use crate::shapes::{chain, fork_join};
     use crate::graph::TaskId;
+    use crate::shapes::{chain, fork_join};
     use crate::Dag;
 
     #[test]

@@ -52,7 +52,10 @@ pub fn layered_mesh(kernel: Kernel, layers: usize, width: usize) -> Dag {
 /// A binary in-tree (reduction): `leaves` leaf tasks combining pairwise
 /// down to a single root. `leaves` must be a power of two.
 pub fn reduction_tree(kernel: Kernel, leaves: usize) -> Dag {
-    assert!(leaves >= 1 && leaves.is_power_of_two(), "leaves must be 2^k");
+    assert!(
+        leaves >= 1 && leaves.is_power_of_two(),
+        "leaves must be 2^k"
+    );
     // Level 0: `leaves` tasks; level i has leaves/2^i tasks.
     let mut kernels = Vec::new();
     let mut edges = Vec::new();

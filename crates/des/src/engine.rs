@@ -144,6 +144,14 @@ pub enum EngineError {
         /// The simulated time at which the stall was detected.
         time: f64,
     },
+    /// The [`Watchdog`] tripped: the simulation ran past its time horizon
+    /// or step budget without converging.
+    Timeout {
+        /// Simulated time when the watchdog fired.
+        time: f64,
+        /// Number of steps taken so far.
+        steps: u64,
+    },
     /// An activity spec contained a negative or NaN amount/latency.
     InvalidSpec {
         /// Human-readable description.
@@ -151,12 +159,61 @@ pub enum EngineError {
     },
 }
 
+/// Divergence guard for [`Engine::step`].
+///
+/// A valid workload always terminates, but a buggy model (or an injected
+/// fault that keeps resubmitting work) could advance simulated time forever
+/// or spin through events without progressing. The watchdog converts both
+/// into a typed [`EngineError::Timeout`] instead of a hang: `step` fails
+/// once simulated time exceeds `max_time` or more than `max_steps` steps
+/// have been taken. The default is disabled (both limits infinite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watchdog {
+    /// Simulated-time horizon (seconds); `f64::INFINITY` disables.
+    pub max_time: f64,
+    /// Step budget; `u64::MAX` disables.
+    pub max_steps: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            max_time: f64::INFINITY,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+impl Watchdog {
+    /// A watchdog bounding only simulated time.
+    pub fn horizon(max_time: f64) -> Self {
+        Watchdog {
+            max_time,
+            ..Watchdog::default()
+        }
+    }
+
+    /// A watchdog bounding only the step count.
+    pub fn steps(max_steps: u64) -> Self {
+        Watchdog {
+            max_steps,
+            ..Watchdog::default()
+        }
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Solver(e) => write!(f, "sharing solver error: {e}"),
             EngineError::Stalled { time } => {
-                write!(f, "simulation stalled at t={time}: activities cannot progress")
+                write!(
+                    f,
+                    "simulation stalled at t={time}: activities cannot progress"
+                )
+            }
+            EngineError::Timeout { time, steps } => {
+                write!(f, "watchdog timeout at t={time} after {steps} steps")
             }
             EngineError::InvalidSpec { context } => write!(f, "invalid activity spec: {context}"),
         }
@@ -183,6 +240,8 @@ pub struct Engine {
     trace: Trace,
     tracing: bool,
     meter: Option<UsageMeter>,
+    watchdog: Option<Watchdog>,
+    steps_taken: u64,
 }
 
 impl Engine {
@@ -194,6 +253,16 @@ impl Engine {
     /// Enables trace recording (start/finish events with labels).
     pub fn enable_tracing(&mut self) {
         self.tracing = true;
+    }
+
+    /// Installs a divergence [`Watchdog`]; `None` disables it.
+    pub fn set_watchdog(&mut self, watchdog: Option<Watchdog>) {
+        self.watchdog = watchdog;
+    }
+
+    /// Number of [`Engine::step`] calls that advanced the simulation.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
     }
 
     /// Enables resource-utilization metering. Call after all resources
@@ -254,7 +323,9 @@ impl Engine {
             return Err(EngineError::InvalidSpec { context: "latency" });
         }
         if spec.rate_bound.is_nan() || spec.rate_bound < 0.0 {
-            return Err(EngineError::InvalidSpec { context: "rate bound" });
+            return Err(EngineError::InvalidSpec {
+                context: "rate bound",
+            });
         }
         for &(r, w) in &spec.weights {
             if r.0 >= self.capacities.len() {
@@ -300,7 +371,9 @@ impl Engine {
     /// Schedules a timer `delay` seconds from now.
     pub fn schedule_timer(&mut self, delay: f64) -> Result<TimerId, EngineError> {
         if delay.is_nan() || delay < 0.0 {
-            return Err(EngineError::InvalidSpec { context: "timer delay" });
+            return Err(EngineError::InvalidSpec {
+                context: "timer delay",
+            });
         }
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
@@ -390,6 +463,16 @@ impl Engine {
         }
 
         let new_now = self.now + next_dt;
+
+        self.steps_taken += 1;
+        if let Some(wd) = self.watchdog {
+            if new_now > wd.max_time || self.steps_taken > wd.max_steps {
+                return Err(EngineError::Timeout {
+                    time: new_now,
+                    steps: self.steps_taken,
+                });
+            }
+        }
         let tol = next_dt * REL_EPS + 1e-15;
 
         // Utilization accounting: every working activity consumed at its

@@ -40,6 +40,7 @@ pub mod usage;
 
 pub use engine::{
     ActivityId, ActivitySpec, Completion, Engine, EngineError, ResourceId, StepResult, TimerId,
+    Watchdog,
 };
 pub use solver::{max_min_fair_rates, Demand, ResourceIndex, SharingProblem, SolverError};
 pub use trace::{Trace, TraceEvent, TraceEventKind};
@@ -267,6 +268,52 @@ mod tests {
         e.step().unwrap();
         assert_eq!(e.live_activities(), 0);
         assert_eq!(e.pending_timers(), 1);
+    }
+
+    #[test]
+    fn watchdog_trips_on_the_time_horizon() {
+        let mut e = Engine::new();
+        let r = e.add_resource(1.0);
+        e.set_watchdog(Some(Watchdog::horizon(5.0)));
+        // Finishes at t = 10 — past the horizon.
+        e.start(ActivitySpec::new(10.0).on(r, 1.0)).unwrap();
+        match e.step() {
+            Err(EngineError::Timeout { time, steps }) => {
+                assert!((time - 10.0).abs() < 1e-9);
+                assert_eq!(steps, 1);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_on_the_step_budget() {
+        let mut e = Engine::new();
+        let r = e.add_resource(1.0);
+        e.set_watchdog(Some(Watchdog::steps(3)));
+        // Distinct amounts → one completion per step, ten steps total.
+        for i in 1..=10 {
+            e.start(ActivitySpec::new(i as f64).on(r, 1.0)).unwrap();
+        }
+        let err = e.run_to_idle().unwrap_err();
+        assert!(
+            matches!(err, EngineError::Timeout { steps: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_watchdog_never_fires() {
+        let mut e = Engine::new();
+        let r = e.add_resource(1.0);
+        e.set_watchdog(Some(Watchdog::default()));
+        e.start(ActivitySpec::new(1.0e9).on(r, 1.0)).unwrap();
+        assert!(e.run_to_idle().is_ok());
+        assert_eq!(e.steps_taken(), 1);
+        // Uninstalling restores the unguarded behaviour.
+        e.set_watchdog(None);
+        e.start(ActivitySpec::new(1.0).on(r, 1.0)).unwrap();
+        assert!(e.run_to_idle().is_ok());
     }
 }
 

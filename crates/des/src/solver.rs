@@ -144,10 +144,7 @@ impl SharingProblem {
 ///
 /// Fails when a demand references a resource out of range or any number is
 /// negative/NaN.
-pub fn max_min_fair_rates(
-    capacities: &[f64],
-    demands: &[Demand],
-) -> Result<Vec<f64>, SolverError> {
+pub fn max_min_fair_rates(capacities: &[f64], demands: &[Demand]) -> Result<Vec<f64>, SolverError> {
     validate(capacities, demands)?;
 
     let n = demands.len();
@@ -502,6 +499,136 @@ mod tests {
         let r = rates(&[1000.0], &demands);
         for got in &r {
             assert!((got - 2.0).abs() < 1e-9);
+        }
+    }
+
+    // ---- degenerate-input properties -----------------------------------
+    //
+    // The solver sits on every simulated instant's critical path, so the
+    // contract on junk input is: return `Ok` or a typed `SolverError`,
+    // never panic and never loop forever. The generators below deliberately
+    // include zero capacities, empty demand sets, empty weight lists, zero
+    // weights and out-of-range resource indices.
+
+    use proptest::prelude::*;
+
+    /// Raw demand tuple: weight list (indices may be out of range), a
+    /// selector for an infinite bound, and a finite bound value.
+    type RawDemand = (Vec<(usize, f64)>, u32, f64);
+
+    fn build_demand((weights, inf_sel, bound_val): RawDemand) -> Demand {
+        Demand {
+            weights,
+            bound: if inf_sel == 0 {
+                f64::INFINITY
+            } else {
+                bound_val
+            },
+        }
+    }
+
+    proptest! {
+        /// Arbitrary (possibly degenerate) problems terminate with `Ok` or
+        /// a typed error; `Ok` rates are non-negative and non-NaN.
+        #[test]
+        fn solver_is_total_on_degenerate_problems(
+            caps in proptest::collection::vec(0.0f64..100.0, 0..6),
+            raw in proptest::collection::vec(
+                (
+                    proptest::collection::vec((0usize..8, 0.0f64..10.0), 0..5),
+                    0u32..2,
+                    0.0f64..100.0,
+                ),
+                0..8,
+            ),
+        ) {
+            let demands: Vec<Demand> = raw.into_iter().map(build_demand).collect();
+            match max_min_fair_rates(&caps, &demands) {
+                Ok(rates) => {
+                    prop_assert_eq!(rates.len(), demands.len());
+                    for r in rates {
+                        prop_assert!(r >= 0.0 && !r.is_nan());
+                    }
+                }
+                Err(SolverError::UnknownResource { resource, .. }) => {
+                    prop_assert!(resource >= caps.len());
+                }
+                Err(SolverError::InvalidNumber { .. }) => {}
+            }
+        }
+
+        /// All-zero capacities never panic: every constrained activity ends
+        /// at rate zero, bound-only activities keep their bound.
+        #[test]
+        fn zero_capacity_resources_freeze_activities_at_zero(
+            n_res in 1usize..5,
+            raw in proptest::collection::vec(
+                (
+                    proptest::collection::vec((0usize..8, 0.0f64..10.0), 0..5),
+                    0u32..2,
+                    0.0f64..100.0,
+                ),
+                1..6,
+            ),
+        ) {
+            let caps = vec![0.0; n_res];
+            // Clamp resource indices in range so the zero capacity is the
+            // only degeneracy under test.
+            let demands: Vec<Demand> = raw
+                .into_iter()
+                .map(build_demand)
+                .map(|mut d| {
+                    for w in &mut d.weights {
+                        w.0 %= n_res;
+                    }
+                    d
+                })
+                .collect();
+            let rates = max_min_fair_rates(&caps, &demands).unwrap();
+            for (r, d) in rates.iter().zip(&demands) {
+                if d.is_empty() {
+                    prop_assert_eq!(*r, d.bound);
+                } else {
+                    prop_assert_eq!(*r, 0.0);
+                }
+            }
+        }
+
+        /// The empty demand set solves to an empty rate vector for any
+        /// capacity vector.
+        #[test]
+        fn empty_demand_sets_are_trivially_solved(
+            caps in proptest::collection::vec(0.0f64..1000.0, 0..10),
+        ) {
+            prop_assert_eq!(max_min_fair_rates(&caps, &[]).unwrap(), Vec::<f64>::new());
+        }
+
+        /// A single activity saturates its bottleneck exactly: its rate is
+        /// the tightest capacity/weight ratio (or its bound if tighter).
+        #[test]
+        fn single_activity_saturates_the_bottleneck(
+            caps in proptest::collection::vec(0.001f64..1000.0, 1..6),
+            weights in proptest::collection::vec(0.001f64..10.0, 1..6),
+            inf_sel in 0u32..2,
+            bound_val in 0.001f64..1e6,
+        ) {
+            let bound = if inf_sel == 0 { f64::INFINITY } else { bound_val };
+            let k = weights.len().min(caps.len());
+            let d = Demand {
+                weights: weights[..k]
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &w)| (r, w))
+                    .collect(),
+                bound,
+            };
+            let expected = d
+                .weights
+                .iter()
+                .map(|&(r, w)| caps[r] / w)
+                .fold(bound, f64::min);
+            let rates = max_min_fair_rates(&caps, &[d]).unwrap();
+            prop_assert!((rates[0] - expected).abs() <= 1e-9 * expected.max(1.0));
         }
     }
 }

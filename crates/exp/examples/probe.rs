@@ -1,0 +1,120 @@
+//! Diagnostic probe: evaluates every statistical acceptance gate that
+//! depends on the testbed noise streams, so candidate stream constants can
+//! be screened without running the full test suite.
+use mps_core::prelude::*;
+use mps_exp::{paired_relative_makespans, CellResult, Harness, SimVariant};
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn median_error(cells: &[CellResult], v: SimVariant) -> f64 {
+    let mut errs: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.variant == v)
+        .map(CellResult::error_pct)
+        .collect();
+    median(&mut errs)
+}
+
+fn wrong_verdicts(cells: &[CellResult], v: SimVariant, n: usize) -> usize {
+    let pairs = paired_relative_makespans(cells, v, n);
+    let sim: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let exp: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    mps_core::stats::count_agreement(&sim, &exp, 0.0).disagree
+}
+
+fn main() {
+    let mut ok = true;
+    let mut check = |name: &str, pass: bool, detail: String| {
+        println!("{} {name}: {detail}", if pass { "PASS" } else { "FAIL" });
+        ok &= pass;
+    };
+
+    let harness = Harness::new(2011);
+    let cells = harness.run_grid(1);
+
+    // paper_claims claim 1: median error ordering.
+    let a = median_error(&cells, SimVariant::Analytic);
+    let p = median_error(&cells, SimVariant::Profile);
+    let e = median_error(&cells, SimVariant::Empirical);
+    check(
+        "claim1",
+        a > 5.0 * p && a > 3.0 * e && p < 10.0,
+        format!("a={a:.2} p={p:.2} e={e:.2}"),
+    );
+
+    // paper_claims claim 3: verdict-error ordering per size.
+    for n in [2000usize, 3000] {
+        let wa = wrong_verdicts(&cells, SimVariant::Analytic, n);
+        let wp = wrong_verdicts(&cells, SimVariant::Profile, n);
+        let we = wrong_verdicts(&cells, SimVariant::Empirical, n);
+        check(
+            "claim3",
+            wa > wp && wa > we && wa * 5 >= 27 && wp <= 3,
+            format!("n={n} wa={wa} wp={wp} we={we}"),
+        );
+    }
+
+    // paper_claims claim 4: consistent winner, sim and experiment agree.
+    let pairs = paired_relative_makespans(&cells, SimVariant::Profile, 2000);
+    let exp_w = pairs.iter().filter(|p| p.2 < 0.0).count();
+    let sim_w = pairs.iter().filter(|p| p.1 < 0.0).count();
+    let consistent = exp_w * 3 <= pairs.len() || exp_w * 3 >= 2 * pairs.len();
+    let same_side = (exp_w * 2 > pairs.len()) == (sim_w * 2 > pairs.len());
+    check(
+        "claim4",
+        consistent && same_side,
+        format!("exp={exp_w}/{} sim={sim_w}", pairs.len()),
+    );
+
+    // end_to_end: refined simulators track reality on a 10-DAG subset.
+    let testbed = Testbed::bayreuth(2011);
+    let cfg = ProfilingConfig::default();
+    let kernels = vec![
+        Kernel::MatMul { n: 2000 },
+        Kernel::MatMul { n: 3000 },
+        Kernel::MatAdd { n: 2000 },
+        Kernel::MatAdd { n: 3000 },
+    ];
+    let profile = build_profile_model(&testbed, &kernels, &cfg).unwrap();
+    let empirical = fit_empirical_model(&testbed, &kernels, &cfg).unwrap();
+    let subset: Vec<GeneratedDag> = paper_corpus(PAPER_CORPUS_SEED)
+        .into_iter()
+        .take(10)
+        .collect();
+    let (mut ae, mut pe, mut ee) = (Vec::new(), Vec::new(), Vec::new());
+    for g in &subset {
+        let run = |m: &dyn Fn() -> (f64, Schedule)| -> f64 {
+            let (sim_ms, schedule) = m();
+            let real = testbed.execute(&g.dag, &schedule, 1).unwrap();
+            (sim_ms - real.makespan).abs() / real.makespan
+        };
+        let c = testbed.nominal_cluster();
+        ae.push(run(&|| {
+            let s = Simulator::new(c.clone(), AnalyticModel::paper_jvm());
+            let o = s.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+            (o.result.makespan, o.schedule)
+        }));
+        pe.push(run(&|| {
+            let s = Simulator::new(c.clone(), profile.clone());
+            let o = s.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+            (o.result.makespan, o.schedule)
+        }));
+        ee.push(run(&|| {
+            let s = Simulator::new(c.clone(), empirical.clone());
+            let o = s.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+            (o.result.makespan, o.schedule)
+        }));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ma, mp, me) = (mean(&ae), mean(&pe), mean(&ee));
+    check(
+        "end_to_end",
+        ma > 3.0 * mp && ma > 2.0 * me && mp < 0.10,
+        format!("a={ma:.3} p={mp:.3} e={me:.3}"),
+    );
+
+    println!("{}", if ok { "ALL-PASS" } else { "SOME-FAIL" });
+}

@@ -85,7 +85,11 @@ pub fn root_cause_ablation(noise_seed: u64, subset: usize, repeats: u64) -> Stri
             },
         ),
     ];
-    let _ = writeln!(out, "{:<42} {:>22}", "machine variant", "median analytic error");
+    let _ = writeln!(
+        out,
+        "{:<42} {:>22}",
+        "machine variant", "median analytic error"
+    );
     for (label, truth) in configs {
         let harness = Harness::with_testbed(Testbed::with_truth(truth, noise_seed));
         let cells = harness.run_subset(subset, repeats);
@@ -138,7 +142,11 @@ pub fn machine_robustness(machine_seeds: &[u64], subset: usize, repeats: u64) ->
     let _ = writeln!(
         out,
         "\nConclusion robust across machines: {}",
-        if all_hold { "YES" } else { "no — inspect above" }
+        if all_hold {
+            "YES"
+        } else {
+            "no — inspect above"
+        }
     );
     out
 }
@@ -210,7 +218,12 @@ pub fn algorithm_quality(seed: u64, subset: usize) -> String {
             total += real.makespan;
             count += 1;
         }
-        let _ = writeln!(out, "{:<6} mean measured makespan {:>8.1} s", algo.name(), total / count as f64);
+        let _ = writeln!(
+            out,
+            "{:<6} mean measured makespan {:>8.1} s",
+            algo.name(),
+            total / count as f64
+        );
     }
     out
 }

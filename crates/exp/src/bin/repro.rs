@@ -3,19 +3,35 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--seed S] [--repeats R] [--json DIR] <target>...
-//! targets: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table2 all
+//! repro [--seed S] [--repeats R] [--json DIR] \
+//!       [--faults PLAN] [--max-retries N] <target>...
+//! targets: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table2
+//!          gantt ablations faultsweep all
 //! ```
+//!
+//! `--faults` takes a fault-plan description (see `mps_faults::FaultPlan::
+//! parse`): semicolon-separated clauses such as `seed=7; crash@0:0+30;
+//! slow@1:0*1.5; fail=0.02`, or a preset (`light`, `moderate`, `heavy`).
+//! Affected grid cells are reported as degraded or failed — with typed
+//! errors — while the rest of the grid completes normally.
 
 use std::io::Write as _;
 
-use mps_exp::{ablation, figures, Harness};
+use mps_core::faults::FaultPlan;
+use mps_core::sim::ExecPolicy;
+use mps_exp::{ablation, figures, grid_health, Harness};
+
+/// Event horizon (seconds) used when parsing `--faults` clauses with
+/// preset intensities; generous enough to cover every grid makespan.
+const FAULT_HORIZON: f64 = 120.0;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 2011u64;
     let mut repeats = 3u64;
     let mut json_dir: Option<String> = None;
+    let mut faults: Option<String> = None;
+    let mut max_retries = ExecPolicy::default().max_retries;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -43,6 +59,21 @@ fn main() {
                         .unwrap_or_else(|| die("--json needs a directory")),
                 );
             }
+            "--faults" => {
+                i += 1;
+                faults = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--faults needs a plan description")),
+                );
+            }
+            "--max-retries" => {
+                i += 1;
+                max_retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--max-retries needs an integer"));
+            }
             t => targets.push(t.to_string()),
         }
         i += 1;
@@ -52,15 +83,48 @@ fn main() {
     }
     args.clear();
 
-    let needs_grid = targets.iter().any(|t| {
-        matches!(t.as_str(), "all" | "fig1" | "fig5" | "fig7" | "fig8")
-    });
+    let needs_grid = targets
+        .iter()
+        .any(|t| matches!(t.as_str(), "all" | "fig1" | "fig5" | "fig7" | "fig8"));
 
     eprintln!("# building harness (seed {seed}): profiling the emulated testbed…");
-    let harness = Harness::new(seed);
+    let mut harness = Harness::new(seed);
+    if let Some(desc) = &faults {
+        let plan = FaultPlan::parse(desc, 32, FAULT_HORIZON)
+            .unwrap_or_else(|e| die(&format!("bad --faults plan: {e}")));
+        eprintln!(
+            "# injecting fault plan (seed {}, {} event(s), max {} retries/task)",
+            plan.seed,
+            plan.events.len(),
+            max_retries
+        );
+        harness = harness.with_fault_plan(plan);
+    }
+    harness = harness.with_exec_policy(ExecPolicy {
+        max_retries,
+        ..ExecPolicy::default()
+    });
     let cells = if needs_grid {
         eprintln!("# running the 54-DAG × 3-simulator × 2-algorithm grid ({repeats} testbed runs per cell)…");
-        harness.run_grid(repeats)
+        let cells = harness.run_grid(repeats);
+        let health = grid_health(&cells);
+        if health.degraded + health.failed > 0 || faults.is_some() {
+            eprintln!(
+                "# grid health: {} full, {} degraded ({} retries, {} lost runs), {} failed cells",
+                health.full, health.degraded, health.retries, health.lost_runs, health.failed
+            );
+            for c in cells.iter().filter(|c| !c.succeeded()) {
+                if let mps_exp::CellOutcome::Failed { error } = &c.outcome {
+                    eprintln!(
+                        "#   failed: {}/{}/{}: {error}",
+                        c.dag,
+                        c.variant.name(),
+                        c.algo
+                    );
+                }
+            }
+        }
+        cells
     } else {
         Vec::new()
     };
@@ -74,17 +138,19 @@ fn main() {
         eprintln!("# wrote {path}");
         // CSV companion for spreadsheet/R users.
         let csv_path = format!("{dir}/grid.csv");
-        let mut csv = String::from("dag,n,variant,algo,sim_makespan,real_makespan,error_pct\n");
+        let mut csv =
+            String::from("dag,n,variant,algo,sim_makespan,real_makespan,error_pct,outcome\n");
         for c in &cells {
             csv.push_str(&format!(
-                "{},{},{},{},{:.6},{:.6},{:.3}\n",
+                "{},{},{},{},{:.6},{:.6},{:.3},{}\n",
                 c.dag,
                 c.n,
                 c.variant.name(),
                 c.algo,
                 c.sim_makespan,
                 c.real_makespan,
-                c.error_pct()
+                c.error_pct(),
+                c.outcome.label()
             ));
         }
         std::fs::write(&csv_path, csv).expect("write grid.csv");
@@ -109,6 +175,13 @@ fn main() {
             "fig8" => figures::fig8(&cells),
             "table2" => figures::table2(&harness),
             "gantt" => gantt_report(&harness),
+            "faultsweep" => figures::fault_sweep(
+                &mut harness,
+                &[0.0, 0.25, 0.5, 1.0],
+                &[11, 12, 13],
+                10,
+                repeats,
+            ),
             "ablations" => {
                 let mut s = String::new();
                 s.push_str(&ablation::root_cause_ablation(seed, 12, repeats));
@@ -191,7 +264,10 @@ fn gantt_report(harness: &Harness) -> String {
             .testbed
             .execute(&g.dag, &schedule, 0)
             .expect("executes");
-        out.push_str(&format!("--- HCPA schedule under the {} model ---\n", variant.name()));
+        out.push_str(&format!(
+            "--- HCPA schedule under the {} model ---\n",
+            variant.name()
+        ));
         out.push_str(&mps_core::sim::render_gantt(&schedule, &real, 70));
         out.push('\n');
     }
@@ -201,6 +277,9 @@ fn gantt_report(harness: &Harness) -> String {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!("usage: repro [--seed S] [--repeats R] [--json DIR] \\");
-    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations all]");
+    eprintln!("             [--faults PLAN] [--max-retries N] \\");
+    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations faultsweep all]");
+    eprintln!("  PLAN: `seed=7; crash@0:0+30; slow@1:0*1.5; fail=0.02` or a");
+    eprintln!("        preset: light | moderate | heavy");
     std::process::exit(2);
 }

@@ -48,12 +48,7 @@ pub fn table1() -> String {
 
 /// Renders one HCPA-vs-MCPA comparison figure (the Figures 1/5/7 format)
 /// and reports the sign-agreement counts.
-fn comparison_figure(
-    title: &str,
-    cells: &[CellResult],
-    variant: SimVariant,
-    n: usize,
-) -> String {
+fn comparison_figure(title: &str, cells: &[CellResult], variant: SimVariant, n: usize) -> String {
     let pairs = paired_relative_makespans(cells, variant, n);
     let labels: Vec<String> = pairs.iter().map(|p| p.0.clone()).collect();
     let sim: Vec<f64> = pairs.iter().map(|p| p.1).collect();
@@ -109,8 +104,7 @@ pub fn fig2(testbed: &Testbed) -> String {
         let errs: Vec<f64> = (1..=32)
             .map(|p| {
                 // Average a few measured trials, as a profiling pass would.
-                let meas: f64 =
-                    (0..5).map(|t| testbed.time_task_once(k, p, t)).sum::<f64>() / 5.0;
+                let meas: f64 = (0..5).map(|t| testbed.time_task_once(k, p, t)).sum::<f64>() / 5.0;
                 ((analytic.task_time(k, p) - meas) / meas).abs()
             })
             .collect();
@@ -223,16 +217,13 @@ pub fn fig5(cells: &[CellResult]) -> String {
 pub fn fig6(testbed: &Testbed) -> String {
     let mut out = String::new();
     let k = Kernel::MatMul { n: 3000 };
-    let measure = |p: usize| -> f64 {
-        (0..5).map(|t| testbed.time_task_once(k, p, t)).sum::<f64>() / 5.0
-    };
+    let measure =
+        |p: usize| -> f64 { (0..5).map(|t| testbed.time_task_once(k, p, t)).sum::<f64>() / 5.0 };
 
     // Left: naive powers-of-two sample points, outliers included.
     let naive_points = [2usize, 4, 8, 16];
-    let (np, ny): (Vec<f64>, Vec<f64>) = naive_points
-        .iter()
-        .map(|&p| (p as f64, measure(p)))
-        .unzip();
+    let (np, ny): (Vec<f64>, Vec<f64>) =
+        naive_points.iter().map(|&p| (p as f64, measure(p))).unzip();
     let naive = fit_affine(Basis::Recip, &np, &ny).expect("naive fit");
     let naive_stats = naive.stats(&np, &ny);
     let _ = writeln!(
@@ -260,18 +251,18 @@ pub fn fig6(testbed: &Testbed) -> String {
     );
     for n in [2000usize, 3000] {
         let kk = Kernel::MatMul { n };
-        let m =
-            |p: usize| -> f64 { (0..5).map(|t| testbed.time_task_once(kk, p, t)).sum::<f64>() / 5.0 };
-        let (lp, ly): (Vec<f64>, Vec<f64>) = MM_LOW_POINTS
-            .iter()
-            .map(|&p| (p as f64, m(p)))
-            .unzip();
+        let m = |p: usize| -> f64 {
+            (0..5)
+                .map(|t| testbed.time_task_once(kk, p, t))
+                .sum::<f64>()
+                / 5.0
+        };
+        let (lp, ly): (Vec<f64>, Vec<f64>) =
+            MM_LOW_POINTS.iter().map(|&p| (p as f64, m(p))).unzip();
         let low = fit_affine(Basis::Recip, &lp, &ly).expect("low fit");
         let low_stats = low.stats(&lp, &ly);
-        let (hp, hy): (Vec<f64>, Vec<f64>) = MM_HIGH_POINTS
-            .iter()
-            .map(|&p| (p as f64, m(p)))
-            .unzip();
+        let (hp, hy): (Vec<f64>, Vec<f64>) =
+            MM_HIGH_POINTS.iter().map(|&p| (p as f64, m(p))).unzip();
         let high = fit_affine(Basis::Identity, &hp, &hy).expect("high fit");
         let _ = writeln!(
             out,
@@ -339,10 +330,7 @@ pub fn fig8(cells: &[CellResult]) -> String {
     // Numeric medians for EXPERIMENTS.md, plus rank fidelity: does the
     // simulator *order* the scenarios the way the testbed does?
     for variant in SimVariant::ALL {
-        let filtered: Vec<&CellResult> = cells
-            .iter()
-            .filter(|c| c.variant == variant)
-            .collect();
+        let filtered: Vec<&CellResult> = cells.iter().filter(|c| c.variant == variant).collect();
         let errs: Vec<f64> = filtered.iter().map(|c| c.error_pct()).collect();
         let sims: Vec<f64> = filtered.iter().map(|c| c.sim_makespan).collect();
         let reals: Vec<f64> = filtered.iter().map(|c| c.real_makespan).collect();
@@ -401,6 +389,118 @@ fn curve_str(c: &mps_core::model::TaskCurve) -> String {
         mps_core::model::TaskCurve::Single(m) => m.to_string(),
         mps_core::model::TaskCurve::Piecewise(m) => m.to_string(),
     }
+}
+
+/// Fault sweep — Fig. 8-style verdict stability under increasing fault
+/// intensity.
+///
+/// Reruns a grid subset under randomly generated [`FaultPlan`]s of growing
+/// intensity (several plan seeds per intensity) and reports, per
+/// intensity: how many cells survive, the simulation-error distribution of
+/// the survivors, and whether the HCPA-vs-MCPA verdict each surviving DAG
+/// yields still matches the fault-free baseline.
+///
+/// [`FaultPlan`]: mps_core::faults::FaultPlan
+pub fn fault_sweep(
+    harness: &mut Harness,
+    intensities: &[f64],
+    plan_seeds: &[u64],
+    take: usize,
+    repeats: u64,
+) -> String {
+    use crate::runner::grid_health;
+    use mps_core::faults::FaultPlan;
+    use std::collections::HashMap;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fault sweep — verdict stability vs fault intensity\n\
+         {} random plan(s) per intensity over {} DAGs, {} testbed run(s) per cell",
+        plan_seeds.len(),
+        take,
+        repeats
+    );
+
+    // Fault-free baseline: per (variant, dag), which algorithm wins on the
+    // testbed (sign of the relative makespan).
+    harness.fault_plan = None;
+    let baseline = harness.run_subset(take, repeats);
+    let mut reference: HashMap<(SimVariant, String), f64> = HashMap::new();
+    for variant in SimVariant::ALL {
+        for n in [2000usize, 3000] {
+            for (dag, _, rel_real) in paired_relative_makespans(&baseline, variant, n) {
+                reference.insert((variant, dag), rel_real);
+            }
+        }
+    }
+    let surviving: Vec<f64> = baseline
+        .iter()
+        .filter(|c| c.succeeded())
+        .map(|c| c.real_makespan)
+        .collect();
+    let horizon = stats::median(&surviving).unwrap_or(60.0).max(1.0);
+    let hosts = harness.testbed.cluster().node_count();
+
+    for &intensity in intensities {
+        let mut survived = 0usize;
+        let mut total = 0usize;
+        let mut degraded = 0usize;
+        let mut failed = 0usize;
+        let mut retries = 0u32;
+        let mut stable = 0usize;
+        let mut verdicts = 0usize;
+        let mut errs: Vec<f64> = Vec::new();
+        for &plan_seed in plan_seeds {
+            let plan = FaultPlan::random(plan_seed, intensity, hosts, horizon);
+            harness.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+            let cells = harness.run_subset(take, repeats);
+            let health = grid_health(&cells);
+            total += cells.len();
+            survived += cells.len() - health.failed;
+            degraded += health.degraded;
+            failed += health.failed;
+            retries += health.retries;
+            errs.extend(
+                cells
+                    .iter()
+                    .filter(|c| c.succeeded())
+                    .map(CellResult::error_pct),
+            );
+            for variant in SimVariant::ALL {
+                for n in [2000usize, 3000] {
+                    for (dag, _, rel_real) in paired_relative_makespans(&cells, variant, n) {
+                        if let Some(&base) = reference.get(&(variant, dag.clone())) {
+                            verdicts += 1;
+                            if (base >= 0.0) == (rel_real >= 0.0) {
+                                stable += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let stability = if verdicts == 0 {
+            0.0
+        } else {
+            100.0 * stable as f64 / verdicts as f64
+        };
+        let med_err = stats::median(&errs).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "intensity {intensity:>4.2}: cells {survived}/{total} survived \
+             ({degraded} degraded, {failed} failed, {retries} retries), \
+             median sim error {med_err:6.1} %, verdict stability {stable}/{verdicts} \
+             ({stability:.0} %)"
+        );
+    }
+    harness.fault_plan = None;
+    let _ = writeln!(
+        out,
+        "\nreading: verdicts from surviving cells stay aligned with the\n\
+         fault-free baseline at low intensity and erode as faults dominate."
+    );
+    out
 }
 
 #[cfg(test)]

@@ -16,4 +16,7 @@ pub mod ablation;
 pub mod figures;
 pub mod runner;
 
-pub use runner::{paired_relative_makespans, CellResult, Harness, SimVariant};
+pub use runner::{
+    grid_health, paired_relative_makespans, CellOutcome, CellResult, GridHealth, Harness,
+    SimVariant,
+};

@@ -14,9 +14,10 @@
 use serde::{Deserialize, Serialize};
 
 use mps_core::dag::gen::{paper_corpus, GeneratedDag, PAPER_CORPUS_SEED};
+use mps_core::faults::FaultPlan;
 use mps_core::model::{EmpiricalModel, PerfModel, ProfileModel};
 use mps_core::sched::{Hcpa, Mcpa, Scheduler};
-use mps_core::sim::Simulator;
+use mps_core::sim::{ExecPolicy, Simulator};
 use mps_core::testbed::{
     build_profile_model, fit_empirical_model, paper_kernels, ProfilingConfig, Testbed,
 };
@@ -50,6 +51,43 @@ impl SimVariant {
     }
 }
 
+/// How a grid cell fared: healthy, slowed by faults, or lost entirely.
+///
+/// A failed cell is *recorded*, not fatal — the rest of the grid still
+/// completes, and reports can show how many verdict data points survive a
+/// given fault intensity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum CellOutcome {
+    /// All testbed runs completed without retries or losses.
+    #[default]
+    Full,
+    /// Some runs were lost and/or tasks had to be retried; the recorded
+    /// makespan averages the surviving runs.
+    Degraded {
+        /// Testbed runs that ended in a typed execution error.
+        failed_runs: usize,
+        /// Total task retries summed over the surviving runs.
+        retries: u32,
+    },
+    /// Every testbed run failed; `real_makespan` is 0 and the cell
+    /// carries the first error instead of a measurement.
+    Failed {
+        /// Display form of the first error encountered.
+        error: String,
+    },
+}
+
+impl CellOutcome {
+    /// Short machine-readable label (CSV / summaries).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Full => "full",
+            CellOutcome::Degraded { .. } => "degraded",
+            CellOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
 /// One grid cell: a (DAG, simulator version, algorithm) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellResult {
@@ -63,16 +101,25 @@ pub struct CellResult {
     pub algo: String,
     /// Simulated makespan (seconds).
     pub sim_makespan: f64,
-    /// Measured makespan on the testbed (mean over repeats, seconds).
+    /// Measured makespan on the testbed (mean over surviving repeats,
+    /// seconds; 0 when the cell failed outright).
     pub real_makespan: f64,
-    /// Individual testbed runs.
+    /// Individual surviving testbed runs.
     pub real_runs: Vec<f64>,
+    /// Whether the cell is healthy, degraded, or failed.
+    #[serde(default)]
+    pub outcome: CellOutcome,
 }
 
 impl CellResult {
     /// Absolute relative simulation error in percent (the Fig. 8 metric).
     pub fn error_pct(&self) -> f64 {
         mps_core::stats::abs_relative_error_pct(self.sim_makespan, self.real_makespan)
+    }
+
+    /// Whether the cell produced at least one real measurement.
+    pub fn succeeded(&self) -> bool {
+        !matches!(self.outcome, CellOutcome::Failed { .. })
     }
 }
 
@@ -86,6 +133,10 @@ pub struct Harness {
     pub empirical_model: EmpiricalModel,
     /// Profiling configuration used for both instantiations.
     pub profiling: ProfilingConfig,
+    /// Optional fault plan injected into every testbed execution.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/backoff/watchdog policy for testbed executions under faults.
+    pub policy: ExecPolicy,
 }
 
 impl Harness {
@@ -109,7 +160,21 @@ impl Harness {
             profile_model,
             empirical_model,
             profiling,
+            fault_plan: None,
+            policy: ExecPolicy::default(),
         }
+    }
+
+    /// Injects a fault plan into every subsequent testbed execution.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// Sets the retry/backoff/watchdog policy for testbed executions.
+    pub fn with_exec_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The paper's DAG corpus.
@@ -125,49 +190,77 @@ impl Harness {
         repeats: u64,
     ) -> CellResult {
         let cluster = self.testbed.nominal_cluster();
-        let (sim_makespan, schedule) = match variant {
-            SimVariant::Analytic => {
-                let sim = Simulator::new(cluster, mps_core::model::AnalyticModel::paper_jvm());
-                let out = sim
-                    .schedule_and_simulate(&g.dag, algo)
-                    .expect("simulation cannot fail on valid schedules");
-                (out.result.makespan, out.schedule)
-            }
-            SimVariant::Profile => {
-                let sim = Simulator::new(cluster, self.profile_model.clone());
-                let out = sim
-                    .schedule_and_simulate(&g.dag, algo)
-                    .expect("simulation cannot fail on valid schedules");
-                (out.result.makespan, out.schedule)
-            }
-            SimVariant::Empirical => {
-                let sim = Simulator::new(cluster, self.empirical_model.clone());
-                let out = sim
-                    .schedule_and_simulate(&g.dag, algo)
-                    .expect("simulation cannot fail on valid schedules");
-                (out.result.makespan, out.schedule)
-            }
-        };
-
-        let real_runs: Vec<f64> = (0..repeats.max(1))
-            .map(|r| {
-                self.testbed
-                    .execute(&g.dag, &schedule, g.seed.wrapping_add(r))
-                    .expect("testbed execution cannot fail on valid schedules")
-                    .makespan
-            })
-            .collect();
-        let real_makespan = real_runs.iter().sum::<f64>() / real_runs.len() as f64;
-
-        CellResult {
+        let mut cell = CellResult {
             dag: g.name(),
             n: g.params.matrix_size,
             variant,
             algo: algo.name().to_string(),
-            sim_makespan,
-            real_makespan,
-            real_runs,
+            sim_makespan: 0.0,
+            real_makespan: 0.0,
+            real_runs: Vec::new(),
+            outcome: CellOutcome::Full,
+        };
+        let sim_out = match variant {
+            SimVariant::Analytic => {
+                Simulator::new(cluster, mps_core::model::AnalyticModel::paper_jvm())
+                    .schedule_and_simulate(&g.dag, algo)
+            }
+            SimVariant::Profile => Simulator::new(cluster, self.profile_model.clone())
+                .schedule_and_simulate(&g.dag, algo),
+            SimVariant::Empirical => Simulator::new(cluster, self.empirical_model.clone())
+                .schedule_and_simulate(&g.dag, algo),
+        };
+        let (sim_makespan, schedule) = match sim_out {
+            Ok(out) => (out.result.makespan, out.schedule),
+            Err(e) => {
+                cell.outcome = CellOutcome::Failed {
+                    error: format!("simulation: {e}"),
+                };
+                return cell;
+            }
+        };
+        cell.sim_makespan = sim_makespan;
+
+        let mut failed_runs = 0usize;
+        let mut retries = 0u32;
+        let mut first_error = None;
+        for r in 0..repeats.max(1) {
+            let run_seed = g.seed.wrapping_add(r);
+            let run = match &self.fault_plan {
+                Some(plan) => self.testbed.execute_with_faults(
+                    &g.dag,
+                    &schedule,
+                    run_seed,
+                    plan,
+                    &self.policy,
+                ),
+                None => self.testbed.execute(&g.dag, &schedule, run_seed),
+            };
+            match run {
+                Ok(res) => {
+                    retries += res.total_retries();
+                    cell.real_runs.push(res.makespan);
+                }
+                Err(e) => {
+                    failed_runs += 1;
+                    first_error.get_or_insert_with(|| e.to_string());
+                }
+            }
         }
+        if cell.real_runs.is_empty() {
+            cell.outcome = CellOutcome::Failed {
+                error: first_error.unwrap_or_else(|| "no runs".into()),
+            };
+        } else {
+            cell.real_makespan = cell.real_runs.iter().sum::<f64>() / cell.real_runs.len() as f64;
+            if failed_runs > 0 || retries > 0 {
+                cell.outcome = CellOutcome::Degraded {
+                    failed_runs,
+                    retries,
+                };
+            }
+        }
+        cell
     }
 
     /// Runs the full grid (54 DAGs × 3 variants × {HCPA, MCPA}),
@@ -245,12 +338,12 @@ pub fn paired_relative_makespans(
     let mut out = Vec::new();
     let hcpa: Vec<&CellResult> = cells
         .iter()
-        .filter(|c| c.variant == variant && c.n == n && c.algo == "HCPA")
+        .filter(|c| c.variant == variant && c.n == n && c.algo == "HCPA" && c.succeeded())
         .collect();
     for h in hcpa {
         if let Some(m) = cells
             .iter()
-            .find(|c| c.variant == variant && c.dag == h.dag && c.algo == "MCPA")
+            .find(|c| c.variant == variant && c.dag == h.dag && c.algo == "MCPA" && c.succeeded())
         {
             let rel_sim = mps_core::stats::relative_makespan(h.sim_makespan, m.sim_makespan);
             let rel_real = mps_core::stats::relative_makespan(h.real_makespan, m.real_makespan);
@@ -260,6 +353,41 @@ pub fn paired_relative_makespans(
     // The paper sorts DAGs by increasing simulated relative makespan.
     out.sort_by(|a, b| a.1.total_cmp(&b.1));
     out
+}
+
+/// Per-grid fault/degradation tally for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GridHealth {
+    /// Cells whose every run completed cleanly.
+    pub full: usize,
+    /// Cells that lost runs or needed retries but still measured.
+    pub degraded: usize,
+    /// Cells with no surviving measurement.
+    pub failed: usize,
+    /// Total task retries across the grid.
+    pub retries: u32,
+    /// Total testbed runs lost across degraded cells.
+    pub lost_runs: usize,
+}
+
+/// Tallies cell outcomes over a finished grid.
+pub fn grid_health(cells: &[CellResult]) -> GridHealth {
+    let mut h = GridHealth::default();
+    for c in cells {
+        match &c.outcome {
+            CellOutcome::Full => h.full += 1,
+            CellOutcome::Degraded {
+                failed_runs,
+                retries,
+            } => {
+                h.degraded += 1;
+                h.retries += retries;
+                h.lost_runs += failed_runs;
+            }
+            CellOutcome::Failed { .. } => h.failed += 1,
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -326,5 +454,64 @@ mod tests {
         let a = h.run_subset(2, 2);
         let b = h.run_subset(2, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_grid_degrades_gracefully_instead_of_aborting() {
+        use mps_core::platform::HostId;
+        let plan = FaultPlan::builder(3)
+            .node_crash(HostId(0), 0.0, 50.0)
+            .task_failure(0.02)
+            .build();
+        // A tight retry budget so some cells genuinely fail.
+        let h = Harness::new(7)
+            .with_fault_plan(plan)
+            .with_exec_policy(ExecPolicy {
+                max_retries: 1,
+                ..ExecPolicy::default()
+            });
+        let cells = h.run_subset(3, 1);
+        assert_eq!(cells.len(), 3 * 3 * 2, "every cell is recorded");
+        let health = grid_health(&cells);
+        assert!(
+            health.degraded + health.failed > 0,
+            "the crash plan must visibly perturb the grid: {health:?}"
+        );
+        for c in &cells {
+            match &c.outcome {
+                CellOutcome::Failed { error } => {
+                    assert!(!error.is_empty());
+                    assert_eq!(c.real_makespan, 0.0);
+                    assert!(c.real_runs.is_empty());
+                }
+                _ => assert!(c.real_makespan > 0.0),
+            }
+        }
+        // Determinism: the same plan + seed reproduces the same grid.
+        let h2 = Harness::new(7)
+            .with_fault_plan(
+                FaultPlan::builder(3)
+                    .node_crash(HostId(0), 0.0, 50.0)
+                    .task_failure(0.02)
+                    .build(),
+            )
+            .with_exec_policy(ExecPolicy {
+                max_retries: 1,
+                ..ExecPolicy::default()
+            });
+        assert_eq!(cells, h2.run_subset(3, 1));
+    }
+
+    #[test]
+    fn cell_outcome_survives_a_serde_round_trip() {
+        let h = Harness::new(7);
+        let mut cells = h.run_subset(1, 1);
+        cells[0].outcome = CellOutcome::Degraded {
+            failed_runs: 1,
+            retries: 4,
+        };
+        let json = serde_json::to_string(&cells).unwrap();
+        let back: Vec<CellResult> = serde_json::from_str(&json).unwrap();
+        assert_eq!(cells, back);
     }
 }

@@ -1,0 +1,326 @@
+//! Interpreting a [`FaultPlan`] during schedule execution.
+
+use mps_dag::TaskId;
+use mps_platform::HostId;
+
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// What happens to one task-launch attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskDisposition {
+    /// The attempt proceeds; its execution takes `slowdown`× the nominal
+    /// duration (`1.0` = unaffected).
+    Run {
+        /// Duration multiplier (≥ 1 under injected faults).
+        slowdown: f64,
+    },
+    /// The attempt fails. The task may be retried, but not before
+    /// `retry_after` seconds have elapsed (time until a crashed host
+    /// recovers; `0.0` for instantaneous transient failures).
+    Fail {
+        /// Minimum wait before the next attempt can succeed (seconds).
+        retry_after: f64,
+    },
+}
+
+/// The hook through which execution consumes injected faults.
+///
+/// Implemented by [`ScriptedFaults`]; the schedule executor queries it at
+/// every task-launch attempt and every redistribution. `&mut self` so
+/// implementations may keep caches, but **decisions must be functions of
+/// the arguments only** — the executor's event order is not part of the
+/// contract, and replay determinism (same plan ⇒ same execution) relies on
+/// order independence.
+pub trait FaultModel {
+    /// Disposition of attempt `attempt` (0-based) of `task` on `hosts`,
+    /// launched at simulated time `now`.
+    fn task_disposition(
+        &mut self,
+        task: TaskId,
+        hosts: &[HostId],
+        attempt: u32,
+        now: f64,
+    ) -> TaskDisposition;
+
+    /// Effective-byte multiplier for a transfer from `src` to `dst`
+    /// starting at `now` (`1.0` = healthy links, > 1 = degraded).
+    fn link_factor(&mut self, src: HostId, dst: HostId, now: f64) -> f64;
+}
+
+/// The trivial fault model: nothing ever goes wrong.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    fn task_disposition(
+        &mut self,
+        _task: TaskId,
+        _hosts: &[HostId],
+        _attempt: u32,
+        _now: f64,
+    ) -> TaskDisposition {
+        TaskDisposition::Run { slowdown: 1.0 }
+    }
+
+    fn link_factor(&mut self, _src: HostId, _dst: HostId, _now: f64) -> f64 {
+        1.0
+    }
+}
+
+/// A [`FaultPlan`] interpreted as a [`FaultModel`].
+///
+/// Probabilistic decisions (transient task failures) hash
+/// `(plan seed, task, attempt)` into a uniform draw instead of consuming a
+/// stateful RNG, so the decision for attempt `k` of task `t` is the same
+/// no matter how many other tasks were dispatched in between.
+#[derive(Debug, Clone)]
+pub struct ScriptedFaults {
+    plan: FaultPlan,
+}
+
+impl ScriptedFaults {
+    /// Wraps a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        ScriptedFaults { plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Stateless uniform draw in `[0, 1)` for one decision.
+    fn decision_unit(&self, a: u64, b: u64) -> f64 {
+        // SplitMix64-style finalizer over the (seed, a, b) triple.
+        let mut z = self
+            .plan
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Latest recovery time over hosts crashed at `now`, if any.
+    fn crash_recovery(&self, hosts: &[HostId], now: f64) -> Option<f64> {
+        let mut recovery: Option<f64> = None;
+        for e in &self.plan.events {
+            if let FaultEvent::NodeCrash {
+                host,
+                from,
+                duration,
+            } = *e
+            {
+                let end = from + duration;
+                if hosts.iter().any(|h| h.index() == host) && now >= from && now < end {
+                    recovery = Some(recovery.map_or(end, |r: f64| r.max(end)));
+                }
+            }
+        }
+        recovery
+    }
+}
+
+impl FaultModel for ScriptedFaults {
+    fn task_disposition(
+        &mut self,
+        task: TaskId,
+        hosts: &[HostId],
+        attempt: u32,
+        now: f64,
+    ) -> TaskDisposition {
+        // Crashed hosts dominate: the launch cannot reach the node.
+        if let Some(recovery) = self.crash_recovery(hosts, now) {
+            return TaskDisposition::Fail {
+                retry_after: (recovery - now).max(0.0),
+            };
+        }
+        // Transient launch failures: independent per (task, attempt).
+        for e in &self.plan.events {
+            if let FaultEvent::TaskFailure { prob } = *e {
+                if prob > 0.0 && self.decision_unit(task.index() as u64, u64::from(attempt)) < prob
+                {
+                    return TaskDisposition::Fail { retry_after: 0.0 };
+                }
+            }
+        }
+        // Slowdowns compose: a straggler task on a derated node is hit by
+        // both. Node slowdown uses the worst factor across the task's
+        // hosts (the coupled task advances at the slowest member's pace).
+        let mut node_factor = 1.0_f64;
+        let mut task_factor = 1.0_f64;
+        for e in &self.plan.events {
+            match *e {
+                FaultEvent::NodeSlowdown { host, from, factor }
+                    if now >= from && hosts.iter().any(|h| h.index() == host) =>
+                {
+                    node_factor = node_factor.max(factor.max(1.0));
+                }
+                FaultEvent::Straggler { task: t, factor } if t == task.index() => {
+                    task_factor *= factor.max(1.0);
+                }
+                _ => {}
+            }
+        }
+        TaskDisposition::Run {
+            slowdown: node_factor * task_factor,
+        }
+    }
+
+    fn link_factor(&mut self, src: HostId, dst: HostId, now: f64) -> f64 {
+        let mut factor = 1.0_f64;
+        for e in &self.plan.events {
+            if let FaultEvent::LinkDegrade {
+                host,
+                from,
+                duration,
+                factor: f,
+            } = *e
+            {
+                if (src.index() == host || dst.index() == host)
+                    && now >= from
+                    && now < from + duration
+                {
+                    factor = factor.max(f.max(1.0));
+                }
+            }
+        }
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use proptest::prelude::*;
+
+    fn hosts(ids: &[usize]) -> Vec<HostId> {
+        ids.iter().map(|&i| HostId(i)).collect()
+    }
+
+    #[test]
+    fn crash_window_fails_launches_and_reports_recovery() {
+        let mut f = ScriptedFaults::new(
+            FaultPlan::builder(1)
+                .node_crash(HostId(2), 10.0, 5.0)
+                .build(),
+        );
+        // Before and after the window: runs normally.
+        for now in [0.0, 9.99, 15.0, 100.0] {
+            assert_eq!(
+                f.task_disposition(TaskId(0), &hosts(&[2]), 0, now),
+                TaskDisposition::Run { slowdown: 1.0 },
+                "at t={now}"
+            );
+        }
+        // Inside: fails with the remaining outage as the retry delay.
+        match f.task_disposition(TaskId(0), &hosts(&[1, 2]), 0, 12.0) {
+            TaskDisposition::Fail { retry_after } => {
+                assert!((retry_after - 3.0).abs() < 1e-12)
+            }
+            d => panic!("expected failure, got {d:?}"),
+        }
+        // Unaffected hosts run fine during the outage.
+        assert_eq!(
+            f.task_disposition(TaskId(0), &hosts(&[0, 1]), 0, 12.0),
+            TaskDisposition::Run { slowdown: 1.0 }
+        );
+    }
+
+    #[test]
+    fn slowdowns_compose_and_use_the_worst_host() {
+        let mut f = ScriptedFaults::new(
+            FaultPlan::builder(1)
+                .node_slowdown(HostId(0), 0.0, 1.5)
+                .node_slowdown(HostId(1), 0.0, 2.0)
+                .straggler(TaskId(3), 3.0)
+                .build(),
+        );
+        match f.task_disposition(TaskId(3), &hosts(&[0, 1]), 0, 1.0) {
+            TaskDisposition::Run { slowdown } => assert!((slowdown - 6.0).abs() < 1e-12),
+            d => panic!("{d:?}"),
+        }
+        // A different task only sees the node factor.
+        match f.task_disposition(TaskId(4), &hosts(&[0]), 0, 1.0) {
+            TaskDisposition::Run { slowdown } => assert!((slowdown - 1.5).abs() < 1e-12),
+            d => panic!("{d:?}"),
+        }
+    }
+
+    #[test]
+    fn link_factor_covers_both_endpoints_and_respects_the_window() {
+        let mut f = ScriptedFaults::new(
+            FaultPlan::builder(1)
+                .link_degrade(HostId(5), 10.0, 10.0, 2.5)
+                .build(),
+        );
+        assert_eq!(f.link_factor(HostId(5), HostId(0), 15.0), 2.5);
+        assert_eq!(f.link_factor(HostId(0), HostId(5), 15.0), 2.5);
+        assert_eq!(f.link_factor(HostId(0), HostId(1), 15.0), 1.0);
+        assert_eq!(f.link_factor(HostId(5), HostId(0), 25.0), 1.0);
+    }
+
+    #[test]
+    fn failure_rate_tracks_the_configured_probability() {
+        let mut f = ScriptedFaults::new(FaultPlan::builder(99).task_failure(0.3).build());
+        let n = 4000;
+        let failures = (0..n)
+            .filter(|&i| {
+                matches!(
+                    f.task_disposition(TaskId(i), &hosts(&[0]), 0, 0.0),
+                    TaskDisposition::Fail { .. }
+                )
+            })
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn retries_are_independent_of_the_first_attempt() {
+        // With p = 0.5, some task both fails at attempt 0 and succeeds at
+        // attempt 1 — decisions are per-(task, attempt), not per-task.
+        let mut f = ScriptedFaults::new(FaultPlan::builder(3).task_failure(0.5).build());
+        let mut seen_recovering = false;
+        for i in 0..200 {
+            let a0 = f.task_disposition(TaskId(i), &hosts(&[0]), 0, 0.0);
+            let a1 = f.task_disposition(TaskId(i), &hosts(&[0]), 1, 0.0);
+            if matches!(a0, TaskDisposition::Fail { .. })
+                && matches!(a1, TaskDisposition::Run { .. })
+            {
+                seen_recovering = true;
+            }
+        }
+        assert!(seen_recovering);
+    }
+
+    proptest! {
+        /// Same plan, same query ⇒ same answer, regardless of what else was
+        /// asked in between (order independence).
+        #[test]
+        fn decisions_are_order_independent(
+            seed in 0u64..1000,
+            task in 0usize..64,
+            attempt in 0u32..8,
+            noise_task in 0usize..64,
+        ) {
+            let plan = FaultPlan::builder(seed).task_failure(0.4).build();
+            let mut a = ScriptedFaults::new(plan.clone());
+            let mut b = ScriptedFaults::new(plan);
+            let h = hosts(&[0, 1]);
+            // `b` answers unrelated queries first.
+            for i in 0..5 {
+                let _ = b.task_disposition(TaskId(noise_task), &h, i, 3.0);
+                let _ = b.link_factor(HostId(0), HostId(1), i as f64);
+            }
+            prop_assert_eq!(
+                a.task_disposition(TaskId(task), &h, attempt, 1.0),
+                b.task_disposition(TaskId(task), &h, attempt, 1.0)
+            );
+        }
+    }
+}

@@ -96,10 +96,7 @@ impl Kernel {
 
     /// Total bytes moved by the kernel's internal communication.
     pub fn total_comm_bytes(&self, p: usize) -> f64 {
-        self.comm_matrix(p)
-            .iter()
-            .flat_map(|row| row.iter())
-            .sum()
+        self.comm_matrix(p).iter().flat_map(|row| row.iter()).sum()
     }
 
     /// Computation-to-communication ratio at allocation `p` (flops per

@@ -137,10 +137,7 @@ impl BlockDist1D {
     /// Columns shared between `self`'s rank `src` and `other`'s rank `dst`
     /// (both distributions must cover the same matrix width).
     pub fn overlap(&self, src: usize, other: &BlockDist1D, dst: usize) -> usize {
-        assert_eq!(
-            self.n, other.n,
-            "overlap requires equal matrix widths"
-        );
+        assert_eq!(self.n, other.n, "overlap requires equal matrix widths");
         let a = self.columns(src);
         let b = other.columns(dst);
         let lo = a.start.max(b.start);

@@ -194,8 +194,7 @@ pub fn execute_redistribution(src: &Distributed, dst_dist: BlockDist1D) -> (Dist
             let s_off = (col - src_cols.start) * n;
             let d_off = (col - dst_cols.start) * n;
             let src_block = &src.blocks[t.src_rank];
-            dst_blocks[t.dst_rank][d_off..d_off + n]
-                .copy_from_slice(&src_block[s_off..s_off + n]);
+            dst_blocks[t.dst_rank][d_off..d_off + n].copy_from_slice(&src_block[s_off..s_off + n]);
             moved += n;
         }
     }

@@ -109,10 +109,7 @@ mod hetero_tests {
         // bottleneck for a coupled parallel task.
         let mut sim = L07Sim::new(cluster.clone());
         let t = sim
-            .run_single(PTaskSpec::compute_uniform(
-                &[HostId(0), HostId(1)],
-                250.0e6,
-            ))
+            .run_single(PTaskSpec::compute_uniform(&[HostId(0), HostId(1)], 250.0e6))
             .unwrap();
         assert!((t - 1.0).abs() < 1e-9, "slow host bound: {t}");
 

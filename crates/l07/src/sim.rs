@@ -107,6 +107,12 @@ impl L07Sim {
         self.engine.enable_tracing();
     }
 
+    /// Installs a divergence [`Watchdog`](mps_des::Watchdog) on the
+    /// underlying engine; `None` disables it.
+    pub fn set_watchdog(&mut self, watchdog: Option<mps_des::Watchdog>) {
+        self.engine.set_watchdog(watchdog);
+    }
+
     /// Enables resource-utilization metering (CPUs and links). Call before
     /// submitting tasks.
     pub fn enable_usage_metering(&mut self) {
@@ -117,7 +123,12 @@ impl L07Sim {
     /// (`None` unless metering was enabled).
     pub fn cpu_utilization(&self) -> Option<Vec<f64>> {
         let usage = self.engine.resource_usage()?;
-        Some(self.cpu.iter().map(|r| usage[r.index()].utilization()).collect())
+        Some(
+            self.cpu
+                .iter()
+                .map(|r| usage[r.index()].utilization())
+                .collect(),
+        )
     }
 
     /// Mean utilization of the backbone link (`None` unless metering was
@@ -253,9 +264,7 @@ impl L07Sim {
         let id = self.submit(spec)?;
         loop {
             match self.next_completions()? {
-                None => {
-                    return Err(L07Error::Engine(EngineError::Stalled { time: self.now() }))
-                }
+                None => return Err(L07Error::Engine(EngineError::Stalled { time: self.now() })),
                 Some(completions) => {
                     if let Some(c) = completions.iter().find(|c| c.task == id) {
                         return Ok(c.time - start);
@@ -293,9 +302,7 @@ mod tests {
         let mut s = sim();
         let h = hosts(&[0, 1, 2, 3]);
         let flops = 2.0 * 2000.0_f64.powi(3) / 4.0;
-        let t = s
-            .run_single(PTaskSpec::compute_uniform(&h, flops))
-            .unwrap();
+        let t = s.run_single(PTaskSpec::compute_uniform(&h, flops)).unwrap();
         assert!((t - 16.0).abs() < 1e-9);
     }
 

@@ -164,14 +164,10 @@ impl EmpiricalModel {
             };
             curves.push((*kernel, curve));
         }
-        let (sp, st): (Vec<f64>, Vec<f64>) = startup_samples
-            .iter()
-            .map(|&(p, t)| (p as f64, t))
-            .unzip();
-        let (rp, rt): (Vec<f64>, Vec<f64>) = redist_samples
-            .iter()
-            .map(|&(p, t)| (p as f64, t))
-            .unzip();
+        let (sp, st): (Vec<f64>, Vec<f64>) =
+            startup_samples.iter().map(|&(p, t)| (p as f64, t)).unzip();
+        let (rp, rt): (Vec<f64>, Vec<f64>) =
+            redist_samples.iter().map(|&(p, t)| (p as f64, t)).unzip();
         Ok(EmpiricalModel {
             curves,
             startup: fit_affine(Basis::Identity, &sp, &st)?,
@@ -189,9 +185,8 @@ impl EmpiricalModel {
     #[must_use]
     pub fn scaled(&self, speedup: f64, scale_overheads: bool) -> Self {
         assert!(speedup > 0.0, "speedup must be positive");
-        let scale_affine = |m: &AffineModel| {
-            AffineModel::from_coefficients(m.basis, m.a / speedup, m.b / speedup)
-        };
+        let scale_affine =
+            |m: &AffineModel| AffineModel::from_coefficients(m.basis, m.a / speedup, m.b / speedup);
         let curves = self
             .curves
             .iter()
@@ -283,9 +278,7 @@ mod tests {
     fn table_ii_additions_single_regime() {
         let m = EmpiricalModel::table_ii();
         assert!((m.task_time(Kernel::MatAdd { n: 2000 }, 1) - 23.02).abs() < 1e-9);
-        assert!(
-            (m.task_time(Kernel::MatAdd { n: 3000 }, 31) - (73.59 / 31.0 + 0.38)).abs() < 1e-9
-        );
+        assert!((m.task_time(Kernel::MatAdd { n: 3000 }, 31) - (73.59 / 31.0 + 0.38)).abs() < 1e-9);
     }
 
     #[test]
@@ -335,12 +328,7 @@ mod tests {
             .iter()
             .map(|&p| (p, 0.008 * p as f64 + 0.1))
             .collect();
-        let m = EmpiricalModel::fit(
-            &[(mm, samples), (ma, ma_samples)],
-            &startup,
-            &redist,
-        )
-        .unwrap();
+        let m = EmpiricalModel::fit(&[(mm, samples), (ma, ma_samples)], &startup, &redist).unwrap();
         assert!((m.task_time(mm, 8) - truth_low(8.0)).abs() < 2.0);
         assert!((m.task_time(mm, 24) - truth_high(24.0)).abs() < 0.5);
         assert!((m.task_time(ma, 10) - 4.1).abs() < 1e-6);
@@ -397,7 +385,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "speedup must be positive")]
     fn scaled_rejects_non_positive_speedup() {
-        EmpiricalModel::table_ii().scaled(0.0, false);
+        let _ = EmpiricalModel::table_ii().scaled(0.0, false);
     }
 
     #[test]

@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn unknown_kernel_errors() {
         let m = ProfileModel::new(tables()).unwrap();
-        let err = m
-            .try_task_time(Kernel::MatMul { n: 3000 }, 1)
-            .unwrap_err();
+        let err = m.try_task_time(Kernel::MatMul { n: 3000 }, 1).unwrap_err();
         assert_eq!(err, ProfileError::UnknownKernel(Kernel::MatMul { n: 3000 }));
     }
 

@@ -232,9 +232,7 @@ impl Cluster {
     /// The fastest node's speed — HCPA's reference speed on heterogeneous
     /// platforms.
     pub fn reference_speed(&self) -> f64 {
-        self.hosts()
-            .map(|h| self.host_speed(h))
-            .fold(0.0, f64::max)
+        self.hosts().map(|h| self.host_speed(h)).fold(0.0, f64::max)
     }
 
     /// Properties of one link.
@@ -360,7 +358,9 @@ mod tests {
         s.flops_per_node = 0.0;
         assert!(matches!(
             s.build().unwrap_err(),
-            PlatformError::InvalidQuantity { field: "flops_per_node" }
+            PlatformError::InvalidQuantity {
+                field: "flops_per_node"
+            }
         ));
 
         let mut s = ClusterSpec::bayreuth();

@@ -64,7 +64,11 @@ impl AffineModel {
             max_abs = max_abs.max(r.abs());
         }
         FitStats {
-            r2: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 },
+            r2: if ss_tot > 0.0 {
+                1.0 - ss_res / ss_tot
+            } else {
+                1.0
+            },
             rmse: (ss_res / n).sqrt(),
             max_abs_residual: max_abs,
         }
@@ -175,11 +179,7 @@ mod tests {
         assert!(stats.r2 > 0.9);
         assert!(stats.rmse > 0.0);
         // Any slope/intercept tweak increases squared error.
-        let base: f64 = m
-            .residuals(&ps, &ys)
-            .iter()
-            .map(|r| r * r)
-            .sum();
+        let base: f64 = m.residuals(&ps, &ys).iter().map(|r| r * r).sum();
         for (da, db) in [(0.01, 0.0), (-0.01, 0.0), (0.0, 0.01), (0.0, -0.01)] {
             let alt = AffineModel::from_coefficients(Basis::Identity, m.a + da, m.b + db);
             let alt_err: f64 = alt.residuals(&ps, &ys).iter().map(|r| r * r).sum();

@@ -94,8 +94,12 @@ mod tests {
             let jitter = 1.0 + 0.08 * (((i * 2654435761) % 100) as f64 / 100.0 - 0.5);
             (200.0 / p + 5.0) * jitter
         };
-        let few: Vec<(f64, f64)> = (1..=4).map(|i| (i as f64 * 4.0, noisy(i as f64 * 4.0, i))).collect();
-        let many: Vec<(f64, f64)> = (1..=12).map(|i| (i as f64 * 2.0, noisy(i as f64 * 2.0, i))).collect();
+        let few: Vec<(f64, f64)> = (1..=4)
+            .map(|i| (i as f64 * 4.0, noisy(i as f64 * 4.0, i)))
+            .collect();
+        let many: Vec<(f64, f64)> = (1..=12)
+            .map(|i| (i as f64 * 2.0, noisy(i as f64 * 2.0, i)))
+            .collect();
         let (fp, fy): (Vec<f64>, Vec<f64>) = few.into_iter().unzip();
         let (mp, my): (Vec<f64>, Vec<f64>) = many.into_iter().unzip();
         let cv_few = loo_cv(Basis::Recip, &fp, &fy).unwrap();

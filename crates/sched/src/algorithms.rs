@@ -120,8 +120,7 @@ mod tests {
     fn all_algorithms_produce_valid_schedules_on_the_corpus() {
         let cluster = Cluster::bayreuth();
         let model = AnalyticModel::paper_jvm();
-        let algos: Vec<Box<dyn Scheduler>> =
-            vec![Box::new(Cpa), Box::new(Hcpa), Box::new(Mcpa)];
+        let algos: Vec<Box<dyn Scheduler>> = vec![Box::new(Cpa), Box::new(Hcpa), Box::new(Mcpa)];
         for g in paper_corpus(PAPER_CORPUS_SEED).iter().take(12) {
             for algo in &algos {
                 let s = algo.schedule(&g.dag, &cluster, &model);

@@ -172,8 +172,7 @@ mod tests {
 
     fn chain(n: usize) -> Dag {
         let kernels = vec![Kernel::MatMul { n: 100 }; n];
-        let edges: Vec<(TaskId, TaskId)> =
-            (1..n).map(|i| (TaskId(i - 1), TaskId(i))).collect();
+        let edges: Vec<(TaskId, TaskId)> = (1..n).map(|i| (TaskId(i - 1), TaskId(i))).collect();
         Dag::new(kernels, &edges).unwrap()
     }
 
@@ -229,8 +228,12 @@ mod tests {
         // (T_CP ≤ T_A) well before everything saturates.
         let time = |t: TaskId| tau(t, np[t.index()]);
         let t_cp = dag.critical_path_length(time);
-        let t_a: f64 =
-            np.iter().enumerate().map(|(t, &p)| p as f64 * tau(TaskId(t), p)).sum::<f64>() / 8.0;
+        let t_a: f64 = np
+            .iter()
+            .enumerate()
+            .map(|(t, &p)| p as f64 * tau(TaskId(t), p))
+            .sum::<f64>()
+            / 8.0;
         assert!(t_cp <= t_a + 1e-9, "T_CP {t_cp} > T_A {t_a}, np = {np:?}");
         let total: usize = np.iter().sum();
         assert!(total < 8 * 10, "should not saturate: {np:?}");

@@ -103,11 +103,7 @@ pub fn map_tasks(
 
 /// Default redistribution estimate: protocol overhead plus the full output
 /// matrix over the backbone bandwidth (uncontended).
-pub fn default_redist_estimate(
-    cluster: &Cluster,
-    matrix_bytes: f64,
-    overhead: f64,
-) -> f64 {
+pub fn default_redist_estimate(cluster: &Cluster, matrix_bytes: f64, overhead: f64) -> f64 {
     let bw = cluster.link_props(LinkId::Backbone).bandwidth;
     overhead + matrix_bytes / bw
 }

@@ -68,7 +68,9 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::WrongTaskSet => write!(f, "schedule does not cover the DAG exactly"),
-            ScheduleError::BadHostSet(t) => write!(f, "task {t} has an empty or duplicate host set"),
+            ScheduleError::BadHostSet(t) => {
+                write!(f, "task {t} has an empty or duplicate host set")
+            }
             ScheduleError::UnknownHost(t, h) => write!(f, "task {t} uses unknown host {h}"),
             ScheduleError::OrderViolatesDependency { task, pred } => {
                 write!(f, "task {task} is ordered before its predecessor {pred}")
@@ -220,7 +222,10 @@ mod tests {
         let c = Cluster::bayreuth();
         let mut s = ok_schedule();
         s.tasks.pop();
-        assert_eq!(s.validate(&dag, &c).unwrap_err(), ScheduleError::WrongTaskSet);
+        assert_eq!(
+            s.validate(&dag, &c).unwrap_err(),
+            ScheduleError::WrongTaskSet
+        );
     }
 
     #[test]
@@ -229,7 +234,10 @@ mod tests {
         let c = Cluster::bayreuth();
         let mut s = ok_schedule();
         s.tasks[1].task = TaskId(0);
-        assert_eq!(s.validate(&dag, &c).unwrap_err(), ScheduleError::WrongTaskSet);
+        assert_eq!(
+            s.validate(&dag, &c).unwrap_err(),
+            ScheduleError::WrongTaskSet
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 use std::collections::HashMap;
 
 use mps_dag::{Dag, TaskId};
+use mps_des::{EngineError, Watchdog};
+use mps_faults::{FaultModel, TaskDisposition};
 use mps_kernels::{BlockDist1D, RedistPlan};
 use mps_l07::{L07Error, L07Sim, PTaskId, PTaskSpec};
 use mps_platform::{Cluster, HostId};
@@ -54,6 +56,44 @@ pub trait ExecutionModel {
     /// Redistribution protocol overhead (seconds) for an edge from a
     /// `p_src`-processor producer to a `p_dst`-processor consumer.
     fn redist_overhead(&mut self, p_src: usize, p_dst: usize) -> f64;
+
+    /// The fault environment this model executes under, if any.
+    ///
+    /// `None` (the default) means a healthy machine: the executor takes
+    /// exactly the pre-fault code path, consulting the model once per task
+    /// and per edge. Implementations that emulate an unreliable
+    /// environment (see `mps-testbed`) return a [`FaultModel`], and the
+    /// executor consults it at every launch attempt and redistribution.
+    fn fault_model(&mut self) -> Option<&mut dyn FaultModel> {
+        None
+    }
+}
+
+/// Resilience policy for [`execute_with_policy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecPolicy {
+    /// Retries allowed per task after its first attempt; exceeding the
+    /// budget fails the execution with [`ExecError::TaskFailed`].
+    pub max_retries: u32,
+    /// Initial retry backoff (seconds of simulated time); attempt `k`
+    /// waits `backoff_base · 2^k`, capped at [`ExecPolicy::backoff_cap`].
+    pub backoff_base: f64,
+    /// Upper bound on a single backoff wait (seconds).
+    pub backoff_cap: f64,
+    /// Optional divergence watchdog installed on the DES engine; trips
+    /// as [`ExecError::Timeout`].
+    pub watchdog: Option<Watchdog>,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            max_retries: 3,
+            backoff_base: 0.5,
+            backoff_cap: 30.0,
+            watchdog: None,
+        }
+    }
 }
 
 /// Execution outcome.
@@ -62,8 +102,18 @@ pub struct ExecutionResult {
     /// Application makespan (seconds).
     pub makespan: f64,
     /// Per-task `(start, finish)` times, indexed by task id. Start includes
-    /// the startup overhead phase.
+    /// the startup overhead phase (of the first attempt, under faults).
     pub task_spans: Vec<(f64, f64)>,
+    /// Per-task count of failed launch attempts that were retried
+    /// (all-zero on a healthy machine).
+    pub task_retries: Vec<u32>,
+}
+
+impl ExecutionResult {
+    /// Total retries across all tasks.
+    pub fn total_retries(&self) -> u32 {
+        self.task_retries.iter().sum()
+    }
 }
 
 /// Execution errors.
@@ -73,11 +123,25 @@ pub enum ExecError {
     InvalidSchedule(String),
     /// The underlying simulator failed.
     Sim(L07Error),
-    /// The execution deadlocked (should be impossible for valid schedules;
-    /// reported defensively instead of hanging).
-    Stuck {
-        /// Tasks that never started.
+    /// The execution deadlocked or stopped progressing (should be
+    /// impossible for valid schedules; reported defensively instead of
+    /// hanging).
+    Stalled {
+        /// Tasks that never finished.
         unstarted: usize,
+    },
+    /// The [`Watchdog`] tripped: execution overran its simulated-time
+    /// horizon or step budget.
+    Timeout {
+        /// Simulated time when the watchdog fired.
+        time: f64,
+    },
+    /// A task exhausted its retry budget under injected faults.
+    TaskFailed {
+        /// The failing task.
+        task: TaskId,
+        /// Attempts made (first launch + retries).
+        attempts: u32,
     },
 }
 
@@ -86,8 +150,14 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
             ExecError::Sim(e) => write!(f, "simulation error: {e}"),
-            ExecError::Stuck { unstarted } => {
-                write!(f, "execution stuck with {unstarted} unstarted tasks")
+            ExecError::Stalled { unstarted } => {
+                write!(f, "execution stalled with {unstarted} unfinished tasks")
+            }
+            ExecError::Timeout { time } => {
+                write!(f, "execution watchdog timed out at t={time}")
+            }
+            ExecError::TaskFailed { task, attempts } => {
+                write!(f, "task {task} failed after {attempts} attempts")
             }
         }
     }
@@ -97,23 +167,95 @@ impl std::error::Error for ExecError {}
 
 impl From<L07Error> for ExecError {
     fn from(e: L07Error) -> Self {
-        ExecError::Sim(e)
+        match e {
+            L07Error::Engine(EngineError::Timeout { time, .. }) => ExecError::Timeout { time },
+            other => ExecError::Sim(other),
+        }
+    }
+}
+
+/// Wraps any [`ExecutionModel`] with a scripted fault environment.
+///
+/// Delegates every quantity to `inner` and exposes `faults` through
+/// [`ExecutionModel::fault_model`], so the executor applies the plan's
+/// crashes, slowdowns, launch failures, and link degradations on top of
+/// the inner model's timings.
+#[derive(Debug, Clone)]
+pub struct FaultyExecution<M> {
+    inner: M,
+    faults: mps_faults::ScriptedFaults,
+}
+
+impl<M: ExecutionModel> FaultyExecution<M> {
+    /// Wraps `inner` with the fault environment described by `faults`.
+    pub fn new(inner: M, faults: mps_faults::ScriptedFaults) -> Self {
+        FaultyExecution { inner, faults }
+    }
+
+    /// The wrapped model.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: ExecutionModel> ExecutionModel for FaultyExecution<M> {
+    fn task_execution(
+        &mut self,
+        task: TaskId,
+        kernel: mps_kernels::Kernel,
+        hosts: &[HostId],
+    ) -> TaskExecution {
+        self.inner.task_execution(task, kernel, hosts)
+    }
+
+    fn startup_overhead(&mut self, task: TaskId, p: usize) -> f64 {
+        self.inner.startup_overhead(task, p)
+    }
+
+    fn redist_overhead(&mut self, p_src: usize, p_dst: usize) -> f64 {
+        self.inner.redist_overhead(p_src, p_dst)
+    }
+
+    fn fault_model(&mut self) -> Option<&mut dyn FaultModel> {
+        Some(&mut self.faults)
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TaskState {
     Waiting,
+    /// A launch attempt failed; the task sits out its backoff delay.
+    Backoff,
     Running,
     Done,
 }
 
-/// Executes `schedule` for `dag` on `cluster` under `model`.
+/// Executes `schedule` for `dag` on `cluster` under `model` with the
+/// default [`ExecPolicy`].
 pub fn execute(
     dag: &Dag,
     cluster: &Cluster,
     schedule: &Schedule,
     model: &mut dyn ExecutionModel,
+) -> Result<ExecutionResult, ExecError> {
+    execute_with_policy(dag, cluster, schedule, model, &ExecPolicy::default())
+}
+
+/// Executes `schedule` for `dag` on `cluster` under `model` and `policy`.
+///
+/// When `model` exposes a [`FaultModel`], every task-launch attempt is
+/// first submitted to it: a failed attempt charges the startup overhead
+/// plus an exponential-backoff wait (both as *simulated* time, while the
+/// task's hosts stay claimed) and is retried up to
+/// [`ExecPolicy::max_retries`] times before the execution fails with
+/// [`ExecError::TaskFailed`]. Redistribution flows are scaled by the fault
+/// model's link-degradation factors.
+pub fn execute_with_policy(
+    dag: &Dag,
+    cluster: &Cluster,
+    schedule: &Schedule,
+    model: &mut dyn ExecutionModel,
+    policy: &ExecPolicy,
 ) -> Result<ExecutionResult, ExecError> {
     schedule
         .validate(dag, cluster)
@@ -124,10 +266,12 @@ pub fn execute(
         return Ok(ExecutionResult {
             makespan: 0.0,
             task_spans: Vec::new(),
+            task_retries: Vec::new(),
         });
     }
 
     let mut sim = L07Sim::new(cluster.clone());
+    sim.set_watchdog(policy.watchdog);
 
     // Placement lookup.
     let mut hosts_of: Vec<Vec<HostId>> = vec![Vec::new(); n_tasks];
@@ -146,19 +290,21 @@ pub fn execute(
     let mut queue_head = vec![0usize; n_hosts];
 
     // Incoming redistributions still pending per task.
-    let mut pending_redists: Vec<usize> = dag
-        .task_ids()
-        .map(|t| dag.predecessors(t).len())
-        .collect();
+    let mut pending_redists: Vec<usize> =
+        dag.task_ids().map(|t| dag.predecessors(t).len()).collect();
 
     let mut state = vec![TaskState::Waiting; n_tasks];
     let mut spans = vec![(0.0_f64, 0.0_f64); n_tasks];
+    let mut attempts = vec![0u32; n_tasks];
+    let mut launched = vec![false; n_tasks];
     let mut done_count = 0usize;
 
     // Maps in-flight simulator activities to what they mean.
     #[derive(Debug, Clone, Copy)]
     enum Meaning {
         TaskRun(TaskId),
+        /// A failed attempt waiting out its startup + backoff charge.
+        Backoff(TaskId),
         Redist {
             succ: TaskId,
         },
@@ -170,6 +316,8 @@ pub fn execute(
                      in_flight: &mut HashMap<PTaskId, Meaning>,
                      state: &mut Vec<TaskState>,
                      spans: &mut Vec<(f64, f64)>,
+                     attempts: &mut Vec<u32>,
+                     launched: &mut Vec<bool>,
                      queue_head: &[usize],
                      pending_redists: &[usize],
                      model: &mut dyn ExecutionModel|
@@ -190,27 +338,61 @@ pub fn execute(
             if !at_head {
                 continue;
             }
-            // Launch: startup latency + execution.
+            // Launch: startup latency + execution. Every attempt —
+            // successful or not — pays the startup overhead.
             let kernel = dag.task(t).kernel;
             let p = st.hosts.len();
             let startup = model.startup_overhead(t, p);
+            if !launched[t.index()] {
+                launched[t.index()] = true;
+                spans[t.index()].0 = sim.now();
+            }
+            let disposition = match model.fault_model() {
+                Some(fm) => fm.task_disposition(t, &st.hosts, attempts[t.index()], sim.now()),
+                None => TaskDisposition::Run { slowdown: 1.0 },
+            };
+            let slowdown = match disposition {
+                TaskDisposition::Fail { retry_after } => {
+                    let attempt = attempts[t.index()];
+                    if attempt >= policy.max_retries {
+                        return Err(ExecError::TaskFailed {
+                            task: t,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    attempts[t.index()] = attempt + 1;
+                    // The failed attempt is charged as simulated time: its
+                    // startup overhead plus the backoff wait (or the time
+                    // until a crashed host recovers, whichever is longer).
+                    // The task's hosts stay claimed throughout.
+                    let backoff = (policy.backoff_base * 2.0_f64.powi(attempt as i32))
+                        .min(policy.backoff_cap);
+                    let spec = PTaskSpec::new()
+                        .with_extra_latency(startup + backoff.max(retry_after))
+                        .with_label(format!("backoff-{}-{}", t.index(), attempt));
+                    let id = sim.submit(spec)?;
+                    in_flight.insert(id, Meaning::Backoff(t));
+                    state[t.index()] = TaskState::Backoff;
+                    continue;
+                }
+                TaskDisposition::Run { slowdown } => slowdown.max(1.0),
+            };
             let spec = match model.task_execution(t, kernel, &st.hosts) {
                 TaskExecution::Analytic => {
-                    let flops = kernel.flops_per_proc(p);
+                    let flops = kernel.flops_per_proc(p) * slowdown;
                     let comm = kernel.comm_matrix(p);
                     PTaskSpec::compute(&st.hosts, &vec![flops; p])
                         .with_comm_matrix(&st.hosts, &comm)
                         .with_extra_latency(startup)
                 }
                 TaskExecution::Fixed(duration) => {
-                    PTaskSpec::new().with_extra_latency(startup + duration.max(0.0))
+                    PTaskSpec::new().with_extra_latency(startup + duration.max(0.0) * slowdown)
                 }
             }
             .with_label(format!("task-{}", t.index()));
             let id = sim.submit(spec)?;
             in_flight.insert(id, Meaning::TaskRun(t));
             state[t.index()] = TaskState::Running;
-            spans[t.index()].0 = sim.now();
             started += 1;
         }
         Ok(started)
@@ -221,6 +403,8 @@ pub fn execute(
         &mut in_flight,
         &mut state,
         &mut spans,
+        &mut attempts,
+        &mut launched,
         &queue_head,
         &pending_redists,
         model,
@@ -230,11 +414,8 @@ pub fn execute(
         let completions = match sim.next_completions()? {
             Some(c) => c,
             None => {
-                return Err(ExecError::Stuck {
-                    unstarted: state
-                        .iter()
-                        .filter(|&&s| s != TaskState::Done)
-                        .count(),
+                return Err(ExecError::Stalled {
+                    unstarted: state.iter().filter(|&&s| s != TaskState::Done).count(),
                 })
             }
         };
@@ -262,27 +443,38 @@ pub fn execute(
                             &BlockDist1D::vanilla(n, src_hosts.len()),
                             &BlockDist1D::vanilla(n, dst_hosts.len()),
                         );
-                        let src_idx: Vec<usize> =
-                            src_hosts.iter().map(|h| h.index()).collect();
-                        let dst_idx: Vec<usize> =
-                            dst_hosts.iter().map(|h| h.index()).collect();
-                        let flows: Vec<(HostId, HostId, f64)> = plan
+                        let src_idx: Vec<usize> = src_hosts.iter().map(|h| h.index()).collect();
+                        let dst_idx: Vec<usize> = dst_hosts.iter().map(|h| h.index()).collect();
+                        let mut flows: Vec<(HostId, HostId, f64)> = plan
                             .network_transfers(&src_idx, &dst_idx)
                             .into_iter()
                             .map(|(s, d, b)| (HostId(s), HostId(d), b))
                             .collect();
-                        let overhead =
-                            model.redist_overhead(src_hosts.len(), dst_hosts.len());
+                        let mut overhead = model.redist_overhead(src_hosts.len(), dst_hosts.len());
+                        // Degraded links carry more effective bytes; the
+                        // protocol overhead stretches with the worst link.
+                        if let Some(fm) = model.fault_model() {
+                            let now = c.time;
+                            let mut worst = 1.0_f64;
+                            for (s, d, b) in &mut flows {
+                                let factor = fm.link_factor(*s, *d, now).max(1.0);
+                                *b *= factor;
+                                worst = worst.max(factor);
+                            }
+                            overhead *= worst;
+                        }
                         let spec = PTaskSpec::transfers(flows)
                             .with_extra_latency(overhead)
-                            .with_label(format!(
-                                "redist-{}-{}",
-                                t.index(),
-                                succ.index()
-                            ));
+                            .with_label(format!("redist-{}-{}", t.index(), succ.index()));
                         let id = sim.submit(spec)?;
                         in_flight.insert(id, Meaning::Redist { succ });
                     }
+                }
+                Some(Meaning::Backoff(t)) => {
+                    // Backoff elapsed: the task becomes eligible again and
+                    // re-attempts on the next dispatch pass (its hosts were
+                    // never released).
+                    state[t.index()] = TaskState::Waiting;
                 }
                 Some(Meaning::Redist { succ }) => {
                     pending_redists[succ.index()] -= 1;
@@ -295,6 +487,8 @@ pub fn execute(
             &mut in_flight,
             &mut state,
             &mut spans,
+            &mut attempts,
+            &mut launched,
             &queue_head,
             &pending_redists,
             model,
@@ -305,6 +499,7 @@ pub fn execute(
     Ok(ExecutionResult {
         makespan,
         task_spans: spans,
+        task_retries: attempts,
     })
 }
 
@@ -312,8 +507,8 @@ pub fn execute(
 mod tests {
     use super::*;
     use mps_kernels::Kernel;
-    use mps_sched::{Hcpa, Scheduler, Schedule, ScheduledTask};
     use mps_model::AnalyticModel;
+    use mps_sched::{Hcpa, Schedule, ScheduledTask, Scheduler};
 
     /// Instrumented model: counts calls, returns fixed quantities.
     struct Counting {
@@ -412,7 +607,11 @@ mod tests {
         let mut model = Counting::new(2.0, 0.5, 0.25);
         let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
         let expected = 3.0 * (2.0 + 0.5) + 2.0 * 0.25;
-        assert!((r.makespan - expected).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan - expected).abs() < 1e-9,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -477,12 +676,7 @@ mod tests {
         };
         struct NanModel;
         impl ExecutionModel for NanModel {
-            fn task_execution(
-                &mut self,
-                _t: TaskId,
-                _k: Kernel,
-                _h: &[HostId],
-            ) -> TaskExecution {
+            fn task_execution(&mut self, _t: TaskId, _k: Kernel, _h: &[HostId]) -> TaskExecution {
                 TaskExecution::Fixed(f64::NAN)
             }
             fn startup_overhead(&mut self, _t: TaskId, _p: usize) -> f64 {
@@ -494,6 +688,233 @@ mod tests {
         }
         let r = execute(&dag, &cluster, &schedule, &mut NanModel).unwrap();
         assert!(r.makespan.is_finite());
+    }
+
+    // ---- fault injection & resilience ----------------------------------
+
+    use mps_faults::{FaultPlan, ScriptedFaults};
+
+    fn chain_dag() -> Dag {
+        Dag::new(
+            vec![Kernel::MatAdd { n: 2000 }; 3],
+            &[(TaskId(0), TaskId(1)), (TaskId(1), TaskId(2))],
+        )
+        .unwrap()
+    }
+
+    fn chain_schedule(hosts: &[usize]) -> Schedule {
+        let hs: Vec<HostId> = hosts.iter().map(|&i| HostId(i)).collect();
+        let mk = |t: usize| ScheduledTask {
+            task: TaskId(t),
+            hosts: hs.clone(),
+            est_start: t as f64 * 10.0,
+            est_finish: (t + 1) as f64 * 10.0,
+        };
+        Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![mk(0), mk(1), mk(2)],
+            est_makespan: 30.0,
+        }
+    }
+
+    fn faulty(plan: FaultPlan) -> FaultyExecution<Counting> {
+        FaultyExecution::new(Counting::new(2.0, 0.5, 0.25), ScriptedFaults::new(plan))
+    }
+
+    #[test]
+    fn empty_plan_reproduces_the_healthy_execution_exactly() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let mut model = faulty(FaultPlan::none());
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        assert_eq!(baseline, r);
+        assert_eq!(r.total_retries(), 0);
+    }
+
+    #[test]
+    fn crash_window_delays_execution_via_retries() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        // Host 0 is down from the start for 4 s: task 0's first attempt
+        // fails and retries after the node recovers.
+        let plan = FaultPlan::builder(1)
+            .node_crash(HostId(0), 0.0, 4.0)
+            .build();
+        let mut model = faulty(plan);
+        let policy = ExecPolicy {
+            max_retries: 5,
+            ..ExecPolicy::default()
+        };
+        let r = execute_with_policy(&dag, &cluster, &schedule, &mut model, &policy).unwrap();
+        assert!(r.task_retries[0] >= 1, "retries: {:?}", r.task_retries);
+        assert!(
+            r.makespan >= baseline.makespan + 4.0 - 1e-9,
+            "makespan {} vs baseline {} + outage",
+            r.makespan,
+            baseline.makespan
+        );
+        // Later tasks are pushed back but unaffected otherwise.
+        assert_eq!(r.task_retries[1], 0);
+        assert_eq!(r.task_retries[2], 0);
+    }
+
+    #[test]
+    fn certain_launch_failure_exhausts_the_retry_budget() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut model = faulty(FaultPlan::builder(1).task_failure(1.0).build());
+        let policy = ExecPolicy {
+            max_retries: 2,
+            ..ExecPolicy::default()
+        };
+        let err = execute_with_policy(&dag, &cluster, &schedule, &mut model, &policy).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::TaskFailed {
+                task: TaskId(0),
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_is_charged_as_virtual_time() {
+        // Two forced failures then success: makespan = healthy makespan
+        // + 2 extra startup charges + backoff (0.5 + 1.0).
+        struct FailTwice;
+        impl FaultModel for FailTwice {
+            fn task_disposition(
+                &mut self,
+                task: TaskId,
+                _hosts: &[HostId],
+                attempt: u32,
+                _now: f64,
+            ) -> TaskDisposition {
+                if task == TaskId(0) && attempt < 2 {
+                    TaskDisposition::Fail { retry_after: 0.0 }
+                } else {
+                    TaskDisposition::Run { slowdown: 1.0 }
+                }
+            }
+            fn link_factor(&mut self, _s: HostId, _d: HostId, _n: f64) -> f64 {
+                1.0
+            }
+        }
+        struct Wrapper {
+            inner: Counting,
+            faults: FailTwice,
+        }
+        impl ExecutionModel for Wrapper {
+            fn task_execution(&mut self, t: TaskId, k: Kernel, h: &[HostId]) -> TaskExecution {
+                self.inner.task_execution(t, k, h)
+            }
+            fn startup_overhead(&mut self, t: TaskId, p: usize) -> f64 {
+                self.inner.startup_overhead(t, p)
+            }
+            fn redist_overhead(&mut self, s: usize, d: usize) -> f64 {
+                self.inner.redist_overhead(s, d)
+            }
+            fn fault_model(&mut self) -> Option<&mut dyn FaultModel> {
+                Some(&mut self.faults)
+            }
+        }
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let mut model = Wrapper {
+            inner: Counting::new(2.0, 0.5, 0.25),
+            faults: FailTwice,
+        };
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        assert_eq!(r.task_retries, vec![2, 0, 0]);
+        let expected = baseline.makespan + 2.0 * 0.5 + (0.5 + 1.0);
+        assert!(
+            (r.makespan - expected).abs() < 1e-9,
+            "makespan {} expected {expected}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn stragglers_and_slowdowns_stretch_the_makespan() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let mut model = faulty(FaultPlan::builder(1).straggler(TaskId(1), 3.0).build());
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        // Task 1's 2 s execution becomes 6 s.
+        assert!((r.makespan - (baseline.makespan + 4.0)).abs() < 1e-9);
+        let mut model = faulty(
+            FaultPlan::builder(1)
+                .node_slowdown(HostId(0), 0.0, 2.0)
+                .build(),
+        );
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        // Every task doubles: 3 × 2 s extra.
+        assert!((r.makespan - (baseline.makespan + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_degradation_slows_cross_host_redistribution() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        // Alternate hosts so every redistribution crosses the network.
+        let mk = |t: usize, h: usize| ScheduledTask {
+            task: TaskId(t),
+            hosts: vec![HostId(h)],
+            est_start: t as f64 * 10.0,
+            est_finish: (t + 1) as f64 * 10.0,
+        };
+        let schedule = Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![mk(0, 0), mk(1, 1), mk(2, 0)],
+            est_makespan: 30.0,
+        };
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let plan = FaultPlan::builder(1)
+            .link_degrade(HostId(1), 0.0, 1.0e9, 4.0)
+            .build();
+        let mut model = faulty(plan);
+        let r = execute(&dag, &cluster, &schedule, &mut model).unwrap();
+        assert!(
+            r.makespan > baseline.makespan + 1e-6,
+            "degraded {} vs healthy {}",
+            r.makespan,
+            baseline.makespan
+        );
+    }
+
+    #[test]
+    fn watchdog_horizon_converts_runaway_executions_into_timeouts() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let policy = ExecPolicy {
+            watchdog: Some(mps_des::Watchdog::horizon(1.0)),
+            ..ExecPolicy::default()
+        };
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let err = execute_with_policy(&dag, &cluster, &schedule, &mut model, &policy).unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }), "{err:?}");
+        // A generous horizon lets the same execution finish.
+        let policy = ExecPolicy {
+            watchdog: Some(mps_des::Watchdog::horizon(1.0e6)),
+            ..ExecPolicy::default()
+        };
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        assert!(execute_with_policy(&dag, &cluster, &schedule, &mut model, &policy).is_ok());
     }
 }
 

@@ -67,9 +67,9 @@ pub fn render_gantt(schedule: &Schedule, result: &ExecutionResult, width: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mps_dag::TaskId;
     use mps_platform::HostId;
     use mps_sched::ScheduledTask;
-    use mps_dag::TaskId;
 
     fn schedule_and_result() -> (Schedule, ExecutionResult) {
         let schedule = Schedule {
@@ -93,6 +93,7 @@ mod tests {
         let result = ExecutionResult {
             makespan: 10.0,
             task_spans: vec![(0.0, 5.0), (5.0, 10.0)],
+            task_retries: vec![0, 0],
         };
         (schedule, result)
     }
@@ -134,6 +135,7 @@ mod tests {
         let r = ExecutionResult {
             makespan: 0.0,
             task_spans: vec![],
+            task_retries: vec![],
         };
         let g = render_gantt(&s, &r, 30);
         assert!(g.starts_with("Gantt (0 tasks"));
@@ -158,6 +160,7 @@ mod tests {
         let result = ExecutionResult {
             makespan: 1.0,
             task_spans: spans,
+            task_retries: vec![0; 12],
         };
         let g = render_gantt(&schedule, &result, 20);
         assert!(g.contains('b'), "task 11 renders as 'b': {g}");

@@ -22,6 +22,9 @@ pub mod executor;
 pub mod gantt;
 pub mod simulator;
 
-pub use executor::{execute, ExecError, ExecutionModel, ExecutionResult, TaskExecution};
+pub use executor::{
+    execute, execute_with_policy, ExecError, ExecPolicy, ExecutionModel, ExecutionResult,
+    FaultyExecution, TaskExecution,
+};
 pub use gantt::render_gantt;
 pub use simulator::{ModelExecution, SimOutcome, Simulator};

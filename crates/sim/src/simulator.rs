@@ -29,12 +29,7 @@ impl<M: PerfModel> ModelExecution<M> {
 }
 
 impl<M: PerfModel> ExecutionModel for ModelExecution<M> {
-    fn task_execution(
-        &mut self,
-        _task: TaskId,
-        kernel: Kernel,
-        hosts: &[HostId],
-    ) -> TaskExecution {
+    fn task_execution(&mut self, _task: TaskId, kernel: Kernel, hosts: &[HostId]) -> TaskExecution {
         if self.model.simulate_task_analytically() {
             TaskExecution::Analytic
         } else {
@@ -176,7 +171,11 @@ mod tests {
         let r = sim.simulate(&dag, &schedule).unwrap();
         // Table II: task time 239.44/2 + 3.43 ≈ 123.15, startup 0.68.
         let expect = 239.44 / 2.0 + 3.43 + 0.68;
-        assert!((r.makespan - expect).abs() < 1e-6, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan - expect).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -229,11 +228,9 @@ mod tests {
         for model_name in ["analytic", "empirical"] {
             for g in paper_corpus(PAPER_CORPUS_SEED).iter().take(6) {
                 let outcome = match model_name {
-                    "analytic" => {
-                        Simulator::new(cluster.clone(), AnalyticModel::paper_jvm())
-                            .schedule_and_simulate(&g.dag, &Hcpa)
-                            .unwrap()
-                    }
+                    "analytic" => Simulator::new(cluster.clone(), AnalyticModel::paper_jvm())
+                        .schedule_and_simulate(&g.dag, &Hcpa)
+                        .unwrap(),
                     _ => Simulator::new(cluster.clone(), EmpiricalModel::table_ii())
                         .schedule_and_simulate(&g.dag, &Hcpa)
                         .unwrap(),

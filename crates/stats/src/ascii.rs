@@ -112,12 +112,7 @@ pub fn boxplots(title: &str, labels: &[String], boxes: &[BoxPlot], width: usize)
     out.push('\n');
     let hi = boxes
         .iter()
-        .flat_map(|b| {
-            b.outliers
-                .iter()
-                .copied()
-                .chain([b.whisker_hi])
-        })
+        .flat_map(|b| b.outliers.iter().copied().chain([b.whisker_hi]))
         .fold(0.0_f64, f64::max)
         .max(1e-12);
     let pos = |v: f64| -> usize { ((v / hi) * (width - 1) as f64).round().max(0.0) as usize };

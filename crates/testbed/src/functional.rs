@@ -17,8 +17,8 @@
 
 use mps_dag::{Dag, TaskId};
 use mps_kernels::{
-    execute_redistribution, matadd_seq, matmul_seq, parallel_matadd, parallel_matmul,
-    BlockDist1D, Distributed, Kernel, Matrix,
+    execute_redistribution, matadd_seq, matmul_seq, parallel_matadd, parallel_matmul, BlockDist1D,
+    Distributed, Kernel, Matrix,
 };
 use mps_sched::Schedule;
 
@@ -106,12 +106,7 @@ pub fn evaluate_sequential(dag: &Dag, n: usize, seed: u64) -> Vec<Matrix> {
 /// Returns each task's output matrix (gathered). The schedule must be
 /// valid for the DAG; allocations larger than `n` columns are clamped so
 /// every rank owns at least one column.
-pub fn evaluate_distributed(
-    dag: &Dag,
-    schedule: &Schedule,
-    n: usize,
-    seed: u64,
-) -> Vec<Matrix> {
+pub fn evaluate_distributed(dag: &Dag, schedule: &Schedule, n: usize, seed: u64) -> Vec<Matrix> {
     let order = dag.topological_order().expect("valid DAG");
     let mut outputs: Vec<Option<Matrix>> = vec![None; dag.len()];
     // Keep each producer's *distributed* output so consumers redistribute
@@ -119,10 +114,7 @@ pub fn evaluate_distributed(
     let mut distributed: Vec<Option<Distributed>> = vec![None; dag.len()];
 
     for t in order {
-        let p_sched = schedule
-            .placement(t)
-            .expect("schedule covers the DAG")
-            .p();
+        let p_sched = schedule.placement(t).expect("schedule covers the DAG").p();
         let p = p_sched.min(n).max(1);
         let dist = BlockDist1D::vanilla(n, p);
 
@@ -181,12 +173,7 @@ pub fn evaluate_distributed(
 /// Runs both evaluations and returns the largest absolute element
 /// difference over all task outputs — zero when the scheduling and
 /// redistribution machinery is numerically faithful.
-pub fn validate_schedule_semantics(
-    dag: &Dag,
-    schedule: &Schedule,
-    n: usize,
-    seed: u64,
-) -> f64 {
+pub fn validate_schedule_semantics(dag: &Dag, schedule: &Schedule, n: usize, seed: u64) -> f64 {
     let seq = evaluate_sequential(dag, n, seed);
     let dist = evaluate_distributed(dag, schedule, n, seed);
     seq.iter()

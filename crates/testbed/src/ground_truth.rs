@@ -188,8 +188,7 @@ impl GroundTruth {
         assert!(p_src >= 1 && p_dst >= 1);
         let s = p_src as f64;
         let d = p_dst as f64;
-        let wiggle = 0.006
-            * hash_noise(&[self.machine_seed, 0xD157, p_src as u64, p_dst as u64]);
+        let wiggle = 0.006 * hash_noise(&[self.machine_seed, 0xD157, p_src as u64, p_dst as u64]);
         self.redist_scale
             * (0.108_58 + 0.007_88 * d + 0.000_8 * s + 0.000_06 * s * d + wiggle).max(0.005)
     }

@@ -142,8 +142,11 @@ pub fn fit_empirical_model(
         .map(|&k| {
             let points: Vec<usize> = match k {
                 Kernel::MatMul { .. } => {
-                    let mut v: Vec<usize> =
-                        MM_LOW_POINTS.iter().chain(MM_HIGH_POINTS.iter()).copied().collect();
+                    let mut v: Vec<usize> = MM_LOW_POINTS
+                        .iter()
+                        .chain(MM_HIGH_POINTS.iter())
+                        .copied()
+                        .collect();
                     v.dedup();
                     v
                 }

@@ -12,10 +12,14 @@ use rand::SeedableRng;
 use rand_distr::{Distribution, LogNormal};
 
 use mps_dag::{Dag, TaskId};
+use mps_faults::{FaultPlan, ScriptedFaults};
 use mps_kernels::Kernel;
 use mps_platform::{Cluster, ClusterSpec, HostId};
 use mps_sched::Schedule;
-use mps_sim::{execute, ExecError, ExecutionModel, ExecutionResult, TaskExecution};
+use mps_sim::{
+    execute, execute_with_policy, ExecError, ExecPolicy, ExecutionModel, ExecutionResult,
+    FaultyExecution, TaskExecution,
+};
 
 use crate::ground_truth::GroundTruth;
 
@@ -98,11 +102,32 @@ impl Testbed {
         execute(dag, &self.cluster, schedule, &mut model)
     }
 
+    /// [`Testbed::execute`] under an injected [`FaultPlan`]: the run plays
+    /// out with the same hidden ground-truth quantities, but nodes crash,
+    /// slow down, and links degrade as the plan scripts. Retries, backoff,
+    /// and the watchdog come from `policy`. Deterministic in
+    /// `(self.base_seed, run_seed, plan)`.
+    pub fn execute_with_faults(
+        &self,
+        dag: &Dag,
+        schedule: &Schedule,
+        run_seed: u64,
+        plan: &FaultPlan,
+        policy: &ExecPolicy,
+    ) -> Result<ExecutionResult, ExecError> {
+        let inner = TestbedRun {
+            truth: &self.truth,
+            rng: self.rng_for(0xE0EC, run_seed),
+        };
+        let mut model = FaultyExecution::new(inner, ScriptedFaults::new(plan.clone()));
+        execute_with_policy(dag, &self.cluster, schedule, &mut model, policy)
+    }
+
     /// One timed run of a single kernel at allocation `p` (the §VI
     /// brute-force profiling primitive). Includes startup overhead, as a
     /// stopwatch around a TGrid task launch would.
     pub fn time_task_once(&self, kernel: Kernel, p: usize, trial: u64) -> f64 {
-        let mut rng = self.rng_for(0x7A5C ^ kernel.n() as u64 ^ ((p as u64) << 40), trial);
+        let mut rng = self.rng_for(0x5A5C ^ kernel.n() as u64 ^ ((p as u64) << 40), trial);
         let noise = LogNormal::new(0.0, TASK_NOISE_SIGMA).expect("valid sigma");
         self.truth.task_time_mean(kernel, p) * noise.sample(&mut rng)
     }
@@ -132,12 +157,7 @@ struct TestbedRun<'a> {
 }
 
 impl ExecutionModel for TestbedRun<'_> {
-    fn task_execution(
-        &mut self,
-        _task: TaskId,
-        kernel: Kernel,
-        hosts: &[HostId],
-    ) -> TaskExecution {
+    fn task_execution(&mut self, _task: TaskId, kernel: Kernel, hosts: &[HostId]) -> TaskExecution {
         let noise = LogNormal::new(0.0, TASK_NOISE_SIGMA).expect("valid sigma");
         let t = self.truth.task_time_mean(kernel, hosts.len()) * noise.sample(&mut self.rng);
         TaskExecution::Fixed(t)
@@ -180,12 +200,7 @@ impl CrayPdgemmEnv {
     /// average magnitude oscillates around 10 % and peaks near 20 %.
     pub fn measured_time(&self, n: usize, p: usize) -> f64 {
         let analytic = 2.0 * (n as f64).powi(3) / (p as f64 * self.flops_per_sec);
-        let dev = crate::ground_truth::hash_noise(&[
-            self.machine_seed,
-            0xC4A1,
-            n as u64,
-            p as u64,
-        ]);
+        let dev = crate::ground_truth::hash_noise(&[self.machine_seed, 0xC4A1, n as u64, p as u64]);
         // Mean |dev| of a uniform [-1,1] is 0.5 → scale 0.2 gives ~10 %
         // average error, ~20 % max.
         analytic * (1.0 + 0.2 * dev)
@@ -228,6 +243,61 @@ mod tests {
     }
 
     #[test]
+    fn faulty_execution_is_reproducible_and_slower() {
+        let tb = Testbed::bayreuth(42);
+        let g = &paper_corpus(PAPER_CORPUS_SEED)[0];
+        let model = AnalyticModel::paper_jvm();
+        let schedule = Hcpa.schedule(&g.dag, &tb.nominal_cluster(), &model);
+        let healthy = tb.execute(&g.dag, &schedule, 1).unwrap();
+        let plan = FaultPlan::builder(7)
+            .node_crash(HostId(0), 0.0, healthy.makespan * 0.2)
+            .node_slowdown(HostId(1), 0.0, 1.5)
+            .build();
+        let policy = ExecPolicy {
+            max_retries: 8,
+            ..ExecPolicy::default()
+        };
+        let a = tb
+            .execute_with_faults(&g.dag, &schedule, 1, &plan, &policy)
+            .unwrap();
+        let b = tb
+            .execute_with_faults(&g.dag, &schedule, 1, &plan, &policy)
+            .unwrap();
+        assert_eq!(a, b, "same seed + plan must be bit-identical");
+        assert!(
+            a.makespan > healthy.makespan,
+            "faults should slow the run: {} vs {}",
+            a.makespan,
+            healthy.makespan
+        );
+        // An empty plan reproduces the healthy run exactly.
+        let clean = tb
+            .execute_with_faults(&g.dag, &schedule, 1, &FaultPlan::none(), &policy)
+            .unwrap();
+        assert_eq!(clean, healthy);
+    }
+
+    #[test]
+    fn unsurvivable_fault_plan_yields_a_typed_error() {
+        let tb = Testbed::bayreuth(42);
+        let g = &paper_corpus(PAPER_CORPUS_SEED)[0];
+        let model = AnalyticModel::paper_jvm();
+        let schedule = Hcpa.schedule(&g.dag, &tb.nominal_cluster(), &model);
+        let plan = FaultPlan::builder(7).task_failure(1.0).build();
+        let policy = ExecPolicy {
+            max_retries: 1,
+            ..ExecPolicy::default()
+        };
+        let err = tb
+            .execute_with_faults(&g.dag, &schedule, 1, &plan, &policy)
+            .unwrap_err();
+        assert!(
+            matches!(err, ExecError::TaskFailed { attempts: 2, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn testbed_makespan_exceeds_analytic_simulation() {
         // The central premise: the experiment is much slower than the
         // analytic simulator predicts (underestimated task times + missing
@@ -261,7 +331,10 @@ mod tests {
         let mean = tb.ground_truth().task_time_mean(k, 4);
         for trial in 0..10 {
             let t = tb.time_task_once(k, 4, trial);
-            assert!((t / mean - 1.0).abs() < 0.25, "trial {trial}: {t} vs {mean}");
+            assert!(
+                (t / mean - 1.0).abs() < 0.25,
+                "trial {trial}: {t} vs {mean}"
+            );
         }
     }
 
@@ -269,8 +342,7 @@ mod tests {
     fn startup_measurements_average_to_the_curve() {
         let tb = Testbed::bayreuth(9);
         for p in [1usize, 8, 32] {
-            let mean_meas: f64 =
-                (0..40).map(|t| tb.time_startup_once(p, t)).sum::<f64>() / 40.0;
+            let mean_meas: f64 = (0..40).map(|t| tb.time_startup_once(p, t)).sum::<f64>() / 40.0;
             let truth = tb.ground_truth().startup_mean(p);
             assert!(
                 (mean_meas / truth - 1.0).abs() < 0.08,

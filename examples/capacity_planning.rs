@@ -18,10 +18,7 @@ fn main() {
     // Calibrate once against the existing 32-node environment.
     let testbed = Testbed::bayreuth(77);
     let cfg = ProfilingConfig::default();
-    let kernels = vec![
-        Kernel::MatMul { n: 2000 },
-        Kernel::MatAdd { n: 2000 },
-    ];
+    let kernels = vec![Kernel::MatMul { n: 2000 }, Kernel::MatAdd { n: 2000 }];
     let model = fit_empirical_model(&testbed, &kernels, &cfg).expect("fit succeeds");
 
     // The workload: a batch of DAGs from the corpus (n = 2000 only).
@@ -32,8 +29,14 @@ fn main() {
         .take(6)
         .collect();
 
-    println!("capacity planning for a {}-DAG batch (HCPA, empirical model)", batch.len());
-    println!("{:>6} {:>16} {:>14}", "nodes", "batch makespan", "vs 32 nodes");
+    println!(
+        "capacity planning for a {}-DAG batch (HCPA, empirical model)",
+        batch.len()
+    );
+    println!(
+        "{:>6} {:>16} {:>14}",
+        "nodes", "batch makespan", "vs 32 nodes"
+    );
 
     let mut baseline = None;
     for nodes in [4usize, 8, 12, 16, 24, 32, 48, 64] {

@@ -16,7 +16,13 @@ fn main() {
         .iter()
         .find(|g| g.params.matrix_size == 2000)
         .expect("corpus has n = 2000 DAGs");
-    println!("application: {} ({} tasks, {} edges, depth {})", g.name(), g.dag.len(), g.dag.edge_count(), g.dag.depth());
+    println!(
+        "application: {} ({} tasks, {} edges, depth {})",
+        g.name(),
+        g.dag.len(),
+        g.dag.edge_count(),
+        g.dag.depth()
+    );
     println!("{}", g.dag.to_dot(&g.name()));
 
     // 2. The emulated execution environment (ground truth hidden inside).
@@ -26,16 +32,16 @@ fn main() {
     //    nothing; profile and empirical models are built from testbed
     //    measurements, as §VI/§VII of the paper do.
     let cfg = ProfilingConfig::default();
-    let kernels = vec![
-        Kernel::MatMul { n: 2000 },
-        Kernel::MatAdd { n: 2000 },
-    ];
+    let kernels = vec![Kernel::MatMul { n: 2000 }, Kernel::MatAdd { n: 2000 }];
     let profile = build_profile_model(&testbed, &kernels, &cfg).expect("profiling succeeds");
     let empirical = fit_empirical_model(&testbed, &kernels, &cfg).expect("fitting succeeds");
 
     // 4. For each simulator version: schedule with HCPA under that model,
     //    simulate, then run the same schedule on the testbed.
-    println!("{:<10} {:>14} {:>14} {:>10}", "simulator", "simulated [s]", "measured [s]", "error");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "simulator", "simulated [s]", "measured [s]", "error"
+    );
     run_variant(&testbed, &g.dag, AnalyticModel::paper_jvm());
     run_variant(&testbed, &g.dag, profile);
     run_variant(&testbed, &g.dag, empirical);

@@ -21,7 +21,10 @@ fn main() {
     let analytic = AnalyticModel::paper_jvm();
     println!("Step 1 — analytic-model error for mm(n=3000):");
     for p in [1usize, 2, 4, 8, 16, 32] {
-        let meas: f64 = (0..5).map(|t| testbed.time_task_once(mm3000, p, t)).sum::<f64>() / 5.0;
+        let meas: f64 = (0..5)
+            .map(|t| testbed.time_task_once(mm3000, p, t))
+            .sum::<f64>()
+            / 5.0;
         let pred = analytic.task_time(mm3000, p);
         println!(
             "  p = {p:>2}: predicted {pred:>7.1} s, measured {meas:>7.1} s ({:+.0}%)",
@@ -34,8 +37,10 @@ fn main() {
     let samples: Vec<(f64, f64)> = naive_points
         .iter()
         .map(|&p| {
-            let t: f64 =
-                (0..5).map(|tr| testbed.time_task_once(mm3000, p, tr)).sum::<f64>() / 5.0;
+            let t: f64 = (0..5)
+                .map(|tr| testbed.time_task_once(mm3000, p, tr))
+                .sum::<f64>()
+                / 5.0;
             (p as f64, t)
         })
         .collect();
@@ -63,18 +68,21 @@ fn main() {
 
     // -- Step 4: full empirical model + verification ----------------------
     let cfg = ProfilingConfig::default();
-    let kernels = vec![
-        Kernel::MatMul { n: 3000 },
-        Kernel::MatAdd { n: 3000 },
-    ];
+    let kernels = vec![Kernel::MatMul { n: 3000 }, Kernel::MatAdd { n: 3000 }];
     let model = fit_empirical_model(&testbed, &kernels, &cfg).expect("fit");
     println!("\nStep 4 — calibrated empirical simulator vs fresh executions:");
     let corpus = paper_corpus(PAPER_CORPUS_SEED);
     let sim = Simulator::new(testbed.nominal_cluster(), model);
     let mut errors = Vec::new();
-    for g in corpus.iter().filter(|g| g.params.matrix_size == 3000).take(5) {
+    for g in corpus
+        .iter()
+        .filter(|g| g.params.matrix_size == 3000)
+        .take(5)
+    {
         let out = sim.schedule_and_simulate(&g.dag, &Hcpa).expect("simulates");
-        let real = testbed.execute(&g.dag, &out.schedule, 99).expect("executes");
+        let real = testbed
+            .execute(&g.dag, &out.schedule, 99)
+            .expect("executes");
         let err = (out.result.makespan - real.makespan).abs() / real.makespan * 100.0;
         errors.push(err);
         println!(

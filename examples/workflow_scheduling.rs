@@ -41,31 +41,34 @@ fn main() {
         (TaskId(7), TaskId(8)),
     ];
     let dag = Dag::new(kernels, &edges).expect("valid workflow");
-    println!("workflow: {} tasks, {} edges, {} levels", dag.len(), dag.edge_count(), dag.depth());
+    println!(
+        "workflow: {} tasks, {} edges, {} levels",
+        dag.len(),
+        dag.edge_count(),
+        dag.depth()
+    );
 
     let cluster = Cluster::bayreuth();
     let testbed = Testbed::bayreuth(7);
     // Schedule under the empirical model — what a practitioner with a few
     // measurements would use.
     let cfg = ProfilingConfig::default();
-    let model = fit_empirical_model(
-        &testbed,
-        &[mm, ma],
-        &cfg,
-    )
-    .expect("fit succeeds");
+    let model = fit_empirical_model(&testbed, &[mm, ma], &cfg).expect("fit succeeds");
 
     for algo in [&Cpa as &dyn Scheduler, &Hcpa, &Mcpa] {
         let schedule = algo.schedule(&dag, &cluster, &model);
         schedule.validate(&dag, &cluster).expect("valid schedule");
-        println!("\n=== {} — estimated makespan {:.1} s ===", algo.name(), schedule.est_makespan);
+        println!(
+            "\n=== {} — estimated makespan {:.1} s ===",
+            algo.name(),
+            schedule.est_makespan
+        );
         println!(
             "{:<6} {:>5} {:>10} {:>10}  hosts",
             "task", "p", "start", "finish"
         );
         for st in &schedule.tasks {
-            let host_list: Vec<String> =
-                st.hosts.iter().map(|h| h.index().to_string()).collect();
+            let host_list: Vec<String> = st.hosts.iter().map(|h| h.index().to_string()).collect();
             println!(
                 "t{:<5} {:>5} {:>10.1} {:>10.1}  [{}]",
                 st.task.index(),

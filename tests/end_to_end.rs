@@ -6,7 +6,10 @@
 use mps_core::prelude::*;
 
 fn subset(n: usize) -> Vec<GeneratedDag> {
-    paper_corpus(PAPER_CORPUS_SEED).into_iter().take(n).collect()
+    paper_corpus(PAPER_CORPUS_SEED)
+        .into_iter()
+        .take(n)
+        .collect()
 }
 
 #[test]
@@ -32,7 +35,9 @@ fn full_pipeline_produces_valid_results_for_all_models() {
             // Analytic.
             let sim = Simulator::new(testbed.nominal_cluster(), AnalyticModel::paper_jvm());
             let a = sim.schedule_and_simulate(&g.dag, algo).unwrap();
-            a.schedule.validate(&g.dag, &testbed.nominal_cluster()).unwrap();
+            a.schedule
+                .validate(&g.dag, &testbed.nominal_cluster())
+                .unwrap();
             // Profile.
             let sim = Simulator::new(testbed.nominal_cluster(), profile.clone());
             let p = sim.schedule_and_simulate(&g.dag, algo).unwrap();

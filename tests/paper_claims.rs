@@ -5,7 +5,7 @@
 
 use mps_exp::{paired_relative_makespans, CellResult, Harness, SimVariant};
 
-fn median(xs: &mut Vec<f64>) -> f64 {
+fn median(xs: &mut [f64]) -> f64 {
     xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]
 }
@@ -69,7 +69,11 @@ fn headline_claims_hold_on_the_full_corpus() {
     let exp_hcpa_wins = pairs.iter().filter(|p| p.2 < 0.0).count();
     let sim_hcpa_wins = pairs.iter().filter(|p| p.1 < 0.0).count();
     let exp_consistent = exp_hcpa_wins * 3 <= pairs.len() || exp_hcpa_wins * 3 >= 2 * pairs.len();
-    assert!(exp_consistent, "no clear experimental winner: {exp_hcpa_wins}/{}", pairs.len());
+    assert!(
+        exp_consistent,
+        "no clear experimental winner: {exp_hcpa_wins}/{}",
+        pairs.len()
+    );
     let same_side = (exp_hcpa_wins * 2 > pairs.len()) == (sim_hcpa_wins * 2 > pairs.len());
     assert!(
         same_side,

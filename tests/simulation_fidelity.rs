@@ -145,6 +145,49 @@ fn scheduler_estimates_are_in_the_executors_ballpark() {
     }
 }
 
+/// Fault injection is bit-for-bit deterministic: the same base seed, run
+/// seed and [`FaultPlan`] produce identical [`ExecutionResult`]s — spans,
+/// retry counts and makespan — across independent executions.
+#[test]
+fn same_seed_and_fault_plan_reproduce_the_execution_exactly() {
+    let g = &paper_corpus(PAPER_CORPUS_SEED)[2];
+    let testbed = Testbed::bayreuth(2011);
+    let sim = Simulator::new(testbed.nominal_cluster(), AnalyticModel::paper_jvm());
+    let out = sim.schedule_and_simulate(&g.dag, &Hcpa).unwrap();
+    let plan = || {
+        FaultPlan::builder(5)
+            .node_crash(HostId(0), 0.0, 20.0)
+            .node_slowdown(HostId(1), 10.0, 1.7)
+            .task_failure(0.05)
+            .build()
+    };
+    let policy = ExecPolicy {
+        max_retries: 10,
+        ..ExecPolicy::default()
+    };
+    let a = testbed
+        .execute_with_faults(&g.dag, &out.schedule, 3, &plan(), &policy)
+        .unwrap();
+    let b = testbed
+        .execute_with_faults(&g.dag, &out.schedule, 3, &plan(), &policy)
+        .unwrap();
+    assert_eq!(a, b, "same seed + same plan must be bit-identical");
+
+    // The faults are not a no-op: the run is slower than the healthy one.
+    let healthy = testbed.execute(&g.dag, &out.schedule, 3).unwrap();
+    assert!(
+        a.makespan > healthy.makespan,
+        "faulty {} vs healthy {}",
+        a.makespan,
+        healthy.makespan
+    );
+    // A different run seed draws different noise.
+    let c = testbed
+        .execute_with_faults(&g.dag, &out.schedule, 4, &plan(), &policy)
+        .unwrap();
+    assert_ne!(a.makespan, c.makespan);
+}
+
 /// The L07 network sees contention between concurrent redistributions:
 /// a fan-out of transfers takes longer than a single one.
 #[test]
