@@ -6,15 +6,33 @@
 //! network latency or protocol startup) followed by a **work phase** during
 //! which it progresses at a rate computed by the max-min fair-share
 //! [solver](crate::solver). Whenever any activity starts or finishes, the
-//! rates of all running activities are re-solved — the classic fluid
-//! simulation scheme used by SimGrid's analytic models.
+//! rates of affected activities are re-solved — the classic fluid simulation
+//! scheme used by SimGrid's analytic models.
 //!
 //! Plain *timers* are also supported for callers that need scheduled
 //! wake-ups (the testbed uses them for task-startup delays).
+//!
+//! ## Incremental hot path
+//!
+//! The engine is built to take steps without heap allocation in steady
+//! state (see DESIGN.md §"incremental solver"):
+//!
+//! * activities live in a dense **slab** of reusable slots (the public
+//!   [`ActivityId`]s stay unique forever; slots are recycled);
+//! * a **resource→activity incidence index** plus a **dirty resource set**
+//!   restrict each re-solve to the connected component(s) actually touched
+//!   by an event — timer-only and latency-phase steps skip the solver
+//!   entirely;
+//! * the sharing problem is solved in a reusable
+//!   [`SolverWorkspace`](crate::solver::SolverWorkspace);
+//! * upcoming completions sit in **min-heaps of predicted event times**,
+//!   invalidated lazily: every rate change bumps a per-slot stamp, and
+//!   entries whose stamp no longer matches are discarded when they surface.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use crate::solver::{max_min_fair_rates, Demand, SolverError};
+use crate::solver::{max_min_fair_rates, Demand, SolverError, SolverWorkspace};
 use crate::trace::{Trace, TraceEventKind};
 use crate::usage::{ResourceUsage, UsageMeter};
 
@@ -93,25 +111,93 @@ impl ActivitySpec {
     }
 }
 
+/// Phase of a live activity.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
-    /// Waiting out the latency.
-    Latency {
-        /// Absolute expiry time of the latency phase.
-        expiry: f64,
-        /// Work amount to perform once the latency elapses.
-        amount: f64,
-    },
-    /// Doing work; `f64` is the remaining amount.
-    Working(f64),
+enum ActState {
+    /// Waiting out the latency until `expiry`; `amount` of work follows.
+    Latency { expiry: f64, amount: f64 },
+    /// Doing work: `rem` units left as of `since`, progressing at `rate`
+    /// (`NaN` until the first solve assigns one).
+    Working { rem: f64, rate: f64, since: f64 },
 }
 
+/// One live activity, stored in a slab slot.
 #[derive(Debug, Clone)]
-struct Activity {
+struct Slot {
+    /// External id (monotone, never reused).
+    id: u64,
     weights: Vec<(ResourceId, f64)>,
-    phase: Phase,
     rate_bound: f64,
     label: Option<String>,
+    state: ActState,
+}
+
+/// Predicted work-phase completion. Valid only while the slot's rate stamp
+/// matches (every rate change and slot recycle bumps the stamp).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FinishEntry {
+    time: f64,
+    slot: u32,
+    stamp: u32,
+}
+
+impl Eq for FinishEntry {}
+impl Ord for FinishEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.slot.cmp(&other.slot))
+            .then(self.stamp.cmp(&other.stamp))
+    }
+}
+impl PartialOrd for FinishEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Latency-phase expiry. Valid only while the slot's incarnation matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LatencyEntry {
+    time: f64,
+    slot: u32,
+    inc: u32,
+}
+
+impl Eq for LatencyEntry {}
+impl Ord for LatencyEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.slot.cmp(&other.slot))
+            .then(self.inc.cmp(&other.inc))
+    }
+}
+impl PartialOrd for LatencyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Timer expiry (never invalidated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimerEntry {
+    time: f64,
+    id: u64,
+}
+
+impl Eq for TimerEntry {}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// One completed item reported by [`Engine::step`].
@@ -233,10 +319,40 @@ impl From<SolverError> for EngineError {
 pub struct Engine {
     now: f64,
     capacities: Vec<f64>,
-    activities: HashMap<u64, Activity>,
-    timers: HashMap<u64, f64>,
+    /// Set when a NaN/negative capacity was added; surfaced as a solver
+    /// error on the next non-idle step (like the per-step validation of the
+    /// from-scratch implementation used to).
+    caps_invalid: bool,
+    // Activity slab. `slot_inc` is the slot's occupancy incarnation
+    // (validates incidence and latency-heap entries); `slot_stamp` changes
+    // on every rate change (validates finish-heap entries).
+    slots: Vec<Option<Slot>>,
+    free_slots: Vec<u32>,
+    n_live: usize,
+    slot_inc: Vec<u32>,
+    slot_stamp: Vec<u32>,
     next_activity: u64,
     next_timer: u64,
+    // Resource → working activities, compacted lazily while refreshing.
+    res_acts: Vec<Vec<(u32, u32)>>,
+    res_dirty: Vec<bool>,
+    dirty_res: Vec<u32>,
+    // Predicted events.
+    finish_heap: BinaryHeap<Reverse<FinishEntry>>,
+    latency_heap: BinaryHeap<Reverse<LatencyEntry>>,
+    timer_heap: BinaryHeap<Reverse<TimerEntry>>,
+    // Solver state.
+    ws: SolverWorkspace,
+    solves: u64,
+    // Reused scratch.
+    bfs_res: Vec<u32>,
+    closure_slots: Vec<u32>,
+    act_mark: Vec<u64>,
+    res_mark: Vec<u64>,
+    mark_epoch: u64,
+    finished_scratch: Vec<(u64, u32)>,
+    latency_scratch: Vec<(u64, u32)>,
+    timer_scratch: Vec<u64>,
     trace: Trace,
     tracing: bool,
     meter: Option<UsageMeter>,
@@ -255,6 +371,12 @@ impl Engine {
         self.tracing = true;
     }
 
+    /// True when trace recording is enabled. Callers can skip materializing
+    /// labels entirely when it is not.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
+    }
+
     /// Installs a divergence [`Watchdog`]; `None` disables it.
     pub fn set_watchdog(&mut self, watchdog: Option<Watchdog>) {
         self.watchdog = watchdog;
@@ -263,6 +385,15 @@ impl Engine {
     /// Number of [`Engine::step`] calls that advanced the simulation.
     pub fn steps_taken(&self) -> u64 {
         self.steps_taken
+    }
+
+    /// Number of sharing-problem solves performed so far.
+    ///
+    /// Diagnostic for the incremental fast path: steps that only fire
+    /// timers (or move activities through their latency phase) leave this
+    /// counter unchanged.
+    pub fn solves(&self) -> u64 {
+        self.solves
     }
 
     /// Enables resource-utilization metering. Call after all resources
@@ -289,7 +420,14 @@ impl Engine {
 
     /// Adds a resource with the given capacity (units per second).
     pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must trip it too
+        if !(capacity >= 0.0) {
+            self.caps_invalid = true;
+        }
         self.capacities.push(capacity);
+        self.res_acts.push(Vec::new());
+        self.res_dirty.push(false);
+        self.res_mark.push(0);
         ResourceId(self.capacities.len() - 1)
     }
 
@@ -300,17 +438,17 @@ impl Engine {
 
     /// Number of live (unfinished) activities.
     pub fn live_activities(&self) -> usize {
-        self.activities.len()
+        self.n_live
     }
 
     /// Number of pending timers.
     pub fn pending_timers(&self) -> usize {
-        self.timers.len()
+        self.timer_heap.len()
     }
 
     /// True when nothing is pending — [`Engine::step`] would return `None`.
     pub fn is_idle(&self) -> bool {
-        self.activities.is_empty() && self.timers.is_empty()
+        self.n_live == 0 && self.timer_heap.is_empty()
     }
 
     /// Starts an activity; it becomes visible to the sharing solver at the
@@ -340,14 +478,6 @@ impl Engine {
         }
         let id = ActivityId(self.next_activity);
         self.next_activity += 1;
-        let phase = if spec.latency > 0.0 {
-            Phase::Latency {
-                expiry: self.now + spec.latency,
-                amount: spec.amount,
-            }
-        } else {
-            Phase::Working(spec.amount)
-        };
         if self.tracing {
             self.trace.record(
                 self.now,
@@ -356,15 +486,47 @@ impl Engine {
                 spec.label.clone(),
             );
         }
-        self.activities.insert(
-            id.0,
-            Activity {
-                weights: spec.weights,
-                phase,
-                rate_bound: spec.rate_bound,
-                label: spec.label,
-            },
-        );
+        let latency = spec.latency > 0.0;
+        let state = if latency {
+            ActState::Latency {
+                expiry: self.now + spec.latency,
+                amount: spec.amount,
+            }
+        } else {
+            ActState::Working {
+                rem: spec.amount,
+                rate: f64::NAN,
+                since: self.now,
+            }
+        };
+        let expiry = self.now + spec.latency;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.slot_inc.push(0);
+                self.slot_stamp.push(0);
+                self.act_mark.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize] = Some(Slot {
+            id: id.0,
+            weights: spec.weights,
+            rate_bound: spec.rate_bound,
+            label: spec.label,
+            state,
+        });
+        self.n_live += 1;
+        if latency {
+            self.latency_heap.push(Reverse(LatencyEntry {
+                time: expiry,
+                slot,
+                inc: self.slot_inc[slot as usize],
+            }));
+        } else {
+            self.attach_working(slot, self.now);
+        }
         Ok(id)
     }
 
@@ -377,190 +539,145 @@ impl Engine {
         }
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
-        self.timers.insert(id.0, self.now + delay);
+        self.timer_heap.push(Reverse(TimerEntry {
+            time: self.now + delay,
+            id: id.0,
+        }));
         Ok(id)
     }
 
     /// Solves current rates; exposed for white-box tests and diagnostics.
     /// Returns `(activity, rate)` pairs for working-phase activities.
+    ///
+    /// This re-solves the full problem from scratch (it cannot use the
+    /// incremental state through `&self`); see [`Engine::solved_rates`] for
+    /// the incremental path's view.
     pub fn current_rates(&self) -> Result<Vec<(ActivityId, f64)>, EngineError> {
-        let (ids, demands) = self.working_demands();
-        let rates = max_min_fair_rates(&self.capacities, &demands)?;
-        Ok(ids.into_iter().zip(rates).collect())
-    }
-
-    fn working_demands(&self) -> (Vec<ActivityId>, Vec<Demand>) {
-        let mut ids: Vec<u64> = self
-            .activities
+        let mut working: Vec<&Slot> = self
+            .slots
             .iter()
-            .filter(|(_, a)| matches!(a.phase, Phase::Working(_)))
-            .map(|(&id, _)| id)
+            .flatten()
+            .filter(|a| matches!(a.state, ActState::Working { .. }))
             .collect();
-        // Deterministic order regardless of hash-map iteration.
-        ids.sort_unstable();
-        let demands = ids
+        working.sort_unstable_by_key(|a| a.id);
+        let demands: Vec<Demand> = working
             .iter()
-            .map(|id| {
-                let a = &self.activities[id];
-                Demand {
-                    weights: a.weights.iter().map(|&(r, w)| (r.0, w)).collect(),
-                    bound: a.rate_bound,
-                }
+            .map(|a| Demand {
+                weights: a.weights.iter().map(|&(r, w)| (r.0, w)).collect(),
+                bound: a.rate_bound,
             })
             .collect();
-        (ids.into_iter().map(ActivityId).collect(), demands)
+        let rates = max_min_fair_rates(&self.capacities, &demands)?;
+        Ok(working
+            .into_iter()
+            .map(|a| ActivityId(a.id))
+            .zip(rates)
+            .collect())
+    }
+
+    /// Flushes any pending incremental re-solve and returns the engine's
+    /// *cached* `(activity, rate)` pairs for working activities, sorted by
+    /// activity id.
+    ///
+    /// Unlike [`Engine::current_rates`] this reports exactly what the
+    /// incremental pipeline believes, which makes it the right probe for
+    /// differential tests against a reference solver.
+    ///
+    /// # Errors
+    ///
+    /// Fails like a step would when a resource capacity is invalid.
+    pub fn solved_rates(&mut self) -> Result<Vec<(ActivityId, f64)>, EngineError> {
+        if self.caps_invalid {
+            return Err(EngineError::Solver(SolverError::InvalidNumber {
+                context: "resource capacity",
+            }));
+        }
+        self.refresh();
+        let mut out: Vec<(ActivityId, f64)> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter_map(|a| match a.state {
+                ActState::Working { rate, .. } => Some((ActivityId(a.id), rate)),
+                ActState::Latency { .. } => None,
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        Ok(out)
     }
 
     /// Advances simulated time to the next completion(s) and reports them.
     ///
     /// Returns `None` when nothing is pending. All completions occurring at
     /// the same instant are batched into one [`StepResult`].
+    ///
+    /// This allocates the result vector; hot loops should prefer
+    /// [`Engine::step_into`], which reuses a caller-provided buffer.
     pub fn step(&mut self) -> Result<Option<StepResult>, EngineError> {
-        if self.is_idle() {
-            return Ok(None);
-        }
-
-        const REL_EPS: f64 = 1e-12;
-
-        let (ids, demands) = self.working_demands();
-        let rates = max_min_fair_rates(&self.capacities, &demands)?;
-
-        // Earliest event: activity finish, latency expiry, or timer.
-        let mut next_dt = f64::INFINITY;
-        for (idx, id) in ids.iter().enumerate() {
-            let a = &self.activities[&id.0];
-            if let Phase::Working(rem) = a.phase {
-                let rate = rates[idx];
-                let dt = if rem <= 0.0 {
-                    0.0
-                } else if rate > 0.0 {
-                    rem / rate
-                } else {
-                    f64::INFINITY
-                };
-                if dt < next_dt {
-                    next_dt = dt;
-                }
-            }
-        }
-        for a in self.activities.values() {
-            if let Phase::Latency { expiry, .. } = a.phase {
-                let dt = (expiry - self.now).max(0.0);
-                if dt < next_dt {
-                    next_dt = dt;
-                }
-            }
-        }
-        for &expiry in self.timers.values() {
-            let dt = (expiry - self.now).max(0.0);
-            if dt < next_dt {
-                next_dt = dt;
-            }
-        }
-
-        if !next_dt.is_finite() {
-            return Err(EngineError::Stalled { time: self.now });
-        }
-
-        let new_now = self.now + next_dt;
-
-        self.steps_taken += 1;
-        if let Some(wd) = self.watchdog {
-            if new_now > wd.max_time || self.steps_taken > wd.max_steps {
-                return Err(EngineError::Timeout {
-                    time: new_now,
-                    steps: self.steps_taken,
-                });
-            }
-        }
-        let tol = next_dt * REL_EPS + 1e-15;
-
-        // Utilization accounting: every working activity consumed at its
-        // fair-shared rate over the elapsed interval.
-        if let Some(meter) = &mut self.meter {
-            for (idx, id) in ids.iter().enumerate() {
-                let a = &self.activities[&id.0];
-                if let Phase::Working(_) = a.phase {
-                    let rate = rates[idx];
-                    if rate > 0.0 && rate.is_finite() {
-                        for &(r, w) in &a.weights {
-                            if r.0 < meter.len() {
-                                meter.accumulate(r.0, w * rate, new_now);
-                            }
-                        }
-                    }
-                }
-            }
-            meter.advance(new_now);
-        }
-
-        // Advance working activities and collect finishes.
         let mut completed = Vec::new();
-        for (idx, id) in ids.iter().enumerate() {
-            let a = self.activities.get_mut(&id.0).expect("activity exists");
-            if let Phase::Working(rem) = a.phase {
-                let rate = rates[idx];
-                let progressed = rate * next_dt;
-                let left = rem - progressed;
-                if rem <= 0.0 || (rate > 0.0 && rem / rate <= next_dt + tol) || left <= 0.0 {
-                    completed.push(Completion::Activity(*id));
-                } else {
-                    a.phase = Phase::Working(left);
+        match self.step_into(&mut completed)? {
+            Some(time) => Ok(Some(StepResult { time, completed })),
+            None => Ok(None),
+        }
+    }
+
+    /// Allocation-free variant of [`Engine::step`]: advances to the next
+    /// completion(s), filling `completed` (which is cleared first) and
+    /// returning the simulated time they occurred at, or `None` when
+    /// nothing is pending.
+    ///
+    /// In steady state (warmed buffers, tracing off) this performs no heap
+    /// allocation at all.
+    pub fn step_into(
+        &mut self,
+        completed: &mut Vec<Completion>,
+    ) -> Result<Option<f64>, EngineError> {
+        completed.clear();
+        const REL_EPS: f64 = 1e-12;
+        loop {
+            if self.is_idle() {
+                return Ok(None);
+            }
+            if self.caps_invalid {
+                return Err(EngineError::Solver(SolverError::InvalidNumber {
+                    context: "resource capacity",
+                }));
+            }
+            // Re-solve only what the last events made dirty (no-op for
+            // timer-only wake-ups).
+            self.refresh();
+
+            let next_t = self.peek_next_time();
+            if !next_t.is_finite() {
+                return Err(EngineError::Stalled { time: self.now });
+            }
+            let next_dt = (next_t - self.now).max(0.0);
+            let new_now = self.now + next_dt;
+
+            self.steps_taken += 1;
+            if let Some(wd) = self.watchdog {
+                if new_now > wd.max_time || self.steps_taken > wd.max_steps {
+                    return Err(EngineError::Timeout {
+                        time: new_now,
+                        steps: self.steps_taken,
+                    });
                 }
             }
-        }
-        for c in &completed {
-            if let Completion::Activity(id) = c {
-                let a = self.activities.remove(&id.0).expect("completed activity");
-                if self.tracing {
-                    self.trace
-                        .record(new_now, TraceEventKind::ActivityFinish, id.0, a.label);
-                }
+            let tol = next_dt * REL_EPS + 1e-15;
+
+            self.meter_interval(new_now);
+            self.pop_finished(new_now, tol, completed);
+            self.pop_latency(new_now, tol);
+            self.pop_timers(new_now, tol, completed);
+            self.now = new_now;
+
+            if !completed.is_empty() {
+                return Ok(Some(new_now));
             }
+            // Pure latency-phase transition: loop to the next real
+            // completion. Each turn counts against the watchdog, like the
+            // old recursive implementation.
         }
-
-        // Latency expiries: move to working phase (no completion reported);
-        // activities whose amount is zero complete immediately.
-        let mut latency_done: Vec<(u64, f64)> = Vec::new();
-        for (&id, a) in &self.activities {
-            if let Phase::Latency { expiry, amount } = a.phase {
-                if expiry <= new_now + tol {
-                    latency_done.push((id, amount));
-                }
-            }
-        }
-        latency_done.sort_unstable_by_key(|a| a.0);
-        for (id, amount) in latency_done {
-            let a = self.activities.get_mut(&id).expect("latency activity");
-            a.phase = Phase::Working(amount);
-        }
-
-        // Timers.
-        let mut fired: Vec<u64> = self
-            .timers
-            .iter()
-            .filter(|(_, &expiry)| expiry <= new_now + tol)
-            .map(|(&id, _)| id)
-            .collect();
-        fired.sort_unstable();
-        for id in fired {
-            self.timers.remove(&id);
-            completed.push(Completion::Timer(TimerId(id)));
-        }
-
-        self.now = new_now;
-
-        if completed.is_empty() {
-            // Pure latency-phase transition: recurse to find the next real
-            // completion. Bounded because each step consumes at least one
-            // latency expiry.
-            return self.step();
-        }
-
-        Ok(Some(StepResult {
-            time: new_now,
-            completed,
-        }))
     }
 
     /// Runs to quiescence, returning every step result in order.
@@ -570,5 +687,346 @@ impl Engine {
             out.push(step);
         }
         Ok(out)
+    }
+
+    /// Registers a freshly-working activity with the incidence index and
+    /// dirty set, and seeds its finish prediction where the solver will
+    /// never see it (empty demand, or nothing left to do).
+    fn attach_working(&mut self, slot: u32, now: f64) {
+        let s = slot as usize;
+        let inc = self.slot_inc[s];
+        let n_w = self.slots[s].as_ref().expect("live slot").weights.len();
+        let mut constrained = false;
+        for k in 0..n_w {
+            let (r, w) = self.slots[s].as_ref().expect("live slot").weights[k];
+            if w > 0.0 {
+                constrained = true;
+                self.res_acts[r.0].push((slot, inc));
+                self.mark_dirty(r.0);
+            }
+        }
+        let (rem, bound) = {
+            let a = self.slots[s].as_ref().expect("live slot");
+            match a.state {
+                ActState::Working { rem, .. } => (rem, a.rate_bound),
+                ActState::Latency { .. } => unreachable!("attach_working on latency activity"),
+            }
+        };
+        if !constrained {
+            // Never enters the solver: the rate is just the bound (matching
+            // the solver's empty-demand rule).
+            if let Some(a) = self.slots[s].as_mut() {
+                if let ActState::Working { ref mut rate, .. } = a.state {
+                    *rate = bound;
+                }
+            }
+        }
+        let stamp = self.slot_stamp[s];
+        if rem <= 0.0 {
+            self.finish_heap.push(Reverse(FinishEntry {
+                time: now,
+                slot,
+                stamp,
+            }));
+        } else if !constrained && bound > 0.0 {
+            // rem / f64::INFINITY == 0.0: unbounded empty demands finish
+            // immediately, like the from-scratch engine's dt computation.
+            self.finish_heap.push(Reverse(FinishEntry {
+                time: now + rem / bound,
+                slot,
+                stamp,
+            }));
+        }
+        // Constrained activities get their entry when `refresh` assigns a
+        // rate; zero-rate unconstrained ones legitimately have none (stall).
+    }
+
+    fn mark_dirty(&mut self, r: usize) {
+        if !self.res_dirty[r] {
+            self.res_dirty[r] = true;
+            self.dirty_res.push(r as u32);
+        }
+    }
+
+    /// Incremental re-solve: BFS the resource-connectivity closure of the
+    /// dirty set, re-solve just those activities in the shared workspace,
+    /// and re-predict finish times for the ones whose rate actually changed.
+    ///
+    /// Exact because max-min fair allocations decompose over resource
+    /// connectivity components: rates outside the closure cannot change.
+    fn refresh(&mut self) {
+        if self.dirty_res.is_empty() {
+            return;
+        }
+        self.mark_epoch += 1;
+        let epoch = self.mark_epoch;
+        let mut stack = std::mem::take(&mut self.bfs_res);
+        let mut closure = std::mem::take(&mut self.closure_slots);
+        stack.clear();
+        closure.clear();
+        for k in 0..self.dirty_res.len() {
+            let r = self.dirty_res[k] as usize;
+            self.res_dirty[r] = false;
+            if self.res_mark[r] != epoch {
+                self.res_mark[r] = epoch;
+                stack.push(r as u32);
+            }
+        }
+        self.dirty_res.clear();
+
+        while let Some(r) = stack.pop() {
+            let ru = r as usize;
+            // Compact stale incidence entries (freed or recycled slots).
+            {
+                let acts = &mut self.res_acts[ru];
+                let inc = &self.slot_inc;
+                let mut k = 0;
+                while k < acts.len() {
+                    let (s, ic) = acts[k];
+                    if inc[s as usize] != ic {
+                        acts.swap_remove(k);
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+            for k in 0..self.res_acts[ru].len() {
+                let (s, _) = self.res_acts[ru][k];
+                let su = s as usize;
+                if self.act_mark[su] == epoch {
+                    continue;
+                }
+                self.act_mark[su] = epoch;
+                closure.push(s);
+                let n_w = self.slots[su].as_ref().expect("indexed slot").weights.len();
+                for wi in 0..n_w {
+                    let (rr, w) = self.slots[su].as_ref().expect("indexed slot").weights[wi];
+                    if w > 0.0 && self.res_mark[rr.0] != epoch {
+                        self.res_mark[rr.0] = epoch;
+                        stack.push(rr.0 as u32);
+                    }
+                }
+            }
+        }
+
+        if !closure.is_empty() {
+            // Stage in ascending activity-id order so FP-sensitive solver
+            // internals (accumulation and tie-breaking order) match a
+            // from-scratch solve over the same component.
+            closure.sort_unstable_by_key(|&s| self.slots[s as usize].as_ref().expect("slot").id);
+            self.ws.clear_stage();
+            for &s in &closure {
+                let a = self.slots[s as usize].as_ref().expect("slot");
+                for &(r, w) in &a.weights {
+                    if w > 0.0 {
+                        self.ws.push_weight(r.0, w);
+                    }
+                }
+                self.ws.push_activity(a.rate_bound);
+            }
+            self.ws.solve_staged(&self.capacities);
+            self.solves += 1;
+
+            let now = self.now;
+            for (j, &s) in closure.iter().enumerate() {
+                let su = s as usize;
+                let new_rate = self.ws.rates()[j];
+                let a = self.slots[su].as_mut().expect("slot");
+                if let ActState::Working {
+                    ref mut rem,
+                    ref mut rate,
+                    ref mut since,
+                } = a.state
+                {
+                    if new_rate == *rate {
+                        // Unchanged: the existing prediction stays valid.
+                        continue;
+                    }
+                    let old = *rate;
+                    // Fold progress made under the old rate (guarded: a NaN
+                    // sentinel or infinite rate must not poison `rem`).
+                    if old.is_finite() && old > 0.0 && now > *since {
+                        *rem -= old * (now - *since);
+                        if *rem < 0.0 {
+                            *rem = 0.0;
+                        }
+                    }
+                    *rate = new_rate;
+                    *since = now;
+                    let rem_v = *rem;
+                    self.slot_stamp[su] += 1;
+                    let stamp = self.slot_stamp[su];
+                    if rem_v <= 0.0 {
+                        self.finish_heap.push(Reverse(FinishEntry {
+                            time: now,
+                            slot: s,
+                            stamp,
+                        }));
+                    } else if new_rate > 0.0 {
+                        self.finish_heap.push(Reverse(FinishEntry {
+                            time: now + rem_v / new_rate,
+                            slot: s,
+                            stamp,
+                        }));
+                    }
+                    // Zero rate: no prediction; the step turns this into a
+                    // stall unless something else is pending.
+                }
+            }
+        }
+
+        self.bfs_res = stack;
+        self.closure_slots = closure;
+    }
+
+    /// Earliest pending event time across all three heaps, discarding stale
+    /// entries as they surface.
+    fn peek_next_time(&mut self) -> f64 {
+        let mut next = f64::INFINITY;
+        while let Some(&Reverse(e)) = self.finish_heap.peek() {
+            if self.slot_stamp[e.slot as usize] != e.stamp {
+                self.finish_heap.pop();
+                continue;
+            }
+            next = next.min(e.time);
+            break;
+        }
+        while let Some(&Reverse(e)) = self.latency_heap.peek() {
+            if self.slot_inc[e.slot as usize] != e.inc {
+                self.latency_heap.pop();
+                continue;
+            }
+            next = next.min(e.time);
+            break;
+        }
+        if let Some(&Reverse(e)) = self.timer_heap.peek() {
+            next = next.min(e.time);
+        }
+        next
+    }
+
+    /// Utilization accounting: every working activity consumed at its
+    /// fair-shared rate over the elapsed interval.
+    fn meter_interval(&mut self, new_now: f64) {
+        let Some(meter) = self.meter.as_mut() else {
+            return;
+        };
+        for a in self.slots.iter().flatten() {
+            if let ActState::Working { rate, .. } = a.state {
+                if rate > 0.0 && rate.is_finite() {
+                    for &(r, w) in &a.weights {
+                        if r.0 < meter.len() {
+                            meter.accumulate(r.0, w * rate, new_now);
+                        }
+                    }
+                }
+            }
+        }
+        meter.advance(new_now);
+    }
+
+    /// Pops every work-phase completion predicted at or before
+    /// `new_now + tol`, frees the slots, and reports them in ascending
+    /// activity-id order.
+    fn pop_finished(&mut self, new_now: f64, tol: f64, completed: &mut Vec<Completion>) {
+        let limit = new_now + tol;
+        let mut scratch = std::mem::take(&mut self.finished_scratch);
+        scratch.clear();
+        while let Some(&Reverse(e)) = self.finish_heap.peek() {
+            if self.slot_stamp[e.slot as usize] != e.stamp {
+                self.finish_heap.pop();
+                continue;
+            }
+            if e.time > limit {
+                break;
+            }
+            self.finish_heap.pop();
+            let id = self.slots[e.slot as usize]
+                .as_ref()
+                .expect("finishing slot")
+                .id;
+            scratch.push((id, e.slot));
+        }
+        scratch.sort_unstable();
+        for &(id, slot) in &scratch {
+            let su = slot as usize;
+            let mut a = self.slots[su].take().expect("completed activity");
+            self.slot_inc[su] += 1;
+            self.slot_stamp[su] += 1;
+            self.free_slots.push(slot);
+            self.n_live -= 1;
+            for &(r, w) in &a.weights {
+                if w > 0.0 {
+                    self.mark_dirty(r.0);
+                }
+            }
+            if self.tracing {
+                self.trace
+                    .record(new_now, TraceEventKind::ActivityFinish, id, a.label.take());
+            }
+            completed.push(Completion::Activity(ActivityId(id)));
+        }
+        self.finished_scratch = scratch;
+    }
+
+    /// Moves every activity whose latency expires at or before
+    /// `new_now + tol` into its work phase (no completion is reported).
+    fn pop_latency(&mut self, new_now: f64, tol: f64) {
+        let limit = new_now + tol;
+        let mut scratch = std::mem::take(&mut self.latency_scratch);
+        scratch.clear();
+        while let Some(&Reverse(e)) = self.latency_heap.peek() {
+            if self.slot_inc[e.slot as usize] != e.inc {
+                self.latency_heap.pop();
+                continue;
+            }
+            if e.time > limit {
+                break;
+            }
+            self.latency_heap.pop();
+            let id = self.slots[e.slot as usize]
+                .as_ref()
+                .expect("latency slot")
+                .id;
+            scratch.push((id, e.slot));
+        }
+        scratch.sort_unstable();
+        for &(_, slot) in &scratch {
+            let su = slot as usize;
+            {
+                let a = self.slots[su].as_mut().expect("latency slot");
+                let amount = match a.state {
+                    ActState::Latency { amount, .. } => amount,
+                    ActState::Working { .. } => unreachable!("latency entry for working slot"),
+                };
+                a.state = ActState::Working {
+                    rem: amount,
+                    rate: f64::NAN,
+                    since: new_now,
+                };
+            }
+            self.attach_working(slot, new_now);
+        }
+        self.latency_scratch = scratch;
+    }
+
+    /// Pops every timer expiring at or before `new_now + tol`, reporting
+    /// them in ascending timer-id order after any activity completions.
+    fn pop_timers(&mut self, new_now: f64, tol: f64, completed: &mut Vec<Completion>) {
+        let limit = new_now + tol;
+        let mut scratch = std::mem::take(&mut self.timer_scratch);
+        scratch.clear();
+        while let Some(&Reverse(e)) = self.timer_heap.peek() {
+            if e.time > limit {
+                break;
+            }
+            self.timer_heap.pop();
+            scratch.push(e.id);
+        }
+        scratch.sort_unstable();
+        for &id in &scratch {
+            completed.push(Completion::Timer(TimerId(id)));
+        }
+        self.timer_scratch = scratch;
     }
 }

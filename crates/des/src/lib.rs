@@ -42,7 +42,10 @@ pub use engine::{
     ActivityId, ActivitySpec, Completion, Engine, EngineError, ResourceId, StepResult, TimerId,
     Watchdog,
 };
-pub use solver::{max_min_fair_rates, Demand, ResourceIndex, SharingProblem, SolverError};
+pub use solver::{
+    max_min_fair_rates, max_min_fair_rates_ref, Demand, ResourceIndex, SharingProblem, SolverError,
+    SolverWorkspace,
+};
 pub use trace::{Trace, TraceEvent, TraceEventKind};
 pub use usage::{ResourceUsage, UsageMeter};
 

@@ -1,0 +1,152 @@
+//! Differential tests for the incremental engine pipeline.
+//!
+//! The engine's dirty-set / component-closure re-solver must agree with
+//! the frozen from-scratch solver `max_min_fair_rates_ref` at every point
+//! of an arbitrary start/step sequence, and the timer-only fast path must
+//! demonstrably skip solves.
+
+use mps_des::{
+    max_min_fair_rates_ref, ActivityId, ActivitySpec, Completion, Demand, Engine, ResourceId,
+};
+use proptest::prelude::*;
+
+/// Rates agree when both are infinite or within 1e-9 relative.
+fn rates_agree(a: f64, b: f64) -> bool {
+    if a.is_infinite() || b.is_infinite() {
+        return a == b;
+    }
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// One live activity as the test sees it: id, staged weights, rate bound.
+type LiveActivity = (ActivityId, Vec<(usize, f64)>, f64);
+
+/// Mirror of the engine's live working set, maintained from the outside:
+/// the test knows what it started and sees what completed.
+struct Mirror {
+    caps: Vec<f64>,
+    /// Live activities, ascending id.
+    live: Vec<LiveActivity>,
+}
+
+impl Mirror {
+    fn reference_rates(&self) -> Vec<(ActivityId, f64)> {
+        let demands: Vec<Demand> = self
+            .live
+            .iter()
+            .map(|(_, weights, bound)| Demand {
+                weights: weights.clone(),
+                bound: *bound,
+            })
+            .collect();
+        let rates = max_min_fair_rates_ref(&self.caps, &demands).expect("valid problem");
+        self.live.iter().map(|(id, _, _)| *id).zip(rates).collect()
+    }
+}
+
+fn check_against_reference(engine: &mut Engine, mirror: &Mirror) {
+    let got = engine.solved_rates().expect("solved_rates");
+    let want = mirror.reference_rates();
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "live set diverged: engine {got:?} vs reference {want:?}"
+    );
+    for (&(id, rate), &(want_id, want_rate)) in got.iter().zip(&want) {
+        assert_eq!(id, want_id, "live set order diverged");
+        assert!(
+            rates_agree(rate, want_rate),
+            "activity {id:?}: incremental {rate} vs reference {want_rate}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary interleavings of starts and steps: after every mutation
+    /// the engine's cached incremental rates match a from-scratch solve of
+    /// the same live set by the frozen reference solver.
+    #[test]
+    fn incremental_rates_match_reference_over_sequences(
+        caps in proptest::collection::vec(0.5f64..100.0, 1..6),
+        ops in proptest::collection::vec(
+            (
+                proptest::collection::vec((0usize..6, 0.0f64..3.0), 0..4), // weights
+                0.1f64..50.0,                                              // amount
+                any::<bool>(),                                             // bounded rate?
+                0.5f64..20.0,                                              // bound value
+                any::<bool>(),                                             // step after?
+            ),
+            1..12,
+        ),
+    ) {
+        let mut engine = Engine::new();
+        let res: Vec<ResourceId> = caps.iter().map(|&c| engine.add_resource(c)).collect();
+        let mut mirror = Mirror { caps, live: Vec::new() };
+
+        for (weights, amount, bounded, bound_val, step_after) in ops {
+            let bound = if bounded { bound_val } else { f64::INFINITY };
+            let mut spec = ActivitySpec::new(amount).with_rate_bound(bound);
+            let mut mirror_weights = Vec::new();
+            for (ri, w) in weights {
+                let r = ri % res.len();
+                spec = spec.on(res[r], w);
+                if w > 0.0 {
+                    mirror_weights.push((r, w));
+                }
+            }
+            let id = engine.start(spec).expect("start");
+            mirror.live.push((id, mirror_weights, bound));
+            check_against_reference(&mut engine, &mirror);
+
+            if step_after && !engine.is_idle() {
+                if let Some(step) = engine.step().expect("step") {
+                    for c in &step.completed {
+                        if let Completion::Activity(done) = c {
+                            mirror.live.retain(|(id, _, _)| id != done);
+                        }
+                    }
+                    check_against_reference(&mut engine, &mirror);
+                }
+            }
+        }
+    }
+}
+
+/// Timer-only steps must not re-enter the solver: `Engine::solves` stays
+/// flat while a timer storm fires under live activities, and completions
+/// do perturb it.
+#[test]
+fn timer_only_steps_skip_the_solver() {
+    let mut e = Engine::new();
+    let r = e.add_resource(10.0);
+    for _ in 0..4 {
+        e.start(ActivitySpec::new(1.0e9).on(r, 1.0)).expect("start");
+    }
+    for i in 0..20 {
+        e.schedule_timer(0.01 * (i + 1) as f64).expect("timer");
+    }
+    // First step solves the initial sharing problem once.
+    e.step().expect("step").expect("not idle");
+    let after_first = e.solves();
+    assert!(after_first >= 1);
+    for _ in 0..19 {
+        let step = e.step().expect("step").expect("not idle");
+        assert!(step
+            .completed
+            .iter()
+            .all(|c| matches!(c, Completion::Timer(_))));
+    }
+    assert_eq!(
+        e.solves(),
+        after_first,
+        "timer-only steps re-entered the solver"
+    );
+
+    // A genuine completion does require a re-solve.
+    let quick = e.start(ActivitySpec::new(0.5).on(r, 1.0)).expect("start");
+    let step = e.step().expect("step").expect("not idle");
+    assert!(step.completed.contains(&Completion::Activity(quick)));
+    assert!(e.solves() > after_first);
+}

@@ -263,14 +263,13 @@ impl Harness {
         cell
     }
 
-    /// Runs the full grid (54 DAGs × 3 variants × {HCPA, MCPA}),
-    /// parallelized over DAGs.
-    pub fn run_grid(&self, repeats: u64) -> Vec<CellResult> {
-        let corpus = self.corpus();
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(corpus.len().max(1));
+    /// Shared worker pool: runs every (DAG, variant, algo) cell for
+    /// `corpus`, DAGs dispatched work-stealing-style over `workers`
+    /// threads. Per-cell work is independent (the harness is only read),
+    /// so the result set — canonically sorted by (dag, variant, algo) —
+    /// is identical for any worker count.
+    fn run_cells(&self, corpus: &[GeneratedDag], repeats: u64, workers: usize) -> Vec<CellResult> {
+        let workers = workers.max(1).min(corpus.len().max(1));
         let results = parking_lot::Mutex::new(Vec::with_capacity(corpus.len() * 6));
         let next = std::sync::atomic::AtomicUsize::new(0);
 
@@ -304,18 +303,39 @@ impl Harness {
         out
     }
 
+    fn default_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+
+    /// Runs the full grid (54 DAGs × 3 variants × {HCPA, MCPA}),
+    /// parallelized over DAGs.
+    pub fn run_grid(&self, repeats: u64) -> Vec<CellResult> {
+        self.run_grid_with_workers(repeats, Self::default_workers())
+    }
+
+    /// [`Harness::run_grid`] with an explicit worker count (determinism
+    /// tests, CI throttling).
+    pub fn run_grid_with_workers(&self, repeats: u64, workers: usize) -> Vec<CellResult> {
+        self.run_cells(&self.corpus(), repeats, workers)
+    }
+
     /// Runs the grid for a subset of the corpus (for tests and quick
-    /// looks).
+    /// looks), parallelized like [`Harness::run_grid`].
     pub fn run_subset(&self, take: usize, repeats: u64) -> Vec<CellResult> {
+        self.run_subset_with_workers(take, repeats, Self::default_workers())
+    }
+
+    /// [`Harness::run_subset`] with an explicit worker count.
+    pub fn run_subset_with_workers(
+        &self,
+        take: usize,
+        repeats: u64,
+        workers: usize,
+    ) -> Vec<CellResult> {
         let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
-        let mut out = Vec::new();
-        for g in &corpus {
-            for variant in SimVariant::ALL {
-                out.push(self.run_one(g, variant, &Hcpa, repeats));
-                out.push(self.run_one(g, variant, &Mcpa, repeats));
-            }
-        }
-        out
+        self.run_cells(&corpus, repeats, workers)
     }
 
     /// Returns the model for a variant as a trait object (for reporting).
@@ -454,6 +474,19 @@ mod tests {
         let a = h.run_subset(2, 2);
         let b = h.run_subset(2, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_results_are_identical_across_worker_counts() {
+        let h = Harness::new(7);
+        let serial = h.run_subset_with_workers(3, 1, 1);
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                serial,
+                h.run_subset_with_workers(3, 1, workers),
+                "worker count {workers} changed the grid"
+            );
+        }
     }
 
     #[test]

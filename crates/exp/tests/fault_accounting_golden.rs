@@ -1,0 +1,168 @@
+//! Golden regression: fault/retry virtual-time accounting.
+//!
+//! Pins the exact makespans and retry counts produced by the faulty
+//! execution path for a fixed plan/seed/policy. The values were recorded
+//! before the incremental-solver rework of `mps-des` (commit 294e5cb), so
+//! this test proves the rework is a pure performance change: retry
+//! backoff, crash-recovery waits, and slowdown stretching must land on the
+//! same virtual-time instants to within 1e-9 relative.
+
+// Golden values are recorded verbatim at full f64 print precision.
+#![allow(clippy::excessive_precision)]
+
+use mps_core::faults::FaultPlan;
+use mps_core::platform::HostId;
+use mps_core::sim::ExecPolicy;
+use mps_exp::{CellOutcome, Harness};
+
+fn harness() -> Harness {
+    let plan = FaultPlan::builder(3)
+        .node_crash(HostId(0), 0.0, 50.0)
+        .task_failure(0.02)
+        .node_slowdown(HostId(2), 10.0, 1.5)
+        .build();
+    Harness::new(7)
+        .with_fault_plan(plan)
+        .with_exec_policy(ExecPolicy {
+            max_retries: 4,
+            ..ExecPolicy::default()
+        })
+}
+
+/// `(dag, variant, algo, sim_makespan, real_makespan, retries)` recorded
+/// with the pre-rework HashMap-keyed engine and from-scratch solver.
+const GOLDEN: &[(&str, &str, &str, f64, f64, u32)] = &[
+    (
+        "w2-r0.5-n2000-s0",
+        "analytic",
+        "HCPA",
+        3.89055332307692225e1,
+        1.11901846120012081e2,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s0",
+        "analytic",
+        "MCPA",
+        3.98275528659793778e1,
+        1.14908723176720088e2,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s0",
+        "profile",
+        "HCPA",
+        3.11305180559643659e1,
+        8.77619355487665871e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s0",
+        "profile",
+        "MCPA",
+        2.72717824944046399e1,
+        8.70315895861237578e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s0",
+        "empirical",
+        "HCPA",
+        3.43780990995133351e1,
+        9.57128256455169151e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s0",
+        "empirical",
+        "MCPA",
+        3.02059888410966373e1,
+        8.80115526273837645e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s1",
+        "analytic",
+        "HCPA",
+        2.71511999999999993e1,
+        9.69724152836309941e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s1",
+        "analytic",
+        "MCPA",
+        3.18018186823529447e1,
+        1.00642925149976293e2,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s1",
+        "profile",
+        "HCPA",
+        2.58822873530328295e1,
+        8.66431798521938958e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s1",
+        "profile",
+        "MCPA",
+        3.09431120608201375e1,
+        9.29685905215180668e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s1",
+        "empirical",
+        "HCPA",
+        2.88359055363492942e1,
+        8.63973265873073615e1,
+        2,
+    ),
+    (
+        "w2-r0.5-n2000-s1",
+        "empirical",
+        "MCPA",
+        3.32679042768489950e1,
+        9.71747988216674798e1,
+        2,
+    ),
+];
+
+fn close(got: f64, want: f64) -> bool {
+    (got - want).abs() <= want.abs() * 1e-9 + 1e-12
+}
+
+#[test]
+fn faulty_execution_virtual_time_is_unchanged() {
+    let h = harness();
+    let cells = h.run_subset(2, 2);
+    assert_eq!(cells.len(), GOLDEN.len());
+    // Keyed lookup, not positional: the result order is allowed to change
+    // (run_subset went parallel), the measurements are not.
+    for &(dag, variant, algo, sim, real, retries) in GOLDEN {
+        let cell = cells
+            .iter()
+            .find(|c| c.dag == dag && c.variant.name() == variant && c.algo == algo)
+            .unwrap_or_else(|| panic!("missing cell {dag}/{variant}/{algo}"));
+        assert!(
+            close(cell.sim_makespan, sim),
+            "{dag}/{variant}/{algo}: sim makespan {} != golden {sim}",
+            cell.sim_makespan
+        );
+        assert!(
+            close(cell.real_makespan, real),
+            "{dag}/{variant}/{algo}: real makespan {} != golden {real}",
+            cell.real_makespan
+        );
+        let got_retries = match &cell.outcome {
+            CellOutcome::Degraded { retries, .. } => *retries,
+            _ => 0,
+        };
+        assert_eq!(
+            got_retries, retries,
+            "{dag}/{variant}/{algo}: retry count changed"
+        );
+    }
+}

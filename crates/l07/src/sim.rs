@@ -75,6 +75,9 @@ pub struct L07Sim {
     up: Vec<ResourceId>,
     down: Vec<ResourceId>,
     backbone: ResourceId,
+    /// Reused by [`L07Sim::next_completions_into`] so steady-state stepping
+    /// does not allocate.
+    step_scratch: Vec<Completion>,
 }
 
 impl L07Sim {
@@ -99,12 +102,19 @@ impl L07Sim {
             up,
             down,
             backbone,
+            step_scratch: Vec::new(),
         }
     }
 
     /// Enables DES trace recording.
     pub fn enable_tracing(&mut self) {
         self.engine.enable_tracing();
+    }
+
+    /// True when DES trace recording is enabled. Callers can skip building
+    /// task labels entirely when it is not.
+    pub fn tracing_enabled(&self) -> bool {
+        self.engine.tracing_enabled()
     }
 
     /// Installs a divergence [`Watchdog`](mps_des::Watchdog) on the
@@ -238,23 +248,35 @@ impl L07Sim {
 
     /// Advances to the next completion(s). `None` when idle.
     pub fn next_completions(&mut self) -> Result<Option<Vec<PTaskCompletion>>, L07Error> {
-        match self.engine.step()? {
-            None => Ok(None),
-            Some(step) => {
-                let out = step
-                    .completed
-                    .into_iter()
-                    .filter_map(|c| match c {
-                        Completion::Activity(id) => Some(PTaskCompletion {
-                            task: PTaskId(id),
-                            time: step.time,
-                        }),
-                        Completion::Timer(_) => None,
-                    })
-                    .collect();
-                Ok(Some(out))
+        let mut out = Vec::new();
+        match self.next_completions_into(&mut out)? {
+            true => Ok(Some(out)),
+            false => Ok(None),
+        }
+    }
+
+    /// Allocation-free variant of [`L07Sim::next_completions`]: fills `out`
+    /// (cleared first) with the next batch of completions and returns
+    /// `false` when the simulator is idle. `out` may legitimately come back
+    /// empty on a `true` return if the step only fired engine timers.
+    pub fn next_completions_into(
+        &mut self,
+        out: &mut Vec<PTaskCompletion>,
+    ) -> Result<bool, L07Error> {
+        out.clear();
+        let mut scratch = std::mem::take(&mut self.step_scratch);
+        let stepped = self.engine.step_into(&mut scratch);
+        let time = self.engine.now();
+        for c in &scratch {
+            if let Completion::Activity(id) = c {
+                out.push(PTaskCompletion {
+                    task: PTaskId(*id),
+                    time,
+                });
             }
         }
+        self.step_scratch = scratch;
+        Ok(stepped?.is_some())
     }
 
     /// Runs a single task to completion on an otherwise idle simulator and

@@ -367,9 +367,11 @@ pub fn execute_with_policy(
                     // The task's hosts stay claimed throughout.
                     let backoff = (policy.backoff_base * 2.0_f64.powi(attempt as i32))
                         .min(policy.backoff_cap);
-                    let spec = PTaskSpec::new()
-                        .with_extra_latency(startup + backoff.max(retry_after))
-                        .with_label(format!("backoff-{}-{}", t.index(), attempt));
+                    let mut spec =
+                        PTaskSpec::new().with_extra_latency(startup + backoff.max(retry_after));
+                    if sim.tracing_enabled() {
+                        spec = spec.with_label(format!("backoff-{}-{}", t.index(), attempt));
+                    }
                     let id = sim.submit(spec)?;
                     in_flight.insert(id, Meaning::Backoff(t));
                     state[t.index()] = TaskState::Backoff;
@@ -377,7 +379,7 @@ pub fn execute_with_policy(
                 }
                 TaskDisposition::Run { slowdown } => slowdown.max(1.0),
             };
-            let spec = match model.task_execution(t, kernel, &st.hosts) {
+            let mut spec = match model.task_execution(t, kernel, &st.hosts) {
                 TaskExecution::Analytic => {
                     let flops = kernel.flops_per_proc(p) * slowdown;
                     let comm = kernel.comm_matrix(p);
@@ -388,8 +390,10 @@ pub fn execute_with_policy(
                 TaskExecution::Fixed(duration) => {
                     PTaskSpec::new().with_extra_latency(startup + duration.max(0.0) * slowdown)
                 }
+            };
+            if sim.tracing_enabled() {
+                spec = spec.with_label(format!("task-{}", t.index()));
             }
-            .with_label(format!("task-{}", t.index()));
             let id = sim.submit(spec)?;
             in_flight.insert(id, Meaning::TaskRun(t));
             state[t.index()] = TaskState::Running;
@@ -410,16 +414,14 @@ pub fn execute_with_policy(
         model,
     )?;
 
+    let mut completions: Vec<mps_l07::PTaskCompletion> = Vec::new();
     while done_count < n_tasks {
-        let completions = match sim.next_completions()? {
-            Some(c) => c,
-            None => {
-                return Err(ExecError::Stalled {
-                    unstarted: state.iter().filter(|&&s| s != TaskState::Done).count(),
-                })
-            }
-        };
-        for c in completions {
+        if !sim.next_completions_into(&mut completions)? {
+            return Err(ExecError::Stalled {
+                unstarted: state.iter().filter(|&&s| s != TaskState::Done).count(),
+            });
+        }
+        for &c in &completions {
             match in_flight.remove(&c.task) {
                 Some(Meaning::TaskRun(t)) => {
                     state[t.index()] = TaskState::Done;
@@ -463,9 +465,11 @@ pub fn execute_with_policy(
                             }
                             overhead *= worst;
                         }
-                        let spec = PTaskSpec::transfers(flows)
-                            .with_extra_latency(overhead)
-                            .with_label(format!("redist-{}-{}", t.index(), succ.index()));
+                        let mut spec = PTaskSpec::transfers(flows).with_extra_latency(overhead);
+                        if sim.tracing_enabled() {
+                            spec =
+                                spec.with_label(format!("redist-{}-{}", t.index(), succ.index()));
+                        }
                         let id = sim.submit(spec)?;
                         in_flight.insert(id, Meaning::Redist { succ });
                     }
