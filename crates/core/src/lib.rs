@@ -15,6 +15,7 @@
 //! | [`model`] | analytic / profile / empirical performance models |
 //! | [`sim`] | the three simulator versions + schedule executor |
 //! | [`faults`] | seeded fault-injection plans and the fault model hook |
+//! | [`journal`] | write-ahead result journal for crash-safe, resumable campaigns |
 //! | [`testbed`] | the emulated execution environment (ground truth) |
 //! | [`regress`] | least-squares fitting (Table II machinery) |
 //! | [`stats`] | statistics, box plots, figure-data helpers |
@@ -40,6 +41,7 @@
 pub use mps_dag as dag;
 pub use mps_des as des;
 pub use mps_faults as faults;
+pub use mps_journal as journal;
 pub use mps_kernels as kernels;
 pub use mps_l07 as l07;
 pub use mps_model as model;
@@ -64,6 +66,8 @@ pub enum MpsError {
     Exec(mps_sim::ExecError),
     /// Malformed fault-plan description.
     FaultPlan(mps_faults::PlanParseError),
+    /// Campaign journal failure (I/O, corruption, header mismatch).
+    Journal(mps_journal::JournalError),
 }
 
 impl std::fmt::Display for MpsError {
@@ -74,6 +78,7 @@ impl std::fmt::Display for MpsError {
             MpsError::L07(e) => write!(f, "l07: {e}"),
             MpsError::Exec(e) => write!(f, "exec: {e}"),
             MpsError::FaultPlan(e) => write!(f, "fault plan: {e}"),
+            MpsError::Journal(e) => write!(f, "journal: {e}"),
         }
     }
 }
@@ -110,12 +115,21 @@ impl From<mps_faults::PlanParseError> for MpsError {
     }
 }
 
+impl From<mps_journal::JournalError> for MpsError {
+    fn from(e: mps_journal::JournalError) -> Self {
+        MpsError::Journal(e)
+    }
+}
+
 /// The most commonly used items, flattened.
 pub mod prelude {
     pub use mps_dag::gen::{paper_corpus, DagGenParams, GeneratedDag, PAPER_CORPUS_SEED};
     pub use mps_dag::{Dag, TaskId};
     pub use mps_des::{ActivitySpec, Engine, Watchdog};
     pub use mps_faults::{FaultModel, FaultPlan, ScriptedFaults};
+    pub use mps_journal::{
+        CancelToken, JournalHeader, JournalWriter, Manifest, RunControl, StopReason,
+    };
     pub use mps_kernels::{BlockDist1D, Kernel, RedistPlan};
     pub use mps_l07::{L07Sim, PTaskSpec};
     pub use mps_model::{AnalyticModel, EmpiricalModel, PerfModel, ProfileModel, ProfileTables};

@@ -29,7 +29,7 @@ fn median_error(cells: &[CellResult], variant: SimVariant) -> f64 {
     let errs: Vec<f64> = cells
         .iter()
         .filter(|c| c.variant == variant)
-        .map(CellResult::error_pct)
+        .filter_map(CellResult::error_pct_checked)
         .collect();
     stats::median(&errs).unwrap_or(0.0)
 }

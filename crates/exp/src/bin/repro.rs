@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! repro [--seed S] [--repeats R] [--json DIR] \
-//!       [--faults PLAN] [--max-retries N] <target>...
+//!       [--faults PLAN] [--max-retries N] \
+//!       [--journal PATH] [--resume] [--max-wall-secs S] \
+//!       [--subset N] [--workers N] [--throttle-ms N] <target>...
 //! targets: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table2
-//!          gantt ablations faultsweep all
+//!          gantt ablations faultsweep grid all
 //! ```
 //!
 //! `--faults` takes a fault-plan description (see `mps_faults::FaultPlan::
@@ -14,12 +16,24 @@
 //! slow@1:0*1.5; fail=0.02`, or a preset (`light`, `moderate`, `heavy`).
 //! Affected grid cells are reported as degraded or failed — with typed
 //! errors — while the rest of the grid completes normally.
+//!
+//! `--journal PATH` makes the grid campaign crash-safe: every completed
+//! cell is appended durably to a write-ahead journal before the next one
+//! is dispatched. A run killed at any point — crash, OOM, Ctrl-C — is
+//! continued with `--resume`, recomputing only the missing cells; the
+//! resumed grid is identical to an uninterrupted run. SIGINT/SIGTERM
+//! trigger a graceful drain (in-flight cells finish, the journal syncs, a
+//! partial summary prints), and `--max-wall-secs` converts an exhausted
+//! wall-clock budget into the same clean checkpoint.
 
 use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
 
 use mps_core::faults::FaultPlan;
+use mps_core::journal::{install_signal_handlers, CancelToken, RunControl};
 use mps_core::sim::ExecPolicy;
-use mps_exp::{ablation, figures, grid_health, Harness};
+use mps_exp::{ablation, figures, grid_health, GridStatus, Harness, JournaledGrid};
 
 /// Event horizon (seconds) used when parsing `--faults` clauses with
 /// preset intensities; generous enough to cover every grid makespan.
@@ -32,6 +46,12 @@ fn main() {
     let mut json_dir: Option<String> = None;
     let mut faults: Option<String> = None;
     let mut max_retries = ExecPolicy::default().max_retries;
+    let mut journal_path: Option<String> = None;
+    let mut resume = false;
+    let mut max_wall_secs: Option<u64> = None;
+    let mut subset: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut throttle_ms: Option<u64> = None;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -74,6 +94,47 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--max-retries needs an integer"));
             }
+            "--journal" => {
+                i += 1;
+                journal_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--journal needs a path")),
+                );
+            }
+            "--resume" => resume = true,
+            "--max-wall-secs" => {
+                i += 1;
+                max_wall_secs = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--max-wall-secs needs an integer")),
+                );
+            }
+            "--subset" => {
+                i += 1;
+                subset = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--subset needs an integer")),
+                );
+            }
+            "--workers" => {
+                i += 1;
+                workers = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--workers needs an integer")),
+                );
+            }
+            "--throttle-ms" => {
+                i += 1;
+                throttle_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--throttle-ms needs an integer")),
+                );
+            }
             t => targets.push(t.to_string()),
         }
         i += 1;
@@ -82,10 +143,27 @@ fn main() {
         targets.push("all".to_string());
     }
     args.clear();
+    if journal_path.is_none() {
+        // These flags only make sense for a journaled campaign; silently
+        // ignoring them would mislead (e.g. `--resume` quietly recomputing
+        // a full grid from scratch).
+        for (set, flag) in [
+            (resume, "--resume"),
+            (max_wall_secs.is_some(), "--max-wall-secs"),
+            (throttle_ms.is_some(), "--throttle-ms"),
+        ] {
+            if set {
+                die(&format!("{flag} requires --journal PATH"));
+            }
+        }
+    }
 
-    let needs_grid = targets
-        .iter()
-        .any(|t| matches!(t.as_str(), "all" | "fig1" | "fig5" | "fig7" | "fig8"));
+    let needs_grid = targets.iter().any(|t| {
+        matches!(
+            t.as_str(),
+            "all" | "fig1" | "fig5" | "fig7" | "fig8" | "grid"
+        )
+    });
 
     eprintln!("# building harness (seed {seed}): profiling the emulated testbed…");
     let mut harness = Harness::new(seed);
@@ -104,9 +182,57 @@ fn main() {
         max_retries,
         ..ExecPolicy::default()
     });
+    let mut grid_status = GridStatus::Complete;
     let cells = if needs_grid {
-        eprintln!("# running the 54-DAG × 3-simulator × 2-algorithm grid ({repeats} testbed runs per cell)…");
-        let cells = harness.run_grid(repeats);
+        let scope = match subset {
+            Some(take) => format!("{take}-DAG subset"),
+            None => "54-DAG".to_string(),
+        };
+        eprintln!("# running the {scope} × 3-simulator × 2-algorithm grid ({repeats} testbed runs per cell)…");
+        let cells = match &journal_path {
+            Some(jpath) => {
+                // Journaled campaign: SIGINT/SIGTERM become a graceful
+                // drain, a wall-clock budget becomes a clean checkpoint.
+                install_signal_handlers();
+                let mut ctrl =
+                    RunControl::unlimited().with_cancel(CancelToken::following_signals());
+                if let Some(secs) = max_wall_secs {
+                    ctrl = ctrl.with_deadline_in(Duration::from_secs(secs));
+                }
+                if let Some(ms) = throttle_ms {
+                    ctrl = ctrl.with_throttle(Duration::from_millis(ms));
+                }
+                let workers = workers.unwrap_or_else(Harness::default_workers);
+                let path = Path::new(jpath);
+                let report: JournaledGrid = match subset {
+                    Some(take) => {
+                        harness.run_subset_journaled(take, path, repeats, workers, resume, &ctrl)
+                    }
+                    None => harness.run_grid_journaled(path, repeats, workers, resume, &ctrl),
+                }
+                .unwrap_or_else(|e| die(&format!("journal: {e}")));
+                if report.salvage_dropped_bytes > 0 {
+                    eprintln!(
+                        "# journal recovery: dropped a torn tail of {} byte(s)",
+                        report.salvage_dropped_bytes
+                    );
+                }
+                eprintln!(
+                    "# journal {}: {} cell(s) resumed, {} computed, {} pending — {}",
+                    jpath,
+                    report.resumed,
+                    report.computed,
+                    report.pending,
+                    report.status.label()
+                );
+                grid_status = report.status;
+                report.cells
+            }
+            None => match subset {
+                Some(take) => harness.run_subset(take, repeats),
+                None => harness.run_grid(repeats),
+            },
+        };
         let health = grid_health(&cells);
         if health.degraded + health.failed > 0 || faults.is_some() {
             eprintln!(
@@ -157,6 +283,22 @@ fn main() {
         eprintln!("# wrote {csv_path}");
     }
 
+    if grid_status != GridStatus::Complete {
+        // Partial campaign: print the checkpoint summary instead of
+        // rendering figures from an incomplete grid. An interrupt exits
+        // 130 (like an uncaught SIGINT); a spent wall-clock budget is a
+        // *successful* checkpoint and exits 0.
+        println!(
+            "{}",
+            grid_report(&cells, grid_status, journal_path.as_deref())
+        );
+        let code = match grid_status {
+            GridStatus::Interrupted => 130,
+            _ => 0,
+        };
+        std::process::exit(code);
+    }
+
     for t in &targets {
         let report = match t.as_str() {
             "table1" => figures::table1(),
@@ -174,6 +316,7 @@ fn main() {
             "fig7" => figures::fig7(&cells),
             "fig8" => figures::fig8(&cells),
             "table2" => figures::table2(&harness),
+            "grid" => grid_report(&cells, grid_status, journal_path.as_deref()),
             "gantt" => gantt_report(&harness),
             "faultsweep" => figures::fault_sweep(
                 &mut harness,
@@ -229,6 +372,49 @@ fn main() {
     }
 }
 
+/// Campaign summary for the `grid` target and for partial checkpoints.
+fn grid_report(cells: &[mps_exp::CellResult], status: GridStatus, journal: Option<&str>) -> String {
+    use std::fmt::Write as _;
+    let health = grid_health(cells);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Grid campaign — {} cell(s) durable, status: {}",
+        cells.len(),
+        status.label()
+    );
+    let _ = writeln!(
+        out,
+        "health: {} full, {} degraded ({} retries, {} lost runs), {} failed",
+        health.full, health.degraded, health.retries, health.lost_runs, health.failed
+    );
+    let errs: Vec<f64> = cells
+        .iter()
+        .filter_map(mps_exp::CellResult::error_pct_checked)
+        .collect();
+    if let Some(med) = mps_core::stats::median(&errs) {
+        let _ = writeln!(
+            out,
+            "median simulation error over {} measured cell(s): {med:.2}%",
+            errs.len()
+        );
+    }
+    if let Some(j) = journal {
+        match status {
+            GridStatus::Complete => {
+                let _ = writeln!(out, "journal {j} is complete");
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "checkpoint saved — continue with: repro --journal {j} --resume"
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Renders one DAG's execution timeline under each simulator's schedule.
 fn gantt_report(harness: &Harness) -> String {
     use mps_exp::SimVariant;
@@ -278,8 +464,12 @@ fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!("usage: repro [--seed S] [--repeats R] [--json DIR] \\");
     eprintln!("             [--faults PLAN] [--max-retries N] \\");
-    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations faultsweep all]");
+    eprintln!("             [--journal PATH] [--resume] [--max-wall-secs S] \\");
+    eprintln!("             [--subset N] [--workers N] [--throttle-ms N] \\");
+    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations faultsweep grid all]");
     eprintln!("  PLAN: `seed=7; crash@0:0+30; slow@1:0*1.5; fail=0.02` or a");
     eprintln!("        preset: light | moderate | heavy");
+    eprintln!("  --journal makes the grid crash-safe (write-ahead journal);");
+    eprintln!("  --resume continues it, recomputing only missing cells.");
     std::process::exit(2);
 }

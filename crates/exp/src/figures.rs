@@ -313,7 +313,7 @@ pub fn fig8(cells: &[CellResult]) -> String {
             let errs: Vec<f64> = cells
                 .iter()
                 .filter(|c| c.algo == algo && c.variant == variant)
-                .map(CellResult::error_pct)
+                .filter_map(CellResult::error_pct_checked)
                 .collect();
             if let Some(b) = stats::boxplot(&errs) {
                 labels.push(format!("{algo}/{}", variant.name()));
@@ -330,8 +330,16 @@ pub fn fig8(cells: &[CellResult]) -> String {
     // Numeric medians for EXPERIMENTS.md, plus rank fidelity: does the
     // simulator *order* the scenarios the way the testbed does?
     for variant in SimVariant::ALL {
-        let filtered: Vec<&CellResult> = cells.iter().filter(|c| c.variant == variant).collect();
-        let errs: Vec<f64> = filtered.iter().map(|c| c.error_pct()).collect();
+        // Degenerate cells (failed, zero makespan) drop out of the error
+        // distribution and the rank correlation alike.
+        let filtered: Vec<&CellResult> = cells
+            .iter()
+            .filter(|c| c.variant == variant && c.error_pct_checked().is_some())
+            .collect();
+        let errs: Vec<f64> = filtered
+            .iter()
+            .filter_map(|c| c.error_pct_checked())
+            .collect();
         let sims: Vec<f64> = filtered.iter().map(|c| c.sim_makespan).collect();
         let reals: Vec<f64> = filtered.iter().map(|c| c.real_makespan).collect();
         if let Some(med) = stats::median(&errs) {
@@ -461,12 +469,7 @@ pub fn fault_sweep(
             degraded += health.degraded;
             failed += health.failed;
             retries += health.retries;
-            errs.extend(
-                cells
-                    .iter()
-                    .filter(|c| c.succeeded())
-                    .map(CellResult::error_pct),
-            );
+            errs.extend(cells.iter().filter_map(CellResult::error_pct_checked));
             for variant in SimVariant::ALL {
                 for n in [2000usize, 3000] {
                     for (dag, _, rel_real) in paired_relative_makespans(&cells, variant, n) {

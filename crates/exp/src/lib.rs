@@ -14,9 +14,11 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod journaled;
 pub mod runner;
 
+pub use journaled::{GridStatus, JournaledGrid};
 pub use runner::{
-    grid_health, paired_relative_makespans, CellOutcome, CellResult, GridHealth, Harness,
-    SimVariant,
+    cell_key, grid_health, paired_relative_makespans, CellOutcome, CellResult, GridHealth, Harness,
+    SimVariant, ERROR_PCT_SENTINEL,
 };

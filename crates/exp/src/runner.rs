@@ -111,16 +111,54 @@ pub struct CellResult {
     pub outcome: CellOutcome,
 }
 
+/// Sentinel returned by [`CellResult::error_pct`] for cells without a
+/// usable real measurement (failed cells, zero/degenerate makespans).
+/// Real errors are always ≥ 0, so the sentinel is unambiguous and —
+/// unlike the `inf`/NaN a naive division produces — cannot silently leak
+/// into rank statistics, medians, or CSV exports.
+pub const ERROR_PCT_SENTINEL: f64 = -1.0;
+
 impl CellResult {
-    /// Absolute relative simulation error in percent (the Fig. 8 metric).
+    /// Absolute relative simulation error in percent (the Fig. 8 metric),
+    /// or [`ERROR_PCT_SENTINEL`] when the cell has no usable measurement.
     pub fn error_pct(&self) -> f64 {
-        mps_core::stats::abs_relative_error_pct(self.sim_makespan, self.real_makespan)
+        self.error_pct_checked().unwrap_or(ERROR_PCT_SENTINEL)
+    }
+
+    /// [`CellResult::error_pct`] as an `Option`: `None` for failed cells
+    /// and for degenerate (zero, negative, or non-finite) makespans.
+    /// Statistics over a grid should `filter_map` through this so
+    /// degraded cells drop out instead of poisoning the distribution.
+    pub fn error_pct_checked(&self) -> Option<f64> {
+        if !self.succeeded()
+            || !self.real_makespan.is_finite()
+            || self.real_makespan <= 0.0
+            || !self.sim_makespan.is_finite()
+        {
+            return None;
+        }
+        let e = mps_core::stats::abs_relative_error_pct(self.sim_makespan, self.real_makespan);
+        e.is_finite().then_some(e)
     }
 
     /// Whether the cell produced at least one real measurement.
     pub fn succeeded(&self) -> bool {
         !matches!(self.outcome, CellOutcome::Failed { .. })
     }
+
+    /// This cell's deterministic journal key (see [`cell_key`]).
+    pub fn key(&self, repeats: u64) -> String {
+        cell_key(&self.dag, self.n, self.variant, &self.algo, repeats)
+    }
+}
+
+/// Deterministic journal key of a grid cell:
+/// `<dag>/n<N>/<variant>/<algo>/r<repeats>`. The repeat count forms the
+/// key's *repeat block* — all testbed repeats of a cell fold into one
+/// journal record, and journals written with different repeat counts
+/// never alias.
+pub fn cell_key(dag: &str, n: usize, variant: SimVariant, algo: &str, repeats: u64) -> String {
+    format!("{dag}/n{n}/{}/{algo}/r{repeats}", variant.name())
 }
 
 /// The harness: testbed + the three instantiated models.
@@ -182,7 +220,7 @@ impl Harness {
         paper_corpus(PAPER_CORPUS_SEED)
     }
 
-    fn run_one(
+    pub(crate) fn run_one(
         &self,
         g: &GeneratedDag,
         variant: SimVariant,
@@ -293,20 +331,25 @@ impl Harness {
         .expect("worker panicked");
 
         let mut out = results.into_inner();
-        // Deterministic order: by dag name, then variant, then algo.
-        out.sort_by(|a, b| {
-            a.dag
-                .cmp(&b.dag)
-                .then_with(|| a.variant.name().cmp(b.variant.name()))
-                .then_with(|| a.algo.cmp(&b.algo))
-        });
+        sort_cells_canonical(&mut out);
         out
     }
 
-    fn default_workers() -> usize {
+    /// Worker-pool size used when the caller does not pin one.
+    pub fn default_workers() -> usize {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
+    }
+
+    /// Digest over the harness configuration that changes cell results
+    /// but has no explicit journal-header field (fault plan and exec
+    /// policy). `Debug` formatting is deterministic, so equal configs
+    /// digest equally and a resume under a different fault plan is
+    /// rejected instead of silently mixing result sets.
+    pub fn config_digest(&self) -> String {
+        let desc = format!("{:?}|{:?}", self.fault_plan, self.policy);
+        format!("{:016x}", mps_core::journal::fnv64(desc.as_bytes()))
     }
 
     /// Runs the full grid (54 DAGs × 3 variants × {HCPA, MCPA}),
@@ -346,6 +389,18 @@ impl Harness {
             SimVariant::Empirical => Box::new(&self.empirical_model),
         }
     }
+}
+
+/// Canonical grid order: by dag name, then variant, then algo — the
+/// order every grid API returns regardless of worker count or resume
+/// history.
+pub(crate) fn sort_cells_canonical(cells: &mut [CellResult]) {
+    cells.sort_by(|a, b| {
+        a.dag
+            .cmp(&b.dag)
+            .then_with(|| a.variant.name().cmp(b.variant.name()))
+            .then_with(|| a.algo.cmp(&b.algo))
+    });
 }
 
 /// Pairs HCPA/MCPA cells per DAG for one variant, yielding
@@ -533,6 +588,55 @@ mod tests {
                 ..ExecPolicy::default()
             });
         assert_eq!(cells, h2.run_subset(3, 1));
+    }
+
+    #[test]
+    fn degenerate_cells_report_the_sentinel_not_inf() {
+        let mut cell = CellResult {
+            dag: "w2-r0.5-n2000-s0".to_string(),
+            n: 2000,
+            variant: SimVariant::Analytic,
+            algo: "HCPA".to_string(),
+            sim_makespan: 40.0,
+            real_makespan: 0.0, // failed cell: no surviving measurement
+            real_runs: Vec::new(),
+            outcome: CellOutcome::Failed {
+                error: "all runs lost".to_string(),
+            },
+        };
+        assert_eq!(cell.error_pct(), ERROR_PCT_SENTINEL);
+        assert_eq!(cell.error_pct_checked(), None);
+
+        // A zero real makespan must never divide through to inf, even if
+        // the outcome claims success.
+        cell.outcome = CellOutcome::Full;
+        assert_eq!(cell.error_pct(), ERROR_PCT_SENTINEL);
+        for bad in [f64::NAN, f64::INFINITY, -3.0] {
+            cell.real_makespan = bad;
+            assert_eq!(cell.error_pct(), ERROR_PCT_SENTINEL, "real = {bad}");
+        }
+        cell.real_makespan = 100.0;
+        cell.sim_makespan = f64::NAN;
+        assert_eq!(cell.error_pct(), ERROR_PCT_SENTINEL);
+
+        // A healthy cell still reports the Fig. 8 metric.
+        cell.sim_makespan = 90.0;
+        assert!((cell.error_pct() - 10.0).abs() < 1e-12);
+        assert_eq!(cell.error_pct_checked(), Some(cell.error_pct()));
+        // The sentinel can never collide with a real error.
+        assert!(cell.error_pct() >= 0.0 && ERROR_PCT_SENTINEL < 0.0);
+    }
+
+    #[test]
+    fn cell_keys_are_deterministic_and_journal_safe() {
+        let k = cell_key("w4-r0.75-n2000-s1", 2000, SimVariant::Profile, "MCPA", 3);
+        assert_eq!(k, "w4-r0.75-n2000-s1/n2000/profile/MCPA/r3");
+        assert!(mps_core::journal::format::key_is_valid(&k));
+        // Different repeat blocks never alias.
+        assert_ne!(
+            cell_key("d", 10, SimVariant::Analytic, "HCPA", 1),
+            cell_key("d", 10, SimVariant::Analytic, "HCPA", 2)
+        );
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Cooperative cancellation: Ctrl-C, SIGTERM, and wall-clock budgets
+//! become graceful checkpoint drains instead of lost campaigns.
+//!
+//! Workers poll [`RunControl::should_stop`] between units of work; when
+//! it fires they finish the unit in flight and stop, so every completed
+//! result still reaches the journal before the process exits.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A [`CancelToken`] fired (Ctrl-C, SIGTERM, or programmatic cancel).
+    Cancelled,
+    /// The wall-clock budget ([`RunControl::deadline`]) expired.
+    DeadlineExpired,
+}
+
+/// Set by the process-wide signal handler; consulted by tokens created
+/// with [`CancelToken::following_signals`].
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT + SIGTERM handlers that set a process-wide flag
+/// (visible via [`signal_received`]) instead of killing the process.
+///
+/// The handler only performs an atomic store, which is async-signal-safe.
+/// No-op on non-Unix platforms.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // Provided by libc, which std already links on Unix.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No-op fallback where Unix signals do not exist.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// True once a SIGINT/SIGTERM has been observed by the installed handler.
+pub fn signal_received() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// A cheap, cloneable cancellation flag shared between the coordinator
+/// and its workers.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    follow_signals: bool,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires once the process receives
+    /// SIGINT/SIGTERM (requires [`install_signal_handlers`]).
+    pub fn following_signals() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            follow_signals: true,
+        }
+    }
+
+    /// Requests cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancellation was requested (or a followed signal fired).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || (self.follow_signals && signal_received())
+    }
+}
+
+/// Everything a journaled run consults to decide whether to keep going.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation flag.
+    pub cancel: CancelToken,
+    /// Hard wall-clock checkpoint: no new work starts past this instant.
+    pub deadline: Option<Instant>,
+    /// Optional pause after each completed unit — paces smoke tests and
+    /// CI kill-windows; `None` in production.
+    pub throttle: Option<Duration>,
+}
+
+impl RunControl {
+    /// No cancellation, no deadline, no throttle.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the deadline `budget` from now.
+    #[must_use]
+    pub fn with_deadline_in(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Sets the per-unit throttle.
+    #[must_use]
+    pub fn with_throttle(mut self, pause: Duration) -> Self {
+        self.throttle = Some(pause);
+        self
+    }
+
+    /// Polled by workers between units: `Some(reason)` means finish the
+    /// unit in flight (if any) and drain.
+    pub fn should_stop(&self) -> Option<StopReason> {
+        if self.cancel.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(StopReason::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// Applies the configured throttle pause, if any.
+    pub fn pace(&self) {
+        if let Some(pause) = self.throttle {
+            std::thread::sleep(pause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn run_control_reports_cancellation_before_deadline() {
+        let ctrl = RunControl::unlimited().with_deadline_in(Duration::ZERO);
+        assert_eq!(ctrl.should_stop(), Some(StopReason::DeadlineExpired));
+        let ctrl = ctrl.with_cancel({
+            let t = CancelToken::new();
+            t.cancel();
+            t
+        });
+        assert_eq!(ctrl.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let ctrl = RunControl::unlimited().with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(ctrl.should_stop(), None);
+    }
+}

@@ -112,7 +112,7 @@ impl ClusterSpec {
 pub enum PlatformError {
     /// The cluster must have at least one node.
     NoNodes,
-    /// A physical quantity was non-positive or NaN.
+    /// A physical quantity was non-positive, infinite, or NaN.
     InvalidQuantity {
         /// Which field was invalid.
         field: &'static str,
@@ -131,7 +131,7 @@ impl std::fmt::Display for PlatformError {
         match self {
             PlatformError::NoNodes => write!(f, "cluster must have at least one node"),
             PlatformError::InvalidQuantity { field } => {
-                write!(f, "invalid (non-positive or NaN) value for {field}")
+                write!(f, "invalid (non-positive or non-finite) value for {field}")
             }
             PlatformError::SpeedFactorCount { expected, got } => {
                 write!(f, "speed_factors has {got} entries for {expected} nodes")
@@ -149,9 +149,11 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Validates a spec into a platform.
-    // `!(x > 0.0)` deliberately catches NaN as well as out-of-range values.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    /// Validates a spec into a platform. Rates and bandwidths must be
+    /// finite and strictly positive, latencies finite and non-negative —
+    /// an infinite bandwidth or NaN flop rate would propagate silently
+    /// through every simulated duration, so all of them are rejected here,
+    /// at the boundary.
     pub fn new(spec: ClusterSpec) -> Result<Self, PlatformError> {
         if spec.nodes == 0 {
             return Err(PlatformError::NoNodes);
@@ -161,7 +163,7 @@ impl Cluster {
             (spec.link_bandwidth, "link_bandwidth"),
             (spec.backbone_bandwidth, "backbone_bandwidth"),
         ] {
-            if !(value > 0.0) {
+            if !value.is_finite() || value <= 0.0 {
                 return Err(PlatformError::InvalidQuantity { field });
             }
         }
@@ -169,7 +171,7 @@ impl Cluster {
             (spec.link_latency, "link_latency"),
             (spec.backbone_latency, "backbone_latency"),
         ] {
-            if !(value >= 0.0) {
+            if !value.is_finite() || value < 0.0 {
                 return Err(PlatformError::InvalidQuantity { field });
             }
         }
@@ -180,7 +182,7 @@ impl Cluster {
                     got: factors.len(),
                 });
             }
-            if factors.iter().any(|&f| !(f > 0.0)) {
+            if factors.iter().any(|&f| !f.is_finite() || f <= 0.0) {
                 return Err(PlatformError::InvalidQuantity {
                     field: "speed_factors",
                 });
@@ -373,6 +375,28 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_non_finite_quantities() {
+        // +inf passes a plain `> 0.0` check but is just as corrosive as
+        // NaN: every field must be finite.
+        for patch in [
+            |s: &mut ClusterSpec| s.flops_per_node = f64::INFINITY,
+            |s: &mut ClusterSpec| s.link_bandwidth = f64::INFINITY,
+            |s: &mut ClusterSpec| s.backbone_bandwidth = f64::INFINITY,
+            |s: &mut ClusterSpec| s.link_latency = f64::INFINITY,
+            |s: &mut ClusterSpec| s.backbone_latency = f64::INFINITY,
+            |s: &mut ClusterSpec| s.link_latency = f64::NAN,
+            |s: &mut ClusterSpec| s.flops_per_node = f64::NEG_INFINITY,
+        ] {
+            let mut s = ClusterSpec::bayreuth();
+            patch(&mut s);
+            assert!(
+                matches!(s.build(), Err(PlatformError::InvalidQuantity { .. })),
+                "accepted a non-finite quantity: {s:?}"
+            );
+        }
+    }
+
+    #[test]
     fn zero_latency_is_allowed() {
         let mut s = ClusterSpec::bayreuth();
         s.link_latency = 0.0;
@@ -475,6 +499,21 @@ mod hetero_tests {
         spec.nodes = 2;
         let err = spec.with_speed_factors(vec![1.0, 0.0]).build().unwrap_err();
         assert!(matches!(err, PlatformError::InvalidQuantity { .. }));
+    }
+
+    #[test]
+    fn non_finite_factor_is_rejected() {
+        for bad in [f64::INFINITY, f64::NAN, f64::NEG_INFINITY] {
+            let mut spec = ClusterSpec::bayreuth();
+            spec.nodes = 2;
+            let err = spec.with_speed_factors(vec![1.0, bad]).build().unwrap_err();
+            assert!(matches!(
+                err,
+                PlatformError::InvalidQuantity {
+                    field: "speed_factors"
+                }
+            ));
+        }
     }
 
     #[test]
