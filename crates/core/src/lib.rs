@@ -16,6 +16,7 @@
 //! | [`sim`] | the three simulator versions + schedule executor |
 //! | [`faults`] | seeded fault-injection plans and the fault model hook |
 //! | [`journal`] | write-ahead result journal for crash-safe, resumable campaigns |
+//! | [`supervise`] | worker supervision: process isolation, timeouts, quarantine |
 //! | [`testbed`] | the emulated execution environment (ground truth) |
 //! | [`regress`] | least-squares fitting (Table II machinery) |
 //! | [`stats`] | statistics, box plots, figure-data helpers |
@@ -50,6 +51,7 @@ pub use mps_regress as regress;
 pub use mps_sched as sched;
 pub use mps_sim as sim;
 pub use mps_stats as stats;
+pub use mps_supervise as supervise;
 pub use mps_testbed as testbed;
 
 /// One error type covering every layer of the stack, for applications
@@ -68,6 +70,8 @@ pub enum MpsError {
     FaultPlan(mps_faults::PlanParseError),
     /// Campaign journal failure (I/O, corruption, header mismatch).
     Journal(mps_journal::JournalError),
+    /// Worker supervision failure (spawn, wire protocol, restart budget).
+    Supervise(mps_supervise::SuperviseError),
 }
 
 impl std::fmt::Display for MpsError {
@@ -79,6 +83,7 @@ impl std::fmt::Display for MpsError {
             MpsError::Exec(e) => write!(f, "exec: {e}"),
             MpsError::FaultPlan(e) => write!(f, "fault plan: {e}"),
             MpsError::Journal(e) => write!(f, "journal: {e}"),
+            MpsError::Supervise(e) => write!(f, "supervise: {e}"),
         }
     }
 }
@@ -121,6 +126,12 @@ impl From<mps_journal::JournalError> for MpsError {
     }
 }
 
+impl From<mps_supervise::SuperviseError> for MpsError {
+    fn from(e: mps_supervise::SuperviseError) -> Self {
+        MpsError::Supervise(e)
+    }
+}
+
 /// The most commonly used items, flattened.
 pub mod prelude {
     pub use mps_dag::gen::{paper_corpus, DagGenParams, GeneratedDag, PAPER_CORPUS_SEED};
@@ -141,6 +152,7 @@ pub mod prelude {
         Simulator,
     };
     pub use mps_stats::{boxplot, count_agreement, relative_makespan, summary};
+    pub use mps_supervise::{CrashReport, Supervisor, SupervisorConfig};
     pub use mps_testbed::{
         build_profile_model, fit_empirical_model, CrayPdgemmEnv, GroundTruth, ProfilingConfig,
         Testbed,
@@ -188,6 +200,12 @@ mod facade_tests {
         let parse_err = FaultPlan::parse("bogus-clause", 4, 100.0).unwrap_err();
         let e: crate::MpsError = parse_err.into();
         assert!(e.to_string().contains("fault plan"));
+        let e: crate::MpsError = mps_supervise::SuperviseError::RestartBudgetExhausted {
+            restarts: 4,
+            unresolved: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("supervise"));
         // Round-trip through the std error trait.
         let boxed: Box<dyn std::error::Error> = Box::new(e);
         assert!(!boxed.to_string().is_empty());

@@ -6,7 +6,9 @@
 //! repro [--seed S] [--repeats R] [--json DIR] \
 //!       [--faults PLAN] [--max-retries N] \
 //!       [--journal PATH] [--resume] [--max-wall-secs S] \
-//!       [--subset N] [--workers N] [--throttle-ms N] <target>...
+//!       [--subset N] [--workers N] [--throttle-ms N] \
+//!       [--isolation inproc|process] [--cell-timeout-secs S] \
+//!       [--max-cell-attempts N] [--poison SPEC] <target>...
 //! targets: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table2
 //!          gantt ablations faultsweep grid all
 //! ```
@@ -25,15 +27,39 @@
 //! trigger a graceful drain (in-flight cells finish, the journal syncs, a
 //! partial summary prints), and `--max-wall-secs` converts an exhausted
 //! wall-clock budget into the same clean checkpoint.
+//!
+//! `--isolation process` additionally runs every cell in a supervised
+//! child worker process (the binary re-executes itself in a hidden
+//! `--cell-worker` mode): a cell that panics, aborts, or hangs kills only
+//! its worker. The worker is respawned with exponential backoff, the cell
+//! retried, and after `--max-cell-attempts` strikes (default 2) the cell
+//! is **quarantined** — journaled as a typed crash report that `--resume`
+//! skips. `--cell-timeout-secs` (default 120) bounds each attempt's wall
+//! clock. `--poison SPEC` (`needle=panic,needle=hang`, matched against
+//! cell keys) deliberately poisons matching cells — test instrumentation
+//! for the supervision machinery itself.
+//!
+//! Exit codes: 0 on success (including a clean wall-clock checkpoint),
+//! 2 on usage or runtime errors, 3 when the campaign completed but
+//! quarantined at least one poison cell, 130 when interrupted.
 
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use mps_core::faults::FaultPlan;
 use mps_core::journal::{install_signal_handlers, CancelToken, RunControl};
 use mps_core::sim::ExecPolicy;
-use mps_exp::{ablation, figures, grid_health, GridStatus, Harness, JournaledGrid};
+use mps_core::supervise::SupervisorConfig;
+use mps_exp::supervised::{serve_cells, SuperviseOpts, WorkerCommand};
+use mps_exp::{
+    ablation, figures, grid_health, parse_poison_spec, GridStatus, Harness, JournaledGrid,
+};
+
+/// Exit code for a campaign that completed but quarantined poison cells:
+/// the journal is whole (every cell has a durable record), yet some
+/// records are crash reports rather than measurements.
+const EXIT_QUARANTINED: i32 = 3;
 
 /// Event horizon (seconds) used when parsing `--faults` clauses with
 /// preset intensities; generous enough to cover every grid makespan.
@@ -52,6 +78,11 @@ fn main() {
     let mut subset: Option<usize> = None;
     let mut workers: Option<usize> = None;
     let mut throttle_ms: Option<u64> = None;
+    let mut isolation = String::from("inproc");
+    let mut cell_timeout_secs: Option<u64> = None;
+    let mut max_cell_attempts: Option<u32> = None;
+    let mut poison_spec: Option<String> = None;
+    let mut cell_worker = false;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -135,6 +166,47 @@ fn main() {
                         .unwrap_or_else(|| die("--throttle-ms needs an integer")),
                 );
             }
+            "--isolation" => {
+                i += 1;
+                isolation = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--isolation needs a mode (inproc|process)"));
+                if isolation != "inproc" && isolation != "process" {
+                    die(&format!("--isolation {isolation:?} is not inproc|process"));
+                }
+            }
+            "--cell-timeout-secs" => {
+                i += 1;
+                cell_timeout_secs = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--cell-timeout-secs needs an integer >= 1")),
+                );
+            }
+            "--max-cell-attempts" => {
+                i += 1;
+                max_cell_attempts = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--max-cell-attempts needs an integer >= 1")),
+                );
+            }
+            "--poison" => {
+                i += 1;
+                poison_spec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--poison needs a spec (needle=panic|hang,...)")),
+                );
+            }
+            // Hidden: run as a supervised cell worker over stdin/stdout.
+            "--cell-worker" => cell_worker = true,
+            // Hidden: inert marker so tests can find worker processes by
+            // scanning /proc/*/cmdline.
+            "--worker-tag" => i += 1,
             t => targets.push(t.to_string()),
         }
         i += 1;
@@ -143,7 +215,7 @@ fn main() {
         targets.push("all".to_string());
     }
     args.clear();
-    if journal_path.is_none() {
+    if journal_path.is_none() && !cell_worker {
         // These flags only make sense for a journaled campaign; silently
         // ignoring them would mislead (e.g. `--resume` quietly recomputing
         // a full grid from scratch).
@@ -151,9 +223,21 @@ fn main() {
             (resume, "--resume"),
             (max_wall_secs.is_some(), "--max-wall-secs"),
             (throttle_ms.is_some(), "--throttle-ms"),
+            (isolation == "process", "--isolation process"),
         ] {
             if set {
                 die(&format!("{flag} requires --journal PATH"));
+            }
+        }
+    }
+    if isolation != "process" && !cell_worker {
+        // Supervision knobs without supervision would be silently inert.
+        for (set, flag) in [
+            (cell_timeout_secs.is_some(), "--cell-timeout-secs"),
+            (max_cell_attempts.is_some(), "--max-cell-attempts"),
+        ] {
+            if set {
+                die(&format!("{flag} requires --isolation process"));
             }
         }
     }
@@ -165,23 +249,39 @@ fn main() {
         )
     });
 
-    eprintln!("# building harness (seed {seed}): profiling the emulated testbed…");
+    if !cell_worker {
+        eprintln!("# building harness (seed {seed}): profiling the emulated testbed…");
+    }
     let mut harness = Harness::new(seed);
     if let Some(desc) = &faults {
         let plan = FaultPlan::parse(desc, 32, FAULT_HORIZON)
             .unwrap_or_else(|e| die(&format!("bad --faults plan: {e}")));
-        eprintln!(
-            "# injecting fault plan (seed {}, {} event(s), max {} retries/task)",
-            plan.seed,
-            plan.events.len(),
-            max_retries
-        );
+        if !cell_worker {
+            eprintln!(
+                "# injecting fault plan (seed {}, {} event(s), max {} retries/task)",
+                plan.seed,
+                plan.events.len(),
+                max_retries
+            );
+        }
         harness = harness.with_fault_plan(plan);
     }
     harness = harness.with_exec_policy(ExecPolicy {
         max_retries,
         ..ExecPolicy::default()
     });
+    if let Some(spec) = &poison_spec {
+        let rules =
+            parse_poison_spec(spec).unwrap_or_else(|e| die(&format!("bad --poison spec: {e}")));
+        harness = harness.with_poison(rules);
+    }
+
+    if cell_worker {
+        // Supervised worker mode: serve cells over stdin/stdout until the
+        // supervisor closes the pipe. No catch_unwind — a poisoned cell
+        // kills this process and that death is the crash report.
+        std::process::exit(serve_cells(&harness, repeats));
+    }
     let mut grid_status = GridStatus::Complete;
     let cells = if needs_grid {
         let scope = match subset {
@@ -204,13 +304,63 @@ fn main() {
                 }
                 let workers = workers.unwrap_or_else(Harness::default_workers);
                 let path = Path::new(jpath);
-                let report: JournaledGrid = match subset {
-                    Some(take) => {
-                        harness.run_subset_journaled(take, path, repeats, workers, resume, &ctrl)
+                let report: JournaledGrid = if isolation == "process" {
+                    // Process-isolated campaign: cells run in supervised
+                    // child workers (this binary, re-executed in hidden
+                    // `--cell-worker` mode); poison cells are quarantined.
+                    let program: PathBuf = std::env::current_exe()
+                        .unwrap_or_else(|e| die(&format!("cannot locate own binary: {e}")));
+                    let mut wargs = vec![
+                        "--cell-worker".to_string(),
+                        "--seed".to_string(),
+                        seed.to_string(),
+                        "--repeats".to_string(),
+                        repeats.to_string(),
+                        "--max-retries".to_string(),
+                        max_retries.to_string(),
+                    ];
+                    if let Some(desc) = &faults {
+                        wargs.push("--faults".to_string());
+                        wargs.push(desc.clone());
                     }
-                    None => harness.run_grid_journaled(path, repeats, workers, resume, &ctrl),
-                }
-                .unwrap_or_else(|e| die(&format!("journal: {e}")));
+                    if let Some(spec) = &poison_spec {
+                        wargs.push("--poison".to_string());
+                        wargs.push(spec.clone());
+                    }
+                    // Inert marker so tests (and humans) can attribute
+                    // workers to their campaign in `ps`/procfs output.
+                    wargs.push("--worker-tag".to_string());
+                    wargs.push(jpath.clone());
+                    let worker_cmd = WorkerCommand {
+                        program,
+                        args: wargs,
+                    };
+                    let opts = SuperviseOpts {
+                        repeats,
+                        workers,
+                        resume,
+                        cell_timeout: Duration::from_secs(cell_timeout_secs.unwrap_or(120)),
+                        config: SupervisorConfig {
+                            max_cell_attempts: max_cell_attempts.unwrap_or(2),
+                            ..SupervisorConfig::default()
+                        },
+                        ..SuperviseOpts::default()
+                    };
+                    match subset {
+                        Some(take) => {
+                            harness.run_subset_supervised(take, path, &worker_cmd, &opts, &ctrl)
+                        }
+                        None => harness.run_grid_supervised(path, &worker_cmd, &opts, &ctrl),
+                    }
+                    .unwrap_or_else(|e| die(&format!("supervised campaign: {e}")))
+                } else {
+                    match subset {
+                        Some(take) => harness
+                            .run_subset_journaled(take, path, repeats, workers, resume, &ctrl),
+                        None => harness.run_grid_journaled(path, repeats, workers, resume, &ctrl),
+                    }
+                    .unwrap_or_else(|e| die(&format!("journal: {e}")))
+                };
                 if report.salvage_dropped_bytes > 0 {
                     eprintln!(
                         "# journal recovery: dropped a torn tail of {} byte(s)",
@@ -218,11 +368,12 @@ fn main() {
                     );
                 }
                 eprintln!(
-                    "# journal {}: {} cell(s) resumed, {} computed, {} pending — {}",
+                    "# journal {}: {} cell(s) resumed, {} computed, {} pending, {} quarantined — {}",
                     jpath,
                     report.resumed,
                     report.computed,
                     report.pending,
+                    report.quarantined,
                     report.status.label()
                 );
                 grid_status = report.status;
@@ -234,10 +385,15 @@ fn main() {
             },
         };
         let health = grid_health(&cells);
-        if health.degraded + health.failed > 0 || faults.is_some() {
+        if health.degraded + health.failed + health.quarantined > 0 || faults.is_some() {
             eprintln!(
-                "# grid health: {} full, {} degraded ({} retries, {} lost runs), {} failed cells",
-                health.full, health.degraded, health.retries, health.lost_runs, health.failed
+                "# grid health: {} full, {} degraded ({} retries, {} lost runs), {} failed, {} quarantined cells",
+                health.full,
+                health.degraded,
+                health.retries,
+                health.lost_runs,
+                health.failed,
+                health.quarantined
             );
             for c in cells.iter().filter(|c| !c.succeeded()) {
                 if let mps_exp::CellOutcome::Failed { error } = &c.outcome {
@@ -246,6 +402,15 @@ fn main() {
                         c.dag,
                         c.variant.name(),
                         c.algo
+                    );
+                } else if let Some(report) = c.outcome.crash_report() {
+                    eprintln!(
+                        "#   {}: {}/{}/{}: {}",
+                        c.outcome.label(),
+                        c.dag,
+                        c.variant.name(),
+                        c.algo,
+                        report.summary()
                     );
                 }
             }
@@ -256,11 +421,15 @@ fn main() {
     };
 
     if let Some(dir) = &json_dir {
-        std::fs::create_dir_all(dir).expect("create json dir");
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("cannot create --json dir {dir}: {e}")));
         let path = format!("{dir}/grid.json");
-        let mut f = std::fs::File::create(&path).expect("create grid.json");
-        serde_json::to_writer_pretty(&mut f, &cells).expect("serialize grid");
-        f.flush().expect("flush grid.json");
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+        serde_json::to_writer_pretty(&mut f, &cells)
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        f.flush()
+            .unwrap_or_else(|e| die(&format!("cannot flush {path}: {e}")));
         eprintln!("# wrote {path}");
         // CSV companion for spreadsheet/R users.
         let csv_path = format!("{dir}/grid.csv");
@@ -279,7 +448,8 @@ fn main() {
                 c.outcome.label()
             ));
         }
-        std::fs::write(&csv_path, csv).expect("write grid.csv");
+        std::fs::write(&csv_path, csv)
+            .unwrap_or_else(|e| die(&format!("cannot write {csv_path}: {e}")));
         eprintln!("# wrote {csv_path}");
     }
 
@@ -370,6 +540,18 @@ fn main() {
         println!("{report}");
         println!("{}", "=".repeat(78));
     }
+
+    let quarantined = cells
+        .iter()
+        .filter(|c| c.outcome.crash_report().is_some())
+        .count();
+    if quarantined > 0 {
+        // The campaign *completed* — every cell has a durable journal
+        // record — but some records are crash reports. Distinguishable
+        // from both success (0) and usage errors (2) for CI assertions.
+        eprintln!("# {quarantined} cell(s) quarantined — exiting {EXIT_QUARANTINED}");
+        std::process::exit(EXIT_QUARANTINED);
+    }
 }
 
 /// Campaign summary for the `grid` target and for partial checkpoints.
@@ -385,9 +567,27 @@ fn grid_report(cells: &[mps_exp::CellResult], status: GridStatus, journal: Optio
     );
     let _ = writeln!(
         out,
-        "health: {} full, {} degraded ({} retries, {} lost runs), {} failed",
-        health.full, health.degraded, health.retries, health.lost_runs, health.failed
+        "health: {} full, {} degraded ({} retries, {} lost runs), {} failed, {} quarantined",
+        health.full,
+        health.degraded,
+        health.retries,
+        health.lost_runs,
+        health.failed,
+        health.quarantined
     );
+    for c in cells {
+        if let Some(report) = c.outcome.crash_report() {
+            let _ = writeln!(
+                out,
+                "  {}: {}/{}/{} — {}",
+                c.outcome.label(),
+                c.dag,
+                c.variant.name(),
+                c.algo,
+                report.summary()
+            );
+        }
+    }
     let errs: Vec<f64> = cells
         .iter()
         .filter_map(mps_exp::CellResult::error_pct_checked)
@@ -446,15 +646,14 @@ fn gantt_report(harness: &Harness) -> String {
                 &harness.empirical_model,
             ),
         };
-        let real = harness
-            .testbed
-            .execute(&g.dag, &schedule, 0)
-            .expect("executes");
         out.push_str(&format!(
             "--- HCPA schedule under the {} model ---\n",
             variant.name()
         ));
-        out.push_str(&mps_core::sim::render_gantt(&schedule, &real, 70));
+        match harness.testbed.execute(&g.dag, &schedule, 0) {
+            Ok(real) => out.push_str(&mps_core::sim::render_gantt(&schedule, &real, 70)),
+            Err(e) => out.push_str(&format!("(testbed execution failed: {e})\n")),
+        }
         out.push('\n');
     }
     out
@@ -466,10 +665,14 @@ fn die(msg: &str) -> ! {
     eprintln!("             [--faults PLAN] [--max-retries N] \\");
     eprintln!("             [--journal PATH] [--resume] [--max-wall-secs S] \\");
     eprintln!("             [--subset N] [--workers N] [--throttle-ms N] \\");
+    eprintln!("             [--isolation inproc|process] [--cell-timeout-secs S] \\");
+    eprintln!("             [--max-cell-attempts N] [--poison SPEC] \\");
     eprintln!("             [table1 fig1 … fig8 table2 gantt ablations faultsweep grid all]");
     eprintln!("  PLAN: `seed=7; crash@0:0+30; slow@1:0*1.5; fail=0.02` or a");
     eprintln!("        preset: light | moderate | heavy");
     eprintln!("  --journal makes the grid crash-safe (write-ahead journal);");
     eprintln!("  --resume continues it, recomputing only missing cells.");
+    eprintln!("  --isolation process runs cells in supervised child workers;");
+    eprintln!("  poison cells are quarantined after --max-cell-attempts strikes.");
     std::process::exit(2);
 }

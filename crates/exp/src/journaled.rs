@@ -62,23 +62,155 @@ pub struct JournaledGrid {
     pub computed: usize,
     /// Cells still missing (0 iff `status == Complete`).
     pub pending: usize,
+    /// Cells (resumed + computed) that crashed, timed out, or were
+    /// quarantined as poison — present in the journal as crash reports,
+    /// not measurements.
+    pub quarantined: usize,
     /// Torn-tail bytes discarded during recovery (0 on a clean journal).
     pub salvage_dropped_bytes: u64,
     /// The journal path.
     pub journal: PathBuf,
 }
 
-struct CellSpec {
-    dag: usize,
-    variant: SimVariant,
-    algo: usize,
+pub(crate) struct CellSpec {
+    pub(crate) dag: usize,
+    pub(crate) variant: SimVariant,
+    pub(crate) algo: usize,
 }
 
-fn algo_of(i: usize) -> &'static dyn Scheduler {
+pub(crate) fn algo_of(i: usize) -> &'static dyn Scheduler {
     match i {
         0 => &Hcpa,
         _ => &Mcpa,
     }
+}
+
+/// What [`open_grid_journal`] recovers: the salvaged `(key, cell)`
+/// records, the writer positioned for appends, and how many torn-tail
+/// bytes were dropped.
+pub(crate) type OpenedJournal = (Vec<(String, CellResult)>, JournalWriter, u64);
+
+/// Recovers an existing journal (salvaging every intact cell and
+/// truncating any torn tail) or starts a fresh one. Shared between the
+/// in-process and process-isolated grid drivers.
+pub(crate) fn open_grid_journal(
+    path: &Path,
+    header: &JournalHeader,
+    resume: bool,
+) -> Result<OpenedJournal, JournalError> {
+    if resume && path.exists() {
+        let (rec, w) = journal::open_resume(path)?;
+        match &rec.header {
+            Some(h) => {
+                h.check_matches(header)?;
+                let mut cells = Vec::with_capacity(rec.records.len());
+                for (i, (key, payload)) in rec.records.iter().enumerate() {
+                    let cell: CellResult =
+                        serde_json::from_str(payload).map_err(|e| JournalError::Corrupt {
+                            line: i + 2,
+                            reason: format!("record {key}: {e}"),
+                        })?;
+                    cells.push((key.clone(), cell));
+                }
+                Ok((cells, w, rec.dropped_bytes))
+            }
+            // Even the header was torn: the journal is equivalent to
+            // empty — start over in place.
+            None => {
+                drop(w);
+                let w = JournalWriter::create_overwrite(path, header)?;
+                Ok((Vec::new(), w, rec.dropped_bytes))
+            }
+        }
+    } else {
+        // `create` refuses to clobber an existing journal.
+        Ok((Vec::new(), JournalWriter::create(path, header)?, 0))
+    }
+}
+
+/// The (dag, variant, algo) triples whose keys are not yet in `done`.
+pub(crate) fn pending_specs(
+    corpus: &[GeneratedDag],
+    done: &HashSet<&str>,
+    repeats: u64,
+) -> Vec<CellSpec> {
+    let mut pending = Vec::new();
+    for (di, g) in corpus.iter().enumerate() {
+        for variant in SimVariant::ALL {
+            for ai in 0..2 {
+                let key = cell_key(
+                    &g.name(),
+                    g.params.matrix_size,
+                    variant,
+                    algo_of(ai).name(),
+                    repeats,
+                );
+                if !done.contains(key.as_str()) {
+                    pending.push(CellSpec {
+                        dag: di,
+                        variant,
+                        algo: ai,
+                    });
+                }
+            }
+        }
+    }
+    pending
+}
+
+/// Writes the manifest and assembles the merged, canonically sorted grid.
+/// Shared final step of both grid drivers.
+pub(crate) fn finalize_grid(
+    path: &Path,
+    campaign: &str,
+    expected: u64,
+    resumed_cells: Vec<(String, CellResult)>,
+    new_cells: Vec<(String, CellResult)>,
+    salvage_dropped_bytes: u64,
+    ctrl: &RunControl,
+) -> Result<JournaledGrid, JournalError> {
+    let resumed = resumed_cells.len();
+    let computed = new_cells.len();
+    let total_done = resumed + computed;
+    let status = if total_done as u64 == expected {
+        GridStatus::Complete
+    } else {
+        match ctrl.should_stop() {
+            Some(StopReason::DeadlineExpired) => GridStatus::DeadlineExpired,
+            _ => GridStatus::Interrupted,
+        }
+    };
+    let mut cells: Vec<CellResult> = resumed_cells
+        .into_iter()
+        .chain(new_cells)
+        .map(|(_, c)| c)
+        .collect();
+    sort_cells_canonical(&mut cells);
+    let quarantined = cells
+        .iter()
+        .filter(|c| c.outcome.crash_report().is_some())
+        .count();
+    journal::write_manifest(
+        path,
+        &Manifest {
+            format: MANIFEST_FORMAT_V1.to_string(),
+            campaign: campaign.to_string(),
+            records: total_done as u64,
+            expected,
+            status: status.label().to_string(),
+            quarantined: quarantined as u64,
+        },
+    )?;
+    Ok(JournaledGrid {
+        cells,
+        status,
+        resumed,
+        computed,
+        pending: expected as usize - total_done,
+        quarantined,
+        salvage_dropped_bytes,
+        journal: path.to_path_buf(),
+    })
 }
 
 struct JournalOpts<'a> {
@@ -160,63 +292,14 @@ impl Harness {
             repeats: opts.repeats,
             cells_expected: expected,
             config_digest: self.config_digest(),
+            isolation: "inproc".to_string(),
         };
 
-        // Open: recover an existing journal (salvaging every intact cell
-        // and truncating any torn tail) or start a fresh one.
-        let (resumed_cells, mut writer, salvage_dropped_bytes) = if opts.resume
-            && opts.path.exists()
-        {
-            let (rec, w) = journal::open_resume(opts.path)?;
-            match &rec.header {
-                Some(h) => {
-                    h.check_matches(&header)?;
-                    let mut cells = Vec::with_capacity(rec.records.len());
-                    for (i, (key, payload)) in rec.records.iter().enumerate() {
-                        let cell: CellResult =
-                            serde_json::from_str(payload).map_err(|e| JournalError::Corrupt {
-                                line: i + 2,
-                                reason: format!("record {key}: {e}"),
-                            })?;
-                        cells.push((key.clone(), cell));
-                    }
-                    (cells, w, rec.dropped_bytes)
-                }
-                // Even the header was torn: the journal is
-                // equivalent to empty — start over in place.
-                None => {
-                    drop(w);
-                    let w = JournalWriter::create_overwrite(opts.path, &header)?;
-                    (Vec::new(), w, rec.dropped_bytes)
-                }
-            }
-        } else {
-            // `create` refuses to clobber an existing journal.
-            (Vec::new(), JournalWriter::create(opts.path, &header)?, 0)
-        };
+        let (resumed_cells, mut writer, salvage_dropped_bytes) =
+            open_grid_journal(opts.path, &header, opts.resume)?;
 
         let done: HashSet<&str> = resumed_cells.iter().map(|(k, _)| k.as_str()).collect();
-        let mut pending: Vec<CellSpec> = Vec::new();
-        for (di, g) in corpus.iter().enumerate() {
-            for variant in SimVariant::ALL {
-                for ai in 0..2 {
-                    let key = cell_key(
-                        &g.name(),
-                        g.params.matrix_size,
-                        variant,
-                        algo_of(ai).name(),
-                        opts.repeats,
-                    );
-                    if !done.contains(key.as_str()) {
-                        pending.push(CellSpec {
-                            dag: di,
-                            variant,
-                            algo: ai,
-                        });
-                    }
-                }
-            }
-        }
+        let pending = pending_specs(corpus, &done, opts.repeats);
 
         // Workers pull cells from a shared cursor and stream completions
         // to the dedicated writer thread; the journal is the only place
@@ -259,7 +342,9 @@ impl Harness {
                         let spec = &pending[i];
                         let g = &corpus[spec.dag];
                         let algo = algo_of(spec.algo);
-                        let cell = self.run_one(g, spec.variant, algo, opts.repeats);
+                        // `run_one_caught`: a panicking cell becomes a
+                        // journaled Crashed record, not a dead campaign.
+                        let cell = self.run_one_caught(g, spec.variant, algo, opts.repeats);
                         let key = cell_key(
                             &g.name(),
                             g.params.matrix_size,
@@ -286,43 +371,15 @@ impl Harness {
         let new_cells = written?;
         writer.sync()?;
 
-        let resumed = resumed_cells.len();
-        let computed = new_cells.len();
-        let total_done = resumed + computed;
-        let status = if total_done as u64 == expected {
-            GridStatus::Complete
-        } else {
-            match ctrl.should_stop() {
-                Some(StopReason::DeadlineExpired) => GridStatus::DeadlineExpired,
-                _ => GridStatus::Interrupted,
-            }
-        };
-        journal::write_manifest(
+        finalize_grid(
             opts.path,
-            &Manifest {
-                format: MANIFEST_FORMAT_V1.to_string(),
-                campaign: campaign.to_string(),
-                records: total_done as u64,
-                expected,
-                status: status.label().to_string(),
-            },
-        )?;
-
-        let mut cells: Vec<CellResult> = resumed_cells
-            .into_iter()
-            .chain(new_cells)
-            .map(|(_, c)| c)
-            .collect();
-        sort_cells_canonical(&mut cells);
-        Ok(JournaledGrid {
-            cells,
-            status,
-            resumed,
-            computed,
-            pending: expected as usize - total_done,
+            campaign,
+            expected,
+            resumed_cells,
+            new_cells,
             salvage_dropped_bytes,
-            journal: opts.path.to_path_buf(),
-        })
+            ctrl,
+        )
     }
 }
 
@@ -488,5 +545,49 @@ mod tests {
         assert!(resumed.salvage_dropped_bytes > 0, "tail must be dropped");
         assert_eq!(resumed.computed, 1, "exactly the damaged cell re-runs");
         assert_eq!(resumed.cells, full.cells, "recomputation is bitwise");
+    }
+
+    /// Regression for the in-process safety net end to end: a poisoned
+    /// (panicking) cell becomes a durable `crashed` journal record, the
+    /// campaign still completes, the manifest counts the quarantine, and
+    /// a resume skips the poison cell instead of re-panicking on it.
+    #[test]
+    fn poisoned_cell_is_journaled_and_resume_skips_it() {
+        use crate::runner::{PoisonAction, PoisonRule};
+        let h = Harness::new(7).with_poison(vec![PoisonRule {
+            needle: "analytic/HCPA".to_string(),
+            action: PoisonAction::Panic,
+        }]);
+        let path = scratch("poison");
+        let first = h
+            .run_subset_journaled(1, &path, 1, 2, false, &RunControl::unlimited())
+            .unwrap();
+        assert_eq!(first.status, GridStatus::Complete);
+        assert_eq!(first.computed, 6, "poison cell still gets a record");
+        assert_eq!(first.quarantined, 1);
+        let poisoned: Vec<_> = first
+            .cells
+            .iter()
+            .filter(|c| c.outcome.crash_report().is_some())
+            .collect();
+        assert_eq!(poisoned.len(), 1);
+        assert!(matches!(
+            poisoned[0].outcome,
+            crate::runner::CellOutcome::Crashed { .. }
+        ));
+
+        let m = journal::read_manifest(&path).unwrap().unwrap();
+        assert!(m.is_complete());
+        assert_eq!(m.quarantined, 1);
+
+        // Resume recomputes nothing — in particular it does NOT retry the
+        // poison cell (which would panic again).
+        let again = h
+            .run_subset_journaled(1, &path, 1, 2, true, &RunControl::unlimited())
+            .unwrap();
+        assert_eq!(again.computed, 0);
+        assert_eq!(again.resumed, 6);
+        assert_eq!(again.quarantined, 1);
+        assert_eq!(again.cells, first.cells, "resume round-trips bitwise");
     }
 }

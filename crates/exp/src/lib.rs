@@ -16,9 +16,11 @@ pub mod ablation;
 pub mod figures;
 pub mod journaled;
 pub mod runner;
+pub mod supervised;
 
 pub use journaled::{GridStatus, JournaledGrid};
 pub use runner::{
-    cell_key, grid_health, paired_relative_makespans, CellOutcome, CellResult, GridHealth, Harness,
-    SimVariant, ERROR_PCT_SENTINEL,
+    cell_key, grid_health, paired_relative_makespans, parse_poison_spec, CellOutcome, CellResult,
+    GridHealth, Harness, PoisonAction, PoisonRule, SimVariant, ERROR_PCT_SENTINEL,
 };
+pub use supervised::{SuperviseOpts, WorkerCommand};

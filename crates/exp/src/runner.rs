@@ -18,6 +18,7 @@ use mps_core::faults::FaultPlan;
 use mps_core::model::{EmpiricalModel, PerfModel, ProfileModel};
 use mps_core::sched::{Hcpa, Mcpa, Scheduler};
 use mps_core::sim::{ExecPolicy, Simulator};
+use mps_core::supervise::{AttemptOutcome, CrashReport};
 use mps_core::testbed::{
     build_profile_model, fit_empirical_model, paper_kernels, ProfilingConfig, Testbed,
 };
@@ -75,6 +76,25 @@ pub enum CellOutcome {
         /// Display form of the first error encountered.
         error: String,
     },
+    /// The cell crashed its worker (process isolation) or panicked and
+    /// was caught in-process, and the attempt cap was 1 — recorded on the
+    /// first strike with no retry.
+    Crashed {
+        /// What happened, attempt by attempt.
+        report: CrashReport,
+    },
+    /// The cell exceeded its wall-clock timeout (attempt cap 1).
+    TimedOut {
+        /// What happened, attempt by attempt.
+        report: CrashReport,
+    },
+    /// The cell failed repeatedly (crashes and/or timeouts) and was
+    /// quarantined by the supervisor: `--resume` skips it instead of
+    /// re-crashing the campaign on the same poison cell forever.
+    Quarantined {
+        /// Every failed attempt, in order.
+        report: CrashReport,
+    },
 }
 
 impl CellOutcome {
@@ -84,6 +104,34 @@ impl CellOutcome {
             CellOutcome::Full => "full",
             CellOutcome::Degraded { .. } => "degraded",
             CellOutcome::Failed { .. } => "failed",
+            CellOutcome::Crashed { .. } => "crashed",
+            CellOutcome::TimedOut { .. } => "timed-out",
+            CellOutcome::Quarantined { .. } => "quarantined",
+        }
+    }
+
+    /// The crash report attached to a poison outcome, if any.
+    pub fn crash_report(&self) -> Option<&CrashReport> {
+        match self {
+            CellOutcome::Crashed { report }
+            | CellOutcome::TimedOut { report }
+            | CellOutcome::Quarantined { report } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Typed poison outcome from a crash report: [`CellOutcome::Quarantined`]
+    /// once more than one attempt was burned, otherwise the single
+    /// attempt's own kind.
+    pub fn from_report(report: CrashReport) -> CellOutcome {
+        use mps_core::supervise::FailureKind;
+        if report.attempt_count() > 1 {
+            CellOutcome::Quarantined { report }
+        } else {
+            match report.final_kind() {
+                Some(FailureKind::TimedOut) => CellOutcome::TimedOut { report },
+                _ => CellOutcome::Crashed { report },
+            }
         }
     }
 }
@@ -143,7 +191,13 @@ impl CellResult {
 
     /// Whether the cell produced at least one real measurement.
     pub fn succeeded(&self) -> bool {
-        !matches!(self.outcome, CellOutcome::Failed { .. })
+        !matches!(
+            self.outcome,
+            CellOutcome::Failed { .. }
+                | CellOutcome::Crashed { .. }
+                | CellOutcome::TimedOut { .. }
+                | CellOutcome::Quarantined { .. }
+        )
     }
 
     /// This cell's deterministic journal key (see [`cell_key`]).
@@ -161,6 +215,51 @@ pub fn cell_key(dag: &str, n: usize, variant: SimVariant, algo: &str, repeats: u
     format!("{dag}/n{n}/{}/{algo}/r{repeats}", variant.name())
 }
 
+/// What a poison rule does to a matching cell. Test instrumentation for
+/// the supervision layer: real workloads crash or hang on their own; CI
+/// and the keystone tests need to do it on demand, deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisonAction {
+    /// Panic inside cell computation (a deterministic crasher).
+    Panic,
+    /// Spin forever (a deterministic hang, only killable from outside).
+    Hang,
+}
+
+/// Makes every cell whose [`cell_key`] contains `needle` misbehave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonRule {
+    /// Substring matched against the cell key.
+    pub needle: String,
+    /// What a matching cell does.
+    pub action: PoisonAction,
+}
+
+/// Parses a `--poison` spec: comma-separated `needle=panic` / `needle=hang`
+/// clauses (e.g. `s0/analytic/HCPA=panic,s1=hang`).
+pub fn parse_poison_spec(spec: &str) -> Result<Vec<PoisonRule>, String> {
+    let mut rules = Vec::new();
+    for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+        let (needle, action) = clause
+            .rsplit_once('=')
+            .ok_or_else(|| format!("poison clause {clause:?} is not needle=action"))?;
+        let needle = needle.trim();
+        if needle.is_empty() {
+            return Err(format!("poison clause {clause:?} has an empty needle"));
+        }
+        let action = match action.trim() {
+            "panic" => PoisonAction::Panic,
+            "hang" => PoisonAction::Hang,
+            other => return Err(format!("unknown poison action {other:?} (panic|hang)")),
+        };
+        rules.push(PoisonRule {
+            needle: needle.to_string(),
+            action,
+        });
+    }
+    Ok(rules)
+}
+
 /// The harness: testbed + the three instantiated models.
 pub struct Harness {
     /// The emulated execution environment.
@@ -175,6 +274,9 @@ pub struct Harness {
     pub fault_plan: Option<FaultPlan>,
     /// Retry/backoff/watchdog policy for testbed executions under faults.
     pub policy: ExecPolicy,
+    /// Poison rules: cells whose key matches misbehave on purpose (test
+    /// instrumentation for the supervision layer).
+    pub poison: Vec<PoisonRule>,
 }
 
 impl Harness {
@@ -200,6 +302,7 @@ impl Harness {
             profiling,
             fault_plan: None,
             policy: ExecPolicy::default(),
+            poison: Vec::new(),
         }
     }
 
@@ -215,6 +318,12 @@ impl Harness {
         self
     }
 
+    /// Installs poison rules (see [`PoisonRule`]).
+    pub fn with_poison(mut self, rules: Vec<PoisonRule>) -> Self {
+        self.poison = rules;
+        self
+    }
+
     /// The paper's DAG corpus.
     pub fn corpus(&self) -> Vec<GeneratedDag> {
         paper_corpus(PAPER_CORPUS_SEED)
@@ -227,6 +336,23 @@ impl Harness {
         algo: &dyn Scheduler,
         repeats: u64,
     ) -> CellResult {
+        let key = cell_key(
+            &g.name(),
+            g.params.matrix_size,
+            variant,
+            algo.name(),
+            repeats,
+        );
+        for rule in &self.poison {
+            if key.contains(&rule.needle) {
+                match rule.action {
+                    PoisonAction::Panic => panic!("poison cell {key}: forced panic"),
+                    PoisonAction::Hang => loop {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                    },
+                }
+            }
+        }
         let cluster = self.testbed.nominal_cluster();
         let mut cell = CellResult {
             dag: g.name(),
@@ -301,6 +427,44 @@ impl Harness {
         cell
     }
 
+    /// [`Harness::run_one`] under a `catch_unwind` safety net: a
+    /// panicking cell becomes a [`CellOutcome::Crashed`] record instead of
+    /// tearing down the whole in-process worker pool. This is the in-proc
+    /// counterpart of process isolation — it cannot contain hangs or
+    /// aborts (use `--isolation process` for those), but it turns the
+    /// most common poison, a deterministic panic, into a journaled cell.
+    pub(crate) fn run_one_caught(
+        &self,
+        g: &GeneratedDag,
+        variant: SimVariant,
+        algo: &dyn Scheduler,
+        repeats: u64,
+    ) -> CellResult {
+        let start = std::time::Instant::now();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_one(g, variant, algo, repeats)
+        })) {
+            Ok(cell) => cell,
+            Err(payload) => CellResult {
+                dag: g.name(),
+                n: g.params.matrix_size,
+                variant,
+                algo: algo.name().to_string(),
+                sim_makespan: 0.0,
+                real_makespan: 0.0,
+                real_runs: Vec::new(),
+                outcome: CellOutcome::Crashed {
+                    report: CrashReport::single(
+                        AttemptOutcome::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        },
+                        start.elapsed().as_millis() as u64,
+                    ),
+                },
+            },
+        }
+    }
+
     /// Shared worker pool: runs every (DAG, variant, algo) cell for
     /// `corpus`, DAGs dispatched work-stealing-style over `workers`
     /// threads. Per-cell work is independent (the harness is only read),
@@ -321,8 +485,8 @@ impl Harness {
                     let g = &corpus[i];
                     let mut local = Vec::with_capacity(6);
                     for variant in SimVariant::ALL {
-                        local.push(self.run_one(g, variant, &Hcpa, repeats));
-                        local.push(self.run_one(g, variant, &Mcpa, repeats));
+                        local.push(self.run_one_caught(g, variant, &Hcpa, repeats));
+                        local.push(self.run_one_caught(g, variant, &Mcpa, repeats));
                     }
                     results.lock().extend(local);
                 });
@@ -348,7 +512,12 @@ impl Harness {
     /// digest equally and a resume under a different fault plan is
     /// rejected instead of silently mixing result sets.
     pub fn config_digest(&self) -> String {
-        let desc = format!("{:?}|{:?}", self.fault_plan, self.policy);
+        let mut desc = format!("{:?}|{:?}", self.fault_plan, self.policy);
+        // Appended only when present, so journals from before poison rules
+        // existed keep their digests.
+        if !self.poison.is_empty() {
+            desc.push_str(&format!("|{:?}", self.poison));
+        }
         format!("{:016x}", mps_core::journal::fnv64(desc.as_bytes()))
     }
 
@@ -388,6 +557,17 @@ impl Harness {
             SimVariant::Profile => Box::new(&self.profile_model),
             SimVariant::Empirical => Box::new(&self.empirical_model),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -439,6 +619,8 @@ pub struct GridHealth {
     pub degraded: usize,
     /// Cells with no surviving measurement.
     pub failed: usize,
+    /// Cells that crashed, timed out, or were quarantined as poison.
+    pub quarantined: usize,
     /// Total task retries across the grid.
     pub retries: u32,
     /// Total testbed runs lost across degraded cells.
@@ -460,6 +642,9 @@ pub fn grid_health(cells: &[CellResult]) -> GridHealth {
                 h.lost_runs += failed_runs;
             }
             CellOutcome::Failed { .. } => h.failed += 1,
+            CellOutcome::Crashed { .. }
+            | CellOutcome::TimedOut { .. }
+            | CellOutcome::Quarantined { .. } => h.quarantined += 1,
         }
     }
     h
@@ -650,5 +835,84 @@ mod tests {
         let json = serde_json::to_string(&cells).unwrap();
         let back: Vec<CellResult> = serde_json::from_str(&json).unwrap();
         assert_eq!(cells, back);
+    }
+
+    #[test]
+    fn parse_poison_spec_accepts_and_rejects() {
+        let rules = parse_poison_spec("s0/analytic/HCPA=panic, s1=hang").unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].needle, "s0/analytic/HCPA");
+        assert_eq!(rules[0].action, PoisonAction::Panic);
+        assert_eq!(rules[1].needle, "s1");
+        assert_eq!(rules[1].action, PoisonAction::Hang);
+        assert!(parse_poison_spec("").unwrap().is_empty());
+        assert!(parse_poison_spec("no-equals").is_err());
+        assert!(parse_poison_spec("=panic").is_err());
+        assert!(parse_poison_spec("x=explode").is_err());
+    }
+
+    /// Regression: the in-process `catch_unwind` net. A cell that panics
+    /// must come back as a typed [`CellOutcome::Crashed`] carrying the
+    /// panic message — not tear down the worker pool — and the other
+    /// five cells of the DAG must be unaffected.
+    #[test]
+    fn poisoned_panic_cell_is_caught_as_crashed() {
+        let h = Harness::new(7).with_poison(vec![PoisonRule {
+            needle: "analytic/HCPA".to_string(),
+            action: PoisonAction::Panic,
+        }]);
+        let cells = h.run_subset(1, 1);
+        assert_eq!(cells.len(), 6, "every cell recorded, panic included");
+        let crashed: Vec<_> = cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Crashed { .. }))
+            .collect();
+        assert_eq!(crashed.len(), 1);
+        let c = crashed[0];
+        assert_eq!((c.variant, c.algo.as_str()), (SimVariant::Analytic, "HCPA"));
+        assert!(!c.succeeded());
+        assert_eq!(c.error_pct_checked(), None);
+        let report = c.outcome.crash_report().unwrap();
+        assert_eq!(report.attempt_count(), 1);
+        assert!(
+            report.summary().contains("forced panic"),
+            "panic message must survive into the report: {}",
+            report.summary()
+        );
+        for other in cells
+            .iter()
+            .filter(|c| c.algo != "HCPA" || c.variant != SimVariant::Analytic)
+        {
+            assert!(other.succeeded(), "healthy cells unaffected: {other:?}");
+        }
+        assert_eq!(grid_health(&cells).quarantined, 1);
+    }
+
+    #[test]
+    fn outcome_from_report_types_by_attempt_count_and_kind() {
+        use mps_core::supervise::{Attempt, AttemptOutcome, CrashReport};
+        let crash = AttemptOutcome::Crashed {
+            exit_code: Some(101),
+            signal: None,
+            stderr_tail: String::new(),
+        };
+        let single = CellOutcome::from_report(CrashReport::single(crash.clone(), 5));
+        assert!(matches!(single, CellOutcome::Crashed { .. }));
+        let single_timeout = CellOutcome::from_report(CrashReport::single(
+            AttemptOutcome::TimedOut { timeout_ms: 10 },
+            12,
+        ));
+        assert!(matches!(single_timeout, CellOutcome::TimedOut { .. }));
+        let mut two = CrashReport::default();
+        two.attempts.push(Attempt {
+            outcome: crash.clone(),
+            wall_ms: 5,
+        });
+        two.attempts.push(Attempt {
+            outcome: crash,
+            wall_ms: 6,
+        });
+        let quarantined = CellOutcome::from_report(two);
+        assert!(matches!(quarantined, CellOutcome::Quarantined { .. }));
     }
 }

@@ -1,0 +1,584 @@
+//! Process-isolated grid campaigns: `repro --isolation process`.
+//!
+//! The journaled in-process runner ([`crate::journaled`]) shares one
+//! address space between every cell, so one poison cell — a panic the
+//! `catch_unwind` net cannot contain (abort, stack overflow), an infinite
+//! loop, a memory blow-up — takes the whole campaign down, and a
+//! *deterministic* crasher re-kills every `--resume`. This module runs
+//! cells in child worker processes instead: the supervisor (this process)
+//! owns the journal and the decisions, workers own the blast radius.
+//!
+//! * Workers are the `repro` binary re-executed in a hidden
+//!   `--cell-worker` mode, configured by CLI flags to build the *same*
+//!   harness, speaking length-prefixed JSON frames over stdin/stdout
+//!   ([`mps_core::supervise::proto`]).
+//! * Every dispatched cell gets a wall-clock deadline; a worker that
+//!   blows it is SIGKILLed and the attempt is recorded as a timeout.
+//! * A dead worker is respawned with exponential backoff under a
+//!   restart-intensity cap ([`mps_core::supervise::Supervisor`]); a cell
+//!   that kills its worker `max_cell_attempts` times is **quarantined**:
+//!   the journal gets a [`CellOutcome::Quarantined`] record carrying the
+//!   full [`CrashReport`] (exit status / signal, stderr tail, wall time
+//!   per attempt), and `--resume` skips it like any other durable cell.
+//! * Successful cells journal exactly the bytes an in-process run would
+//!   have written, so healthy results are indistinguishable across
+//!   isolation modes and a campaign can switch modes between resumes.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use mps_core::dag::gen::GeneratedDag;
+use mps_core::journal::{JournalHeader, JournalWriter, RunControl, FORMAT_V1};
+use mps_core::supervise::{
+    read_frame, write_frame, Action, Attempt, AttemptOutcome, CrashReport, Disposition,
+    SuperviseError, Supervisor, SupervisorConfig, WorkerDeath, WorkerProcess, WorkerRecv,
+    WorkerSpec,
+};
+use mps_core::MpsError;
+
+use crate::journaled::{
+    algo_of, finalize_grid, open_grid_journal, pending_specs, CellSpec, JournaledGrid,
+};
+use crate::runner::{cell_key, CellOutcome, CellResult, Harness, SimVariant};
+
+/// Supervisor → worker: run this cell. Indices refer to the deterministic
+/// paper corpus and the fixed `{HCPA, MCPA}` algorithm order, which both
+/// sides reconstruct independently — the request stays tiny and the
+/// worker cannot be handed a DAG the supervisor didn't mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRequest {
+    /// Index into the paper corpus.
+    pub dag: usize,
+    /// Simulator version to run.
+    pub variant: SimVariant,
+    /// Algorithm index (0 = HCPA, 1 = MCPA).
+    pub algo: usize,
+}
+
+/// Worker → supervisor: the completed cell, keyed for the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResponse {
+    /// The cell's journal key.
+    pub key: String,
+    /// The measured cell.
+    pub cell: CellResult,
+}
+
+/// Worker → supervisor: sent once after startup, before any cell. The
+/// spawn-to-ready handshake is timed separately from cell execution so a
+/// slow process start never eats into a cell's budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerReady {
+    /// Protocol sanity marker.
+    pub ready: bool,
+}
+
+/// How to launch a worker process (the `repro` binary in `--cell-worker`
+/// mode with the flags that reproduce the supervisor's harness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerCommand {
+    /// Worker executable (normally `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Full argument list, `--cell-worker` included.
+    pub args: Vec<String>,
+}
+
+/// Policy knobs of a supervised run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseOpts {
+    /// Testbed repeats per cell.
+    pub repeats: u64,
+    /// Worker processes.
+    pub workers: usize,
+    /// Resume an existing journal instead of creating a fresh one.
+    pub resume: bool,
+    /// Wall-clock budget per cell attempt; a worker exceeding it is
+    /// SIGKILLed and the attempt counts as a timeout.
+    pub cell_timeout: Duration,
+    /// Budget for the spawn → `WorkerReady` handshake.
+    pub spawn_timeout: Duration,
+    /// Restart/backoff/quarantine policy.
+    pub config: SupervisorConfig,
+}
+
+impl Default for SuperviseOpts {
+    fn default() -> Self {
+        SuperviseOpts {
+            repeats: 1,
+            workers: 2,
+            resume: false,
+            cell_timeout: Duration::from_secs(120),
+            spawn_timeout: Duration::from_secs(30),
+            config: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// Runs the worker side of the protocol over this process's stdin/stdout
+/// until the supervisor closes the pipe. Returns the process exit code:
+/// 0 on a clean EOF, 1 on a protocol violation.
+///
+/// Deliberately **no** `catch_unwind` here: a panicking cell kills this
+/// process, and that death — with its exit status and stderr tail — *is*
+/// the crash report. Process isolation means never pretending a poisoned
+/// address space is still trustworthy.
+pub fn serve_cells(harness: &Harness, repeats: u64) -> i32 {
+    let corpus = harness.corpus();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    if write_frame(&mut output, &WorkerReady { ready: true }).is_err() {
+        return 1;
+    }
+    loop {
+        match read_frame::<_, CellRequest>(&mut input) {
+            Ok(Some(req)) => {
+                let Some(g) = corpus.get(req.dag) else {
+                    eprintln!("cell-worker: dag index {} out of range", req.dag);
+                    return 1;
+                };
+                let algo = algo_of(req.algo);
+                let cell = harness.run_one(g, req.variant, algo, repeats);
+                let key = cell_key(
+                    &g.name(),
+                    g.params.matrix_size,
+                    req.variant,
+                    algo.name(),
+                    repeats,
+                );
+                if write_frame(&mut output, &CellResponse { key, cell }).is_err() {
+                    return 1;
+                }
+            }
+            Ok(None) => return 0,
+            Err(e) => {
+                eprintln!("cell-worker: {e}");
+                return 1;
+            }
+        }
+    }
+}
+
+/// Driver-side state of one worker slot.
+struct Slot {
+    proc: Option<WorkerProcess>,
+    /// Earliest instant the issued spawn may execute (backoff).
+    spawn_due: Option<Instant>,
+    /// Deadline for the `WorkerReady` handshake.
+    ready_deadline: Option<Instant>,
+    /// Deadline and start instant of the dispatched cell.
+    cell_deadline: Option<Instant>,
+    cell_started: Option<Instant>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            proc: None,
+            spawn_due: None,
+            ready_deadline: None,
+            cell_deadline: None,
+            cell_started: None,
+        }
+    }
+
+    /// Wall time the in-flight cell has consumed, in milliseconds.
+    fn cell_wall_ms(&self) -> u64 {
+        self.cell_started
+            .map(|t| t.elapsed().as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    fn clear_cell(&mut self) {
+        self.cell_deadline = None;
+        self.cell_started = None;
+    }
+
+    /// SIGKILLs and reaps the slot's worker, if it has one.
+    fn kill(&mut self) -> Option<WorkerDeath> {
+        self.ready_deadline = None;
+        self.clear_cell();
+        self.proc.take().map(WorkerProcess::kill_and_reap)
+    }
+}
+
+/// Everything the event loop threads through its helpers: the immutable
+/// run description plus the mutable journal/result accumulators.
+struct Run<'a> {
+    corpus: &'a [GeneratedDag],
+    pending: &'a [CellSpec],
+    opts: &'a SuperviseOpts,
+    reports: Vec<CrashReport>,
+    writer: &'a mut JournalWriter,
+    new_cells: Vec<(String, CellResult)>,
+}
+
+impl Run<'_> {
+    fn key_of(&self, cell_idx: usize) -> String {
+        let cs = &self.pending[cell_idx];
+        let g = &self.corpus[cs.dag];
+        cell_key(
+            &g.name(),
+            g.params.matrix_size,
+            cs.variant,
+            algo_of(cs.algo).name(),
+            self.opts.repeats,
+        )
+    }
+
+    fn journal_cell(&mut self, key: String, cell: CellResult) -> Result<(), MpsError> {
+        let payload = serde_json::to_string(&cell).map_err(|e| {
+            MpsError::Supervise(SuperviseError::Frame {
+                reason: format!("encode cell record: {e}"),
+            })
+        })?;
+        self.writer
+            .append_record(&key, &payload)
+            .map_err(MpsError::Journal)?;
+        self.new_cells.push((key, cell));
+        Ok(())
+    }
+
+    /// Records a failed attempt against worker `w`'s cell; when the
+    /// machine quarantines the cell, journals its poison record.
+    fn note_failure(
+        &mut self,
+        machine: &mut Supervisor,
+        w: usize,
+        attempt: Attempt,
+    ) -> Result<(), MpsError> {
+        let (cell_idx, disposition) = machine.cell_failed(w);
+        self.reports[cell_idx].attempts.push(attempt);
+        if disposition == Disposition::Quarantined {
+            let cs = &self.pending[cell_idx];
+            let g = &self.corpus[cs.dag];
+            let report = std::mem::take(&mut self.reports[cell_idx]);
+            let cell = CellResult {
+                dag: g.name(),
+                n: g.params.matrix_size,
+                variant: cs.variant,
+                algo: algo_of(cs.algo).name().to_string(),
+                sim_makespan: 0.0,
+                real_makespan: 0.0,
+                real_runs: Vec::new(),
+                outcome: CellOutcome::from_report(report),
+            };
+            let key = self.key_of(cell_idx);
+            self.journal_cell(key, cell)?;
+        }
+        Ok(())
+    }
+}
+
+fn attempt_from_death(death: Option<WorkerDeath>, wall_ms: u64) -> Attempt {
+    let (exit_code, signal, stderr_tail) = match death {
+        Some(d) => (d.exit_code, d.signal, d.stderr_tail),
+        None => (None, None, String::new()),
+    };
+    Attempt {
+        outcome: AttemptOutcome::Crashed {
+            exit_code,
+            signal,
+            stderr_tail,
+        },
+        wall_ms,
+    }
+}
+
+fn is_busy(machine: &Supervisor, w: usize) -> bool {
+    machine.busy_workers().iter().any(|&(bw, _)| bw == w)
+}
+
+impl Harness {
+    /// [`Harness::run_grid_journaled`](crate::journaled) with process
+    /// isolation: cells run in supervised child workers, poison cells are
+    /// quarantined into the journal, and the merged grid comes back with
+    /// the same contract (canonical order, resume provenance).
+    pub fn run_grid_supervised(
+        &self,
+        path: &Path,
+        worker: &WorkerCommand,
+        opts: &SuperviseOpts,
+        ctrl: &RunControl,
+    ) -> Result<JournaledGrid, MpsError> {
+        let corpus = self.corpus();
+        self.run_cells_supervised(&corpus, "paper-grid", path, worker, opts, ctrl)
+    }
+
+    /// [`Harness::run_grid_supervised`] over the first `take` corpus DAGs.
+    /// Campaign names match the in-process runner's, so a journal started
+    /// under one isolation mode resumes under the other.
+    pub fn run_subset_supervised(
+        &self,
+        take: usize,
+        path: &Path,
+        worker: &WorkerCommand,
+        opts: &SuperviseOpts,
+        ctrl: &RunControl,
+    ) -> Result<JournaledGrid, MpsError> {
+        let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
+        let campaign = format!("paper-grid[..{}]", corpus.len());
+        self.run_cells_supervised(&corpus, &campaign, path, worker, opts, ctrl)
+    }
+
+    fn run_cells_supervised(
+        &self,
+        corpus: &[GeneratedDag],
+        campaign: &str,
+        path: &Path,
+        worker: &WorkerCommand,
+        opts: &SuperviseOpts,
+        ctrl: &RunControl,
+    ) -> Result<JournaledGrid, MpsError> {
+        let expected = (corpus.len() * SimVariant::ALL.len() * 2) as u64;
+        let header = JournalHeader {
+            format: FORMAT_V1.to_string(),
+            campaign: campaign.to_string(),
+            seed: self.testbed.base_seed,
+            repeats: opts.repeats,
+            cells_expected: expected,
+            config_digest: self.config_digest(),
+            isolation: "process".to_string(),
+        };
+        let (resumed_cells, mut writer, salvage_dropped_bytes) =
+            open_grid_journal(path, &header, opts.resume)?;
+        let done: HashSet<&str> = resumed_cells.iter().map(|(k, _)| k.as_str()).collect();
+        let pending = pending_specs(corpus, &done, opts.repeats);
+
+        let n_workers = opts.workers.max(1).min(pending.len().max(1));
+        let mut machine = Supervisor::new(opts.config, n_workers, pending.len());
+        let mut slots: Vec<Slot> = (0..n_workers).map(|_| Slot::new()).collect();
+        let mut run = Run {
+            corpus,
+            pending: &pending,
+            opts,
+            reports: vec![CrashReport::default(); pending.len()],
+            writer: &mut writer,
+            new_cells: Vec::new(),
+        };
+        let spec = WorkerSpec::new(worker.program.clone(), worker.args.clone());
+
+        let outcome = supervise_loop(&mut run, &mut machine, &mut slots, &spec, ctrl);
+        let new_cells = std::mem::take(&mut run.new_cells);
+
+        // Whatever happened, no child outlives this function: close every
+        // worker down (cleanly where possible) and reap it.
+        for slot in &mut slots {
+            if let Some(p) = slot.proc.take() {
+                p.shutdown(Duration::from_secs(2));
+            }
+        }
+        writer.sync().map_err(MpsError::Journal)?;
+        outcome?;
+
+        finalize_grid(
+            path,
+            campaign,
+            expected,
+            resumed_cells,
+            new_cells,
+            salvage_dropped_bytes,
+            ctrl,
+        )
+        .map_err(MpsError::Journal)
+    }
+}
+
+/// The supervision event loop. Single-threaded: executes the state
+/// machine's decisions, polls workers without blocking, enforces
+/// handshake and per-cell deadlines, and journals completions and
+/// quarantines inline.
+fn supervise_loop(
+    run: &mut Run<'_>,
+    machine: &mut Supervisor,
+    slots: &mut [Slot],
+    spec: &WorkerSpec,
+    ctrl: &RunControl,
+) -> Result<(), MpsError> {
+    loop {
+        // Cancellation (SIGINT, deadline): drain the machine, abort
+        // in-flight cells without charging them, and kill + reap every
+        // worker before leaving — no orphan survives a Ctrl-C.
+        if !machine.is_draining() && ctrl.should_stop().is_some() {
+            machine.drain();
+            for (w, _cell) in machine.busy_workers() {
+                machine.cell_aborted(w);
+            }
+            for slot in slots.iter_mut() {
+                slot.kill();
+            }
+        }
+
+        // Execute machine decisions until it wants to wait or stop.
+        let mut progressed = false;
+        let finished = loop {
+            match machine.next_action() {
+                Action::Spawn { worker, delay } => {
+                    slots[worker].spawn_due = Some(Instant::now() + delay);
+                }
+                Action::Dispatch { worker, cell } => {
+                    progressed = true;
+                    let cs = &run.pending[cell];
+                    let req = CellRequest {
+                        dag: cs.dag,
+                        variant: cs.variant,
+                        algo: cs.algo,
+                    };
+                    let now = Instant::now();
+                    let sent = slots[worker]
+                        .proc
+                        .as_mut()
+                        .expect("dispatch target must be live")
+                        .send(&req);
+                    match sent {
+                        Ok(()) => {
+                            slots[worker].cell_started = Some(now);
+                            slots[worker].cell_deadline = Some(now + run.opts.cell_timeout);
+                        }
+                        Err(_) => {
+                            // Broken pipe: the worker died under us.
+                            let death = slots[worker].kill();
+                            run.note_failure(machine, worker, attempt_from_death(death, 0))?;
+                        }
+                    }
+                }
+                Action::Wait => break false,
+                Action::Finished => break true,
+                Action::Exhausted => {
+                    return Err(MpsError::Supervise(
+                        SuperviseError::RestartBudgetExhausted {
+                            restarts: machine.restarts_used(),
+                            unresolved: machine.unresolved(),
+                        },
+                    ));
+                }
+            }
+        };
+        if finished {
+            return Ok(());
+        }
+
+        // Execute due spawns (never while draining).
+        if !machine.is_draining() {
+            for (w, slot) in slots.iter_mut().enumerate() {
+                let due = matches!(slot.spawn_due, Some(t) if t <= Instant::now());
+                if due && slot.proc.is_none() {
+                    slot.spawn_due = None;
+                    match WorkerProcess::spawn(spec) {
+                        Ok(p) => {
+                            slot.proc = Some(p);
+                            slot.ready_deadline = Some(Instant::now() + run.opts.spawn_timeout);
+                        }
+                        Err(_) => machine.worker_died(w),
+                    }
+                    progressed = true;
+                }
+            }
+        }
+
+        // Poll every live worker: frames, deaths, deadlines.
+        for w in 0..slots.len() {
+            let Some(proc) = slots[w].proc.as_ref() else {
+                continue;
+            };
+            match proc.recv_timeout(Duration::ZERO) {
+                WorkerRecv::Frame(bytes) => {
+                    progressed = true;
+                    on_frame(run, machine, slots, w, &bytes)?;
+                }
+                WorkerRecv::Disconnected => {
+                    progressed = true;
+                    let busy = is_busy(machine, w);
+                    let wall = slots[w].cell_wall_ms();
+                    let death = slots[w].kill();
+                    if busy {
+                        run.note_failure(machine, w, attempt_from_death(death, wall))?;
+                    } else {
+                        machine.worker_died(w);
+                    }
+                }
+                WorkerRecv::Timeout => {
+                    let now = Instant::now();
+                    if matches!(slots[w].cell_deadline, Some(d) if now > d) {
+                        // The cell blew its wall-clock budget: SIGKILL.
+                        progressed = true;
+                        let wall = slots[w].cell_wall_ms();
+                        let timeout_ms = run.opts.cell_timeout.as_millis() as u64;
+                        slots[w].kill();
+                        run.note_failure(
+                            machine,
+                            w,
+                            Attempt {
+                                outcome: AttemptOutcome::TimedOut { timeout_ms },
+                                wall_ms: wall,
+                            },
+                        )?;
+                    } else if matches!(slots[w].ready_deadline, Some(d) if now > d) {
+                        // Never completed its handshake.
+                        progressed = true;
+                        slots[w].kill();
+                        machine.worker_died(w);
+                    }
+                }
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// Handles one frame from worker `w`: the ready handshake or a completed
+/// cell. A malformed or unexpected frame kills the worker (and, when a
+/// cell was in flight, counts as a crash against it).
+fn on_frame(
+    run: &mut Run<'_>,
+    machine: &mut Supervisor,
+    slots: &mut [Slot],
+    w: usize,
+    bytes: &[u8],
+) -> Result<(), MpsError> {
+    use mps_core::supervise::proto::decode_frame;
+
+    if slots[w].ready_deadline.is_some() {
+        match decode_frame::<WorkerReady>(bytes) {
+            Ok(hello) if hello.ready => {
+                slots[w].ready_deadline = None;
+                machine.worker_up(w);
+            }
+            _ => {
+                slots[w].kill();
+                machine.worker_died(w);
+            }
+        }
+        return Ok(());
+    }
+    if !is_busy(machine, w) {
+        // A frame from an idle worker violates the protocol.
+        slots[w].kill();
+        machine.worker_died(w);
+        return Ok(());
+    }
+    match decode_frame::<CellResponse>(bytes) {
+        Ok(resp) => {
+            let cell_idx = machine.cell_succeeded(w);
+            slots[w].clear_cell();
+            debug_assert_eq!(
+                resp.key,
+                run.key_of(cell_idx),
+                "worker answered a different cell than dispatched"
+            );
+            run.journal_cell(resp.key, resp.cell)
+        }
+        Err(_) => {
+            let wall = slots[w].cell_wall_ms();
+            let death = slots[w].kill();
+            run.note_failure(machine, w, attempt_from_death(death, wall))
+        }
+    }
+}

@@ -120,6 +120,13 @@ pub struct JournalHeader {
     /// Digest of configuration not captured by the fields above
     /// (fault plan, exec policy, …).
     pub config_digest: String,
+    /// Isolation mode the campaign was started under (`inproc` or
+    /// `process`). Informational: an empty value (journals written before
+    /// this field existed) means `inproc`, and `check_matches` deliberately
+    /// ignores it so a campaign that crashed on a poison cell in-process
+    /// can be *resumed* under `--isolation process` to quarantine it.
+    #[serde(default)]
+    pub isolation: String,
 }
 
 impl JournalHeader {
@@ -247,6 +254,7 @@ mod tests {
             repeats: 3,
             cells_expected: 324,
             config_digest: "0".to_string(),
+            isolation: "inproc".to_string(),
         };
         let mut b = a.clone();
         assert!(a.check_matches(&b).is_ok());
@@ -275,6 +283,7 @@ mod tests {
             repeats: 1,
             cells_expected: 24,
             config_digest: "deadbeef".to_string(),
+            isolation: "process".to_string(),
         };
         let json = serde_json::to_string(&h).unwrap();
         let back: JournalHeader = serde_json::from_str(&json).unwrap();

@@ -213,6 +213,11 @@ pub struct Manifest {
     pub expected: u64,
     /// `complete` | `interrupted` | `deadline`.
     pub status: String,
+    /// Cells quarantined as poison (crashed / timed out repeatedly);
+    /// counted inside `records` — their journal entries carry crash
+    /// reports instead of measurements.
+    #[serde(default)]
+    pub quarantined: u64,
 }
 
 impl Manifest {
@@ -304,6 +309,7 @@ mod tests {
             repeats: 1,
             cells_expected: 3,
             config_digest: "d".to_string(),
+            isolation: String::new(),
         }
     }
 
@@ -404,6 +410,7 @@ mod tests {
             records: 2,
             expected: 3,
             status: "interrupted".to_string(),
+            quarantined: 0,
         };
         write_manifest(&path, &m).unwrap();
         assert_eq!(read_manifest(&path).unwrap(), Some(m.clone()));

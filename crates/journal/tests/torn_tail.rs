@@ -21,6 +21,7 @@ fn header(cells: u64) -> JournalHeader {
         repeats: 2,
         cells_expected: cells,
         config_digest: "fixed".to_string(),
+        isolation: String::new(),
     }
 }
 

@@ -1,0 +1,100 @@
+//! # mps-supervise — worker supervision for hostile experiment campaigns
+//!
+//! The journal (`mps-journal`) makes a campaign crash-safe against
+//! whole-process death, but it cannot protect a run from itself: a single
+//! panicking grid cell, an infinite loop, or a memory blow-up inside the
+//! shared in-process worker pool aborts the entire campaign — and a
+//! *deterministic* crasher makes every `--resume` re-crash at the same
+//! cell. This crate is the supervision layer that turns poison cells
+//! into typed, journaled records instead of lost runs:
+//!
+//! * **Supervisor state machine** ([`state`]) — pure, transport-free
+//!   decision core: which worker to (re)spawn (with exponential backoff
+//!   and a restart-intensity cap), which cell to dispatch where, when a
+//!   repeatedly failing cell is *quarantined*, and how draining forbids
+//!   new dispatches. Unit- and property-testable without spawning a
+//!   single process.
+//! * **Crash reports** ([`report`]) — the structured record a quarantined
+//!   cell leaves behind: per-attempt outcome (crash with exit status /
+//!   signal and a captured stderr tail, timeout, in-process panic) and
+//!   wall time per attempt.
+//! * **Wire protocol** ([`proto`]) — length-prefixed JSON frames over
+//!   stdin/stdout, the transport between a supervisor and its child
+//!   worker processes.
+//! * **Worker processes** ([`pool`]) — spawn/feed/kill/reap one child
+//!   worker: frames are read on a dedicated thread so the supervisor can
+//!   poll with timeouts, stderr is captured into a bounded tail buffer
+//!   for crash reports, and every exit path reaps the child (no zombies,
+//!   no orphans).
+//!
+//! The experiment harness (`mps-exp`) composes these into
+//! process-isolated grid execution: `repro --isolation process`.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod proto;
+pub mod report;
+pub mod state;
+
+pub use pool::{WorkerDeath, WorkerProcess, WorkerRecv, WorkerSpec};
+pub use proto::{read_frame, read_frame_bytes, write_frame, MAX_FRAME_BYTES};
+pub use report::{Attempt, AttemptOutcome, CrashReport, FailureKind};
+pub use state::{Action, CellFate, Disposition, Supervisor, SupervisorConfig};
+
+/// Everything that can go wrong in the supervision layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuperviseError {
+    /// An OS-level operation on a worker process failed.
+    Io {
+        /// Operation that failed (`spawn`, `write`, `read`, …).
+        op: &'static str,
+        /// Display form of the underlying error.
+        err: String,
+    },
+    /// A wire frame was malformed (oversized, torn, or not valid JSON).
+    Frame {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The restart-intensity cap was reached with cells still unresolved:
+    /// workers die faster than the supervisor is willing to respawn them
+    /// (e.g. a broken worker binary), so the run aborts with a typed
+    /// error instead of crash-looping.
+    RestartBudgetExhausted {
+        /// Respawns performed before giving up.
+        restarts: u32,
+        /// Cells that were still unresolved.
+        unresolved: usize,
+    },
+}
+
+impl std::fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuperviseError::Io { op, err } => write!(f, "worker {op} failed: {err}"),
+            SuperviseError::Frame { reason } => write!(f, "bad worker frame: {reason}"),
+            SuperviseError::RestartBudgetExhausted {
+                restarts,
+                unresolved,
+            } => write!(
+                f,
+                "restart budget exhausted after {restarts} respawn(s) with \
+                 {unresolved} cell(s) unresolved — workers are dying faster \
+                 than the supervisor will restart them"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+impl SuperviseError {
+    /// Wraps an I/O error with the operation that failed.
+    pub fn io(op: &'static str, err: std::io::Error) -> Self {
+        SuperviseError::Io {
+            op,
+            err: err.to_string(),
+        }
+    }
+}

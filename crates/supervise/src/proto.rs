@@ -1,0 +1,162 @@
+//! The supervisor ↔ worker wire protocol: length-prefixed JSON frames.
+//!
+//! Each frame is a 4-byte little-endian length followed by that many
+//! bytes of UTF-8 JSON. Length prefixing (rather than newline delimiting)
+//! makes torn writes unambiguous: a reader either gets a whole frame or a
+//! typed error, never half a message parsed as a smaller one. Frames are
+//! capped at [`MAX_FRAME_BYTES`] so a corrupted length prefix cannot make
+//! the reader allocate gigabytes.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::SuperviseError;
+
+/// Upper bound on a single frame's payload (16 MiB — a full grid cell
+/// result is a few KiB; anything near this bound is corruption).
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Writes one frame and flushes, so the peer sees it immediately.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), SuperviseError> {
+    let json = serde_json::to_string(msg).map_err(|e| SuperviseError::Frame {
+        reason: format!("encode: {e}"),
+    })?;
+    let bytes = json.as_bytes();
+    if bytes.len() as u64 > u64::from(MAX_FRAME_BYTES) {
+        return Err(SuperviseError::Frame {
+            reason: format!("frame of {} bytes exceeds the cap", bytes.len()),
+        });
+    }
+    let len = (bytes.len() as u32).to_le_bytes();
+    w.write_all(&len)
+        .map_err(|e| SuperviseError::io("write", e))?;
+    w.write_all(bytes)
+        .map_err(|e| SuperviseError::io("write", e))?;
+    w.flush().map_err(|e| SuperviseError::io("flush", e))?;
+    Ok(())
+}
+
+/// Reads one raw frame. `Ok(None)` on a clean EOF at a frame boundary;
+/// EOF mid-frame (a torn write / killed peer) is a typed error.
+pub fn read_frame_bytes<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, SuperviseError> {
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < len.len() {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(SuperviseError::Frame {
+                    reason: "EOF inside a frame length prefix".to_string(),
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(SuperviseError::io("read", e)),
+        }
+    }
+    let n = u32::from_le_bytes(len);
+    if n > MAX_FRAME_BYTES {
+        return Err(SuperviseError::Frame {
+            reason: format!("declared frame length {n} exceeds the cap"),
+        });
+    }
+    let mut buf = vec![0u8; n as usize];
+    r.read_exact(&mut buf).map_err(|e| SuperviseError::Frame {
+        reason: format!("EOF inside a {n}-byte frame body: {e}"),
+    })?;
+    Ok(Some(buf))
+}
+
+/// Reads and decodes one frame. `Ok(None)` on clean EOF.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, SuperviseError> {
+    let Some(bytes) = read_frame_bytes(r)? else {
+        return Ok(None);
+    };
+    decode_frame(&bytes).map(Some)
+}
+
+/// Decodes a raw frame body into a message.
+pub fn decode_frame<T: Deserialize>(bytes: &[u8]) -> Result<T, SuperviseError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| SuperviseError::Frame {
+        reason: format!("frame is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| SuperviseError::Frame {
+        reason: format!("frame is not a valid message: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Msg {
+        id: u64,
+        note: String,
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        let a = Msg {
+            id: 1,
+            note: "first".to_string(),
+        };
+        let b = Msg {
+            id: 2,
+            note: "second \"quoted\"".to_string(),
+        };
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame::<_, Msg>(&mut r).unwrap(), Some(a));
+        assert_eq!(read_frame::<_, Msg>(&mut r).unwrap(), Some(b));
+        assert_eq!(read_frame::<_, Msg>(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_a_typed_error_not_a_short_message() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Msg {
+                id: 7,
+                note: "torn".to_string(),
+            },
+        )
+        .unwrap();
+        // Every strict prefix (except the empty one) must error.
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            let res = read_frame::<_, Msg>(&mut r);
+            assert!(
+                matches!(res, Err(SuperviseError::Frame { .. })),
+                "prefix of {cut} bytes must be a torn frame, got {res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"garbage");
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame_bytes(&mut r),
+            Err(SuperviseError::Frame { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_frame_error() {
+        let payload = b"not json at all";
+        let mut buf = (payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame::<_, Msg>(&mut r),
+            Err(SuperviseError::Frame { .. })
+        ));
+    }
+}

@@ -1,0 +1,553 @@
+//! The supervisor decision core: a pure state machine over abstract
+//! workers and cells.
+//!
+//! The machine owns *decisions* — what to spawn, what to dispatch, what
+//! to quarantine — and none of the *mechanics* (no processes, no clocks,
+//! no I/O). The driver executes its [`Action`]s and feeds back events
+//! (`worker_up`, `cell_succeeded`, `cell_failed`, …), which makes every
+//! supervision invariant unit- and property-testable without spawning a
+//! single process:
+//!
+//! * a worker is (re)spawned with exponential backoff, and the total
+//!   number of *respawns* never exceeds the restart-intensity cap;
+//! * a cell that fails (crash or timeout) [`SupervisorConfig::max_cell_attempts`]
+//!   times is quarantined — resolved with a poison fate instead of
+//!   endlessly retried;
+//! * once draining, no new cell is ever dispatched and no worker is ever
+//!   (re)spawned; the run finishes as soon as nothing is busy.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Supervision policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Failures (crashes + timeouts) after which a cell is quarantined.
+    /// The default, 2, retries a flaky cell once and quarantines a
+    /// deterministic crasher on its second strike.
+    pub max_cell_attempts: u32,
+    /// Restart-intensity cap: total worker *respawns* allowed per run
+    /// (initial spawns are free). When workers die faster than this
+    /// budget allows — e.g. a broken worker binary crashing on every
+    /// spawn — the run aborts with a typed error instead of crash-looping
+    /// forever.
+    pub restart_budget: u32,
+    /// Base delay before respawning a worker after its first crash.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential respawn backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_cell_attempts: 2,
+            restart_budget: 16,
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the driver should do next (returned by [`Supervisor::next_action`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Spawn (or respawn) worker `worker` after waiting at least `delay`.
+    /// Issued once per down worker; report the live process with
+    /// [`Supervisor::worker_up`].
+    Spawn {
+        /// Worker slot to spawn.
+        worker: usize,
+        /// Exponential-backoff delay to wait before spawning.
+        delay: Duration,
+    },
+    /// Send cell `cell` to idle worker `worker`. The machine marks the
+    /// worker busy immediately.
+    Dispatch {
+        /// Worker slot to dispatch to.
+        worker: usize,
+        /// Cell (by index) to dispatch.
+        cell: usize,
+    },
+    /// Nothing to decide right now — wait for an event (a completion, a
+    /// timeout, a spawn delay elapsing) and ask again.
+    Wait,
+    /// Every cell is resolved (succeeded or quarantined), or the run is
+    /// draining and nothing is busy: shut the workers down.
+    Finished,
+    /// The restart budget is spent, no worker is live, and cells remain
+    /// unresolved: abort the run with a typed error.
+    Exhausted,
+}
+
+/// What the machine decided about a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The cell goes back to the front of the queue for another attempt.
+    Retry {
+        /// Failures recorded so far (including this one).
+        failures: u32,
+    },
+    /// The cell reached the attempt cap and is quarantined: journal the
+    /// crash report; it will never be dispatched again.
+    Quarantined,
+}
+
+/// Terminal state of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFate {
+    /// The cell produced a result.
+    Succeeded,
+    /// The cell was quarantined after repeated failures.
+    Quarantined,
+}
+
+/// Lifecycle phase of one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No live process. `spawn_issued` is true once a [`Action::Spawn`]
+    /// has been handed to the driver (and not yet answered by
+    /// [`Supervisor::worker_up`]).
+    Down { spawn_issued: bool },
+    /// Live and awaiting a cell.
+    Idle,
+    /// Running a cell.
+    Busy { cell: usize },
+    /// Permanently down: the restart budget could not cover a respawn.
+    Retired,
+}
+
+/// The supervisor state machine. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    phases: Vec<Phase>,
+    /// Consecutive crashes per worker (resets on a successful cell) —
+    /// the exponent of the respawn backoff.
+    consecutive: Vec<u32>,
+    /// Cells awaiting dispatch; retries go to the front so a flaky cell
+    /// resolves (or quarantines) promptly instead of starving at the tail.
+    pending: VecDeque<usize>,
+    failures: Vec<u32>,
+    fates: Vec<Option<CellFate>>,
+    resolved: usize,
+    restarts_used: u32,
+    draining: bool,
+}
+
+impl Supervisor {
+    /// A machine over `workers` worker slots and `cells` cells, all
+    /// initially pending in index order.
+    pub fn new(cfg: SupervisorConfig, workers: usize, cells: usize) -> Self {
+        assert!(workers > 0, "a supervisor needs at least one worker slot");
+        Supervisor {
+            cfg,
+            phases: vec![
+                Phase::Down {
+                    spawn_issued: false
+                };
+                workers
+            ],
+            consecutive: vec![0; workers],
+            pending: (0..cells).collect(),
+            failures: vec![0; cells],
+            fates: vec![None; cells],
+            resolved: 0,
+            restarts_used: 0,
+            draining: false,
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// The next thing the driver should do. Dispatch/spawn decisions are
+    /// recorded as made: a returned [`Action::Dispatch`] marks the worker
+    /// busy, a returned [`Action::Spawn`] will not be re-issued until the
+    /// worker comes up or dies.
+    pub fn next_action(&mut self) -> Action {
+        if !self.draining {
+            // Dispatch work to an idle worker first.
+            if !self.pending.is_empty() {
+                if let Some(w) = self.phases.iter().position(|p| *p == Phase::Idle) {
+                    let cell = self.pending.pop_front().expect("pending checked non-empty");
+                    self.phases[w] = Phase::Busy { cell };
+                    return Action::Dispatch { worker: w, cell };
+                }
+                // No idle worker: bring a down worker up, if the budget
+                // allows. Initial spawns are free; respawns are charged.
+                for w in 0..self.phases.len() {
+                    if self.phases[w]
+                        != (Phase::Down {
+                            spawn_issued: false,
+                        })
+                    {
+                        continue;
+                    }
+                    if self.consecutive[w] == 0 {
+                        // Never crashed: this is the slot's initial spawn
+                        // (or a post-success respawn, which cannot happen —
+                        // workers only go down by dying).
+                        self.phases[w] = Phase::Down { spawn_issued: true };
+                        return Action::Spawn {
+                            worker: w,
+                            delay: Duration::ZERO,
+                        };
+                    }
+                    if self.restarts_used < self.cfg.restart_budget {
+                        self.restarts_used += 1;
+                        self.phases[w] = Phase::Down { spawn_issued: true };
+                        return Action::Spawn {
+                            worker: w,
+                            delay: self.backoff(self.consecutive[w]),
+                        };
+                    }
+                    // Budget spent: this slot is permanently down.
+                    self.phases[w] = Phase::Retired;
+                }
+            }
+        }
+        if self.resolved == self.fates.len() {
+            return Action::Finished;
+        }
+        if self.draining {
+            let busy = self.phases.iter().any(|p| matches!(p, Phase::Busy { .. }));
+            return if busy { Action::Wait } else { Action::Finished };
+        }
+        // Unresolved cells, not draining: is anything still able to run?
+        let all_dead = self.phases.iter().all(|p| *p == Phase::Retired);
+        if all_dead {
+            return Action::Exhausted;
+        }
+        Action::Wait
+    }
+
+    fn backoff(&self, consecutive_crashes: u32) -> Duration {
+        let exp = consecutive_crashes.saturating_sub(1).min(16);
+        let delay = self.cfg.backoff_base.saturating_mul(1u32 << exp);
+        delay.min(self.cfg.backoff_cap)
+    }
+
+    /// The driver spawned worker `w` and it completed its handshake.
+    pub fn worker_up(&mut self, w: usize) {
+        debug_assert!(
+            matches!(self.phases[w], Phase::Down { spawn_issued: true }),
+            "worker_up on worker {w} in phase {:?}",
+            self.phases[w]
+        );
+        self.phases[w] = Phase::Idle;
+    }
+
+    /// Worker `w` returned a result for its cell. Returns the cell index.
+    pub fn cell_succeeded(&mut self, w: usize) -> usize {
+        let cell = self.take_busy_cell(w);
+        self.phases[w] = Phase::Idle;
+        self.consecutive[w] = 0;
+        self.resolve(cell, CellFate::Succeeded);
+        cell
+    }
+
+    /// Worker `w` failed its cell (the process crashed, or the driver
+    /// killed it on timeout). The worker is down; the cell is either
+    /// requeued or quarantined. Returns the cell index and the decision.
+    pub fn cell_failed(&mut self, w: usize) -> (usize, Disposition) {
+        let cell = self.take_busy_cell(w);
+        self.phases[w] = Phase::Down {
+            spawn_issued: false,
+        };
+        self.consecutive[w] += 1;
+        self.failures[cell] += 1;
+        if self.failures[cell] >= self.cfg.max_cell_attempts {
+            self.resolve(cell, CellFate::Quarantined);
+            (cell, Disposition::Quarantined)
+        } else {
+            if !self.draining {
+                self.pending.push_front(cell);
+            }
+            (
+                cell,
+                Disposition::Retry {
+                    failures: self.failures[cell],
+                },
+            )
+        }
+    }
+
+    /// Worker `w` died while *not* running a cell (idle, or during its
+    /// handshake). No cell is charged; the worker goes down and its
+    /// respawn (if any) follows the usual backoff/budget rules.
+    pub fn worker_died(&mut self, w: usize) {
+        debug_assert!(
+            !matches!(self.phases[w], Phase::Busy { .. }),
+            "worker_died on busy worker {w}; use cell_failed/cell_aborted"
+        );
+        if self.phases[w] != Phase::Retired {
+            self.phases[w] = Phase::Down {
+                spawn_issued: false,
+            };
+            self.consecutive[w] += 1;
+        }
+    }
+
+    /// The driver killed worker `w` mid-cell for reasons that are *not*
+    /// the cell's fault (SIGINT teardown). The cell is requeued without a
+    /// failure charge (it will be recomputed on resume) and the worker
+    /// goes down without a crash charge.
+    pub fn cell_aborted(&mut self, w: usize) -> usize {
+        let cell = self.take_busy_cell(w);
+        self.phases[w] = Phase::Down {
+            spawn_issued: false,
+        };
+        if !self.draining {
+            self.pending.push_front(cell);
+        }
+        cell
+    }
+
+    /// Stop dispatching new cells and spawning workers; in-flight cells
+    /// may still complete (or be aborted by the driver). Idempotent.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// True once [`Supervisor::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Worker slots currently running a cell, as `(worker, cell)` pairs.
+    pub fn busy_workers(&self) -> Vec<(usize, usize)> {
+        self.phases
+            .iter()
+            .enumerate()
+            .filter_map(|(w, p)| match p {
+                Phase::Busy { cell } => Some((w, *cell)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Terminal state of `cell`, when resolved.
+    pub fn fate(&self, cell: usize) -> Option<CellFate> {
+        self.fates[cell]
+    }
+
+    /// Cells not yet resolved (neither succeeded nor quarantined).
+    pub fn unresolved(&self) -> usize {
+        self.fates.len() - self.resolved
+    }
+
+    /// Respawns charged against the restart budget so far.
+    pub fn restarts_used(&self) -> u32 {
+        self.restarts_used
+    }
+
+    /// Number of quarantined cells.
+    pub fn quarantined(&self) -> usize {
+        self.fates
+            .iter()
+            .filter(|f| **f == Some(CellFate::Quarantined))
+            .count()
+    }
+
+    fn take_busy_cell(&mut self, w: usize) -> usize {
+        match self.phases[w] {
+            Phase::Busy { cell } => cell,
+            other => panic!("worker {w} is not busy (phase {other:?})"),
+        }
+    }
+
+    fn resolve(&mut self, cell: usize, fate: CellFate) {
+        assert!(
+            self.fates[cell].is_none(),
+            "cell {cell} resolved twice ({:?} then {fate:?})",
+            self.fates[cell]
+        );
+        self.fates[cell] = Some(fate);
+        self.resolved += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(attempts: u32, budget: u32) -> SupervisorConfig {
+        SupervisorConfig {
+            max_cell_attempts: attempts,
+            restart_budget: budget,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(400),
+        }
+    }
+
+    /// Drive the machine until it returns Wait/Finished/Exhausted,
+    /// answering every Spawn with worker_up immediately.
+    fn settle(m: &mut Supervisor) -> (Vec<Action>, Action) {
+        let mut dispatched = Vec::new();
+        loop {
+            match m.next_action() {
+                Action::Spawn { worker, .. } => m.worker_up(worker),
+                a @ Action::Dispatch { .. } => dispatched.push(a),
+                terminal => return (dispatched, terminal),
+            }
+        }
+    }
+
+    #[test]
+    fn happy_path_runs_every_cell_once() {
+        let mut m = Supervisor::new(cfg(2, 4), 2, 3);
+        let mut done = 0;
+        loop {
+            let (dispatched, terminal) = settle(&mut m);
+            for a in dispatched {
+                let Action::Dispatch { worker, cell } = a else {
+                    unreachable!()
+                };
+                assert_eq!(m.cell_succeeded(worker), cell);
+                done += 1;
+            }
+            match terminal {
+                Action::Finished => break,
+                Action::Wait => continue,
+                other => panic!("unexpected terminal {other:?}"),
+            }
+        }
+        assert_eq!(done, 3);
+        assert_eq!(m.unresolved(), 0);
+        assert_eq!(m.restarts_used(), 0);
+        assert_eq!(m.quarantined(), 0);
+        for c in 0..3 {
+            assert_eq!(m.fate(c), Some(CellFate::Succeeded));
+        }
+    }
+
+    #[test]
+    fn a_cell_quarantines_after_exactly_n_failures() {
+        let mut m = Supervisor::new(cfg(3, 10), 1, 1);
+        for strike in 1..=3u32 {
+            let (dispatched, _) = settle(&mut m);
+            assert_eq!(dispatched.len(), 1);
+            let (cell, disp) = m.cell_failed(0);
+            assert_eq!(cell, 0);
+            if strike < 3 {
+                assert_eq!(disp, Disposition::Retry { failures: strike });
+            } else {
+                assert_eq!(disp, Disposition::Quarantined);
+            }
+        }
+        assert_eq!(m.fate(0), Some(CellFate::Quarantined));
+        assert_eq!(m.quarantined(), 1);
+        let (dispatched, terminal) = settle(&mut m);
+        assert!(dispatched.is_empty(), "quarantined cell must not re-run");
+        assert_eq!(terminal, Action::Finished);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let m = Supervisor::new(cfg(2, 100), 1, 1);
+        assert_eq!(m.backoff(1), Duration::from_millis(100));
+        assert_eq!(m.backoff(2), Duration::from_millis(200));
+        assert_eq!(m.backoff(3), Duration::from_millis(400));
+        assert_eq!(m.backoff(4), Duration::from_millis(400), "capped");
+        assert_eq!(m.backoff(40), Duration::from_millis(400), "no overflow");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_typed_not_a_loop() {
+        // One worker, budget 2: initial spawn free, then 2 respawns, then
+        // the machine must give up (cell attempts not yet exhausted).
+        let mut m = Supervisor::new(cfg(10, 2), 1, 1);
+        let mut spawns = 0;
+        let terminal = loop {
+            match m.next_action() {
+                Action::Spawn { worker, .. } => {
+                    spawns += 1;
+                    m.worker_up(worker);
+                }
+                Action::Dispatch { worker, .. } => {
+                    let (_, disp) = m.cell_failed(worker);
+                    assert!(matches!(disp, Disposition::Retry { .. }));
+                }
+                terminal => break terminal,
+            }
+        };
+        assert_eq!(terminal, Action::Exhausted);
+        assert_eq!(spawns, 3, "1 free initial + 2 budgeted respawns");
+        assert_eq!(m.restarts_used(), 2);
+        assert_eq!(m.unresolved(), 1);
+    }
+
+    #[test]
+    fn draining_never_dispatches_or_spawns() {
+        let mut m = Supervisor::new(cfg(2, 4), 2, 4);
+        let (dispatched, _) = settle(&mut m);
+        assert_eq!(dispatched.len(), 2, "both workers busy");
+        m.drain();
+        assert_eq!(m.next_action(), Action::Wait, "busy workers drain out");
+        // One in-flight cell completes, the other is aborted by teardown.
+        let Action::Dispatch { worker: w0, .. } = dispatched[0] else {
+            unreachable!()
+        };
+        let Action::Dispatch { worker: w1, .. } = dispatched[1] else {
+            unreachable!()
+        };
+        m.cell_succeeded(w0);
+        let aborted = m.cell_aborted(w1);
+        assert_eq!(m.fate(aborted), None, "aborted cell stays unresolved");
+        assert_eq!(m.next_action(), Action::Finished);
+        assert_eq!(m.unresolved(), 3);
+    }
+
+    #[test]
+    fn retry_goes_to_another_live_worker() {
+        let mut m = Supervisor::new(cfg(2, 4), 2, 2);
+        let (dispatched, _) = settle(&mut m);
+        let Action::Dispatch {
+            worker: w0,
+            cell: c0,
+        } = dispatched[0]
+        else {
+            unreachable!()
+        };
+        let (cell, disp) = m.cell_failed(w0);
+        assert_eq!(cell, c0);
+        assert_eq!(disp, Disposition::Retry { failures: 1 });
+        // The other worker finishes its cell and picks up the retry.
+        let Action::Dispatch { worker: w1, .. } = dispatched[1] else {
+            unreachable!()
+        };
+        m.cell_succeeded(w1);
+        match m.next_action() {
+            Action::Dispatch { worker, cell } => {
+                assert_eq!(worker, w1, "idle live worker takes the retry");
+                assert_eq!(cell, c0);
+            }
+            other => panic!("expected retry dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_worker_death_charges_no_cell() {
+        let mut m = Supervisor::new(cfg(2, 4), 1, 1);
+        // Bring the worker up, then kill it while idle (before dispatch).
+        match m.next_action() {
+            Action::Spawn { worker, .. } => m.worker_up(worker),
+            other => panic!("expected spawn, got {other:?}"),
+        }
+        m.worker_died(0);
+        assert_eq!(m.unresolved(), 1);
+        // Respawn is charged to the budget, then the cell still runs.
+        match m.next_action() {
+            Action::Spawn { worker, delay } => {
+                assert!(delay > Duration::ZERO, "respawn after a death backs off");
+                m.worker_up(worker);
+            }
+            other => panic!("expected respawn, got {other:?}"),
+        }
+        assert_eq!(m.restarts_used(), 1);
+        assert!(matches!(m.next_action(), Action::Dispatch { .. }));
+    }
+}

@@ -1,0 +1,284 @@
+//! Property tests for the supervisor decision core.
+//!
+//! The machine is pure (no processes, no clocks), so arbitrary event
+//! interleavings can be driven synthetically. The invariants under test
+//! are the ones the ISSUE's supervision contract promises:
+//!
+//! * the restart-intensity budget is never exceeded, whatever order
+//!   workers die in;
+//! * a cell is quarantined after *exactly* `max_cell_attempts` failures —
+//!   never fewer, never more — and is never dispatched again afterwards;
+//! * once draining, the machine never dispatches a cell or spawns a
+//!   worker again.
+
+use std::time::Duration;
+
+use mps_supervise::{Action, CellFate, Disposition, Supervisor, SupervisorConfig};
+use proptest::prelude::*;
+
+fn cfg(attempts: u32, budget: u32) -> SupervisorConfig {
+    SupervisorConfig {
+        max_cell_attempts: attempts,
+        restart_budget: budget,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(80),
+    }
+}
+
+/// What the scripted driver does with the next decision that needs an
+/// answer (a spawn or a dispatched cell). Codes are consumed cyclically
+/// from the proptest-generated script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reply {
+    Succeed,
+    Fail,
+    Abort,
+    SpawnDies,
+}
+
+fn reply(code: u8) -> Reply {
+    match code % 4 {
+        0 => Reply::Succeed,
+        1 => Reply::Fail,
+        2 => Reply::Abort,
+        _ => Reply::SpawnDies,
+    }
+}
+
+/// Outcome of driving one machine to a terminal action with a script.
+#[derive(Debug)]
+struct Trace {
+    terminal: Action,
+    /// Failures charged per cell by the driver's own bookkeeping.
+    failures: Vec<u32>,
+    dispatches_after_drain: usize,
+    spawns_after_drain: usize,
+}
+
+/// Drives `m` until Finished/Exhausted (or a step cap), answering every
+/// Spawn and Dispatch from the script. `drain_after` (when set) calls
+/// `drain()` after that many dispatches.
+fn drive(
+    m: &mut Supervisor,
+    cells: usize,
+    script: &[u8],
+    drain_after: Option<usize>,
+) -> Result<Trace, TestCaseError> {
+    let mut failures = vec![0u32; cells];
+    let mut next_code = 0usize;
+    let take = |n: &mut usize| {
+        let c = reply(script[*n % script.len()]);
+        *n += 1;
+        c
+    };
+    let mut dispatched = 0usize;
+    let mut dispatches_after_drain = 0usize;
+    let mut spawns_after_drain = 0usize;
+    let budget = m.config().restart_budget;
+    let attempts = m.config().max_cell_attempts;
+    // Aborts are free by design (not the cell's or worker's fault), so an
+    // adversarial script of endless aborts would cycle forever. Real
+    // drivers only abort during teardown — finitely — so the model gives
+    // the script a finite abort allowance and then maps aborts to
+    // failures.
+    let mut aborts_left = 32usize;
+
+    for _ in 0..10_000 {
+        prop_assert!(
+            m.restarts_used() <= budget,
+            "restart budget exceeded: {} > {budget}",
+            m.restarts_used()
+        );
+        match m.next_action() {
+            Action::Spawn { worker, delay } => {
+                prop_assert!(
+                    delay <= m.config().backoff_cap,
+                    "backoff {delay:?} above cap"
+                );
+                if m.is_draining() {
+                    spawns_after_drain += 1;
+                }
+                // A spawn may itself fail (broken binary): the worker dies
+                // during its handshake without ever being up.
+                if take(&mut next_code) == Reply::SpawnDies {
+                    m.worker_died(worker);
+                } else {
+                    m.worker_up(worker);
+                }
+            }
+            Action::Dispatch { worker, cell } => {
+                prop_assert!(cell < cells, "dispatch of unknown cell {cell}");
+                prop_assert!(
+                    m.fate(cell).is_none(),
+                    "cell {cell} dispatched after being resolved ({:?})",
+                    m.fate(cell)
+                );
+                if m.is_draining() {
+                    dispatches_after_drain += 1;
+                }
+                dispatched += 1;
+                let mut code = take(&mut next_code);
+                if matches!(code, Reply::Abort | Reply::SpawnDies) {
+                    if aborts_left == 0 {
+                        code = Reply::Fail;
+                    } else {
+                        aborts_left -= 1;
+                    }
+                }
+                match code {
+                    Reply::Succeed => {
+                        let done = m.cell_succeeded(worker);
+                        prop_assert_eq!(done, cell);
+                        prop_assert_eq!(m.fate(cell), Some(CellFate::Succeeded));
+                    }
+                    Reply::Fail => {
+                        failures[cell] += 1;
+                        let (done, disp) = m.cell_failed(worker);
+                        prop_assert_eq!(done, cell);
+                        match disp {
+                            Disposition::Quarantined => {
+                                prop_assert_eq!(
+                                    failures[cell],
+                                    attempts,
+                                    "quarantine after {} strikes, cap is {}",
+                                    failures[cell],
+                                    attempts
+                                );
+                                prop_assert_eq!(m.fate(cell), Some(CellFate::Quarantined));
+                            }
+                            Disposition::Retry { failures: n } => {
+                                prop_assert_eq!(n, failures[cell]);
+                                prop_assert!(
+                                    n < attempts,
+                                    "retry disposition at {n} strikes, cap is {attempts}"
+                                );
+                            }
+                        }
+                    }
+                    // Abort and SpawnDies both model "the driver killed the
+                    // worker for reasons that are not the cell's fault".
+                    Reply::Abort | Reply::SpawnDies => {
+                        let done = m.cell_aborted(worker);
+                        prop_assert_eq!(done, cell);
+                        prop_assert_eq!(m.fate(cell), None);
+                    }
+                }
+                if drain_after == Some(dispatched) {
+                    m.drain();
+                }
+            }
+            Action::Wait => {
+                // The scripted driver answers every decision synchronously,
+                // so nothing is ever left in flight when Wait is returned;
+                // a Wait here would spin forever.
+                prop_assert!(
+                    m.busy_workers().is_empty(),
+                    "Wait returned with busy workers in a synchronous driver"
+                );
+                prop_assert!(m.is_draining() || m.unresolved() == 0);
+                return Ok(Trace {
+                    terminal: Action::Wait,
+                    failures,
+                    dispatches_after_drain,
+                    spawns_after_drain,
+                });
+            }
+            terminal => {
+                return Ok(Trace {
+                    terminal,
+                    failures,
+                    dispatches_after_drain,
+                    spawns_after_drain,
+                })
+            }
+        }
+    }
+    Err(TestCaseError::fail("driver did not terminate in 10k steps"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary interleavings of successes, failures, aborts, and
+    /// spawn-time deaths: the restart budget holds, quarantine fires at
+    /// exactly the attempt cap, resolved cells are never re-dispatched,
+    /// and the machine always reaches a coherent terminal state.
+    #[test]
+    fn supervision_invariants_hold_over_arbitrary_interleavings(
+        workers in 1usize..4,
+        cells in 0usize..8,
+        attempts in 1u32..4,
+        budget in 0u32..6,
+        script in prop::collection::vec(0u8..4, 1..48),
+    ) {
+        let mut m = Supervisor::new(cfg(attempts, budget), workers, cells);
+        let trace = drive(&mut m, cells, &script, None)?;
+        prop_assert!(m.restarts_used() <= budget);
+        match trace.terminal {
+            Action::Finished => {
+                prop_assert_eq!(m.unresolved(), 0);
+                for c in 0..cells {
+                    prop_assert!(m.fate(c).is_some(), "cell {c} unresolved at Finished");
+                    if m.fate(c) == Some(CellFate::Quarantined) {
+                        prop_assert_eq!(trace.failures[c], attempts);
+                    }
+                }
+            }
+            Action::Exhausted => {
+                prop_assert_eq!(m.restarts_used(), budget, "exhaustion spends the budget");
+                prop_assert!(m.unresolved() > 0, "exhaustion leaves work undone");
+            }
+            other => prop_assert!(false, "unexpected terminal {other:?}"),
+        }
+    }
+
+    /// A machine that only ever sees failures quarantines every cell it
+    /// manages to run — each after exactly the attempt cap — unless the
+    /// restart budget dies first.
+    #[test]
+    fn always_failing_cells_all_quarantine_at_the_cap(
+        workers in 1usize..4,
+        cells in 1usize..6,
+        attempts in 1u32..4,
+        budget in 0u32..12,
+    ) {
+        let mut m = Supervisor::new(cfg(attempts, budget), workers, cells);
+        // Script code 1 = Fail for every dispatch, every spawn comes up.
+        let trace = drive(&mut m, cells, &[1], None)?;
+        for c in 0..cells {
+            match m.fate(c) {
+                Some(CellFate::Quarantined) => prop_assert_eq!(trace.failures[c], attempts),
+                Some(CellFate::Succeeded) => prop_assert!(false, "nothing can succeed here"),
+                None => prop_assert_eq!(
+                    trace.terminal,
+                    Action::Exhausted,
+                    "unresolved cell {} without exhaustion",
+                    c
+                ),
+            }
+        }
+        prop_assert!(m.quarantined() <= cells);
+    }
+
+    /// Draining at an arbitrary point: not a single dispatch or spawn is
+    /// issued afterwards, and the machine still terminates.
+    #[test]
+    fn draining_never_dispatches_or_spawns_again(
+        workers in 1usize..4,
+        cells in 1usize..8,
+        attempts in 1u32..4,
+        budget in 0u32..6,
+        script in prop::collection::vec(0u8..4, 1..48),
+        drain_after in 0usize..10,
+    ) {
+        let mut m = Supervisor::new(cfg(attempts, budget), workers, cells);
+        let trace = drive(&mut m, cells, &script, Some(drain_after))?;
+        prop_assert_eq!(trace.dispatches_after_drain, 0);
+        prop_assert_eq!(trace.spawns_after_drain, 0);
+        if m.is_draining() {
+            // Post-drain terminal is always Finished (possibly with
+            // unresolved cells): exhaustion is a pre-drain concept.
+            prop_assert_eq!(trace.terminal, Action::Finished);
+        }
+    }
+}
