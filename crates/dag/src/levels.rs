@@ -1,0 +1,354 @@
+//! Incrementally maintained top-/bottom-levels.
+//!
+//! The CPA allocation loop changes **one** task's execution time per step
+//! (the task that just received more processors), yet
+//! [`Dag::bottom_levels`] recomputes every level from scratch. These
+//! structures keep the level arrays alive across steps and, on a
+//! single-task time change, re-relax only the affected *cone*: the
+//! ancestors for bottom levels, the descendants for top levels. Tasks
+//! outside the cone — and cone members whose recomputed value is bitwise
+//! unchanged — are never touched, so an update costs O(cone) instead of
+//! O(V + E).
+//!
+//! Values are **bit-identical** to the from-scratch traversals: a node's
+//! level is recomputed with exactly the same expression and operand order
+//! as [`Dag::bottom_levels`] / [`Dag::top_levels`], and the worklist is
+//! drained in (reverse) topological order so every recomputation sees
+//! finalized neighbor values.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Dag, TaskId};
+
+/// Bottom levels (`bl(t) = time(t) + max over successors of bl(s)`),
+/// maintained incrementally under single-task time changes.
+///
+/// The struct is reusable: [`IncrementalBottomLevels::rebuild`] resets it
+/// for a (possibly different) DAG, retaining its allocations.
+#[derive(Debug, Default)]
+pub struct IncrementalBottomLevels {
+    bl: Vec<f64>,
+    /// Position of each task in one fixed topological order.
+    topo_pos: Vec<usize>,
+    /// Worklist keyed by topological position (max-heap: successors of a
+    /// queued task are always processed before it).
+    heap: BinaryHeap<(usize, usize)>,
+    queued: Vec<bool>,
+}
+
+impl IncrementalBottomLevels {
+    /// An empty structure; call [`IncrementalBottomLevels::rebuild`]
+    /// before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full recomputation for `dag` under `time` (indexed by task id).
+    /// Produces exactly [`Dag::bottom_levels`].
+    pub fn rebuild(&mut self, dag: &Dag, time: &[f64]) {
+        let n = dag.len();
+        assert_eq!(time.len(), n);
+        let order = dag.topological_order().expect("validated DAG is acyclic");
+        self.topo_pos.clear();
+        self.topo_pos.resize(n, 0);
+        for (i, &t) in order.iter().enumerate() {
+            self.topo_pos[t.index()] = i;
+        }
+        self.bl.clear();
+        self.bl.resize(n, 0.0);
+        for &t in order.iter().rev() {
+            self.bl[t.index()] = self.relaxed(dag, t, time);
+        }
+        self.heap.clear();
+        self.queued.clear();
+        self.queued.resize(n, false);
+    }
+
+    /// One node's value, with the same expression and operand order as the
+    /// from-scratch traversal.
+    #[inline]
+    fn relaxed(&self, dag: &Dag, t: TaskId, time: &[f64]) -> f64 {
+        let succ_max = dag
+            .successors(t)
+            .iter()
+            .map(|s| self.bl[s.index()])
+            .fold(0.0_f64, f64::max);
+        time[t.index()] + succ_max
+    }
+
+    /// Re-relaxes the ancestor cone of `t` after `time[t]` changed.
+    /// Propagation stops at any node whose recomputed value is bitwise
+    /// unchanged (its ancestors cannot be affected).
+    pub fn update(&mut self, dag: &Dag, t: TaskId, time: &[f64]) {
+        debug_assert_eq!(time.len(), self.bl.len());
+        self.queued[t.index()] = true;
+        self.heap.push((self.topo_pos[t.index()], t.index()));
+        while let Some((_, x)) = self.heap.pop() {
+            self.queued[x] = false;
+            let x = TaskId(x);
+            let new = self.relaxed(dag, x, time);
+            if new.to_bits() != self.bl[x.index()].to_bits() {
+                self.bl[x.index()] = new;
+                for &p in dag.predecessors(x) {
+                    if !self.queued[p.index()] {
+                        self.queued[p.index()] = true;
+                        self.heap.push((self.topo_pos[p.index()], p.index()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The maintained levels, indexed by task id.
+    pub fn values(&self) -> &[f64] {
+        &self.bl
+    }
+
+    /// Critical-path length: `fold(0.0, max)` over all levels in id order,
+    /// exactly like [`Dag::critical_path_length`].
+    pub fn critical_path_length(&self) -> f64 {
+        self.bl.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Writes the critical path into `out`, reproducing
+    /// [`Dag::critical_path`] exactly — including its tie-breaks, which
+    /// come from `Iterator::max_by` (the *last* maximal element wins).
+    pub fn critical_path_into(&self, dag: &Dag, out: &mut Vec<TaskId>) {
+        out.clear();
+        let mut entry: Option<TaskId> = None;
+        for t in dag.task_ids() {
+            if dag.predecessors(t).is_empty() {
+                entry = Some(match entry {
+                    // `max_by` keeps the accumulator only when strictly
+                    // greater than the new element.
+                    Some(c) if self.cmp(c, t) == Ordering::Greater => c,
+                    _ => t,
+                });
+            }
+        }
+        let Some(mut cur) = entry else { return };
+        loop {
+            out.push(cur);
+            let mut next: Option<TaskId> = None;
+            for &s in dag.successors(cur) {
+                next = Some(match next {
+                    Some(c) if self.cmp(c, s) == Ordering::Greater => c,
+                    _ => s,
+                });
+            }
+            match next {
+                Some(nx) => cur = nx,
+                None => break,
+            }
+        }
+    }
+
+    #[inline]
+    fn cmp(&self, a: TaskId, b: TaskId) -> Ordering {
+        self.bl[a.index()].total_cmp(&self.bl[b.index()])
+    }
+}
+
+/// Top levels (`tl(t) = max over predecessors of (tl(p) + time(p))`),
+/// maintained incrementally under single-task time changes. The affected
+/// cone is the *descendant* side: a task's time feeds the top levels of
+/// its successors.
+#[derive(Debug, Default)]
+pub struct IncrementalTopLevels {
+    tl: Vec<f64>,
+    topo_pos: Vec<usize>,
+    /// Min-heap over topological position (via reversed keys): the
+    /// predecessors of a queued task are always processed before it.
+    heap: BinaryHeap<(std::cmp::Reverse<usize>, usize)>,
+    queued: Vec<bool>,
+}
+
+impl IncrementalTopLevels {
+    /// An empty structure; call [`IncrementalTopLevels::rebuild`] before
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full recomputation for `dag` under `time`; produces exactly
+    /// [`Dag::top_levels`].
+    pub fn rebuild(&mut self, dag: &Dag, time: &[f64]) {
+        let n = dag.len();
+        assert_eq!(time.len(), n);
+        let order = dag.topological_order().expect("validated DAG is acyclic");
+        self.topo_pos.clear();
+        self.topo_pos.resize(n, 0);
+        for (i, &t) in order.iter().enumerate() {
+            self.topo_pos[t.index()] = i;
+        }
+        self.tl.clear();
+        self.tl.resize(n, 0.0);
+        for &t in &order {
+            self.tl[t.index()] = self.relaxed(dag, t, time);
+        }
+        self.heap.clear();
+        self.queued.clear();
+        self.queued.resize(n, false);
+    }
+
+    #[inline]
+    fn relaxed(&self, dag: &Dag, t: TaskId, time: &[f64]) -> f64 {
+        let mut tl = 0.0_f64;
+        for &p in dag.predecessors(t) {
+            tl = tl.max(self.tl[p.index()] + time[p.index()]);
+        }
+        tl
+    }
+
+    /// Re-relaxes the descendant cone of `t` after `time[t]` changed.
+    pub fn update(&mut self, dag: &Dag, t: TaskId, time: &[f64]) {
+        debug_assert_eq!(time.len(), self.tl.len());
+        // `time[t]` feeds the successors' levels, not `tl(t)` itself:
+        // seed the worklist with the successors.
+        for &s in dag.successors(t) {
+            if !self.queued[s.index()] {
+                self.queued[s.index()] = true;
+                self.heap
+                    .push((std::cmp::Reverse(self.topo_pos[s.index()]), s.index()));
+            }
+        }
+        while let Some((_, x)) = self.heap.pop() {
+            self.queued[x] = false;
+            let x = TaskId(x);
+            let new = self.relaxed(dag, x, time);
+            if new.to_bits() != self.tl[x.index()].to_bits() {
+                self.tl[x.index()] = new;
+                for &s in dag.successors(x) {
+                    if !self.queued[s.index()] {
+                        self.queued[s.index()] = true;
+                        self.heap
+                            .push((std::cmp::Reverse(self.topo_pos[s.index()]), s.index()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The maintained levels, indexed by task id.
+    pub fn values(&self) -> &[f64] {
+        &self.tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DagGenParams};
+    use crate::shapes::{chain, fork_join};
+    use mps_kernels::Kernel;
+
+    fn times(dag: &Dag, f: impl Fn(TaskId) -> f64) -> Vec<f64> {
+        dag.task_ids().map(f).collect()
+    }
+
+    #[test]
+    fn rebuild_matches_from_scratch() {
+        let dag = fork_join(Kernel::MatMul { n: 500 }, 5);
+        let time = times(&dag, |t| (t.index() + 1) as f64 * 1.5);
+        let mut bl = IncrementalBottomLevels::new();
+        bl.rebuild(&dag, &time);
+        assert_eq!(bl.values(), &dag.bottom_levels(|t| time[t.index()])[..]);
+        let mut tl = IncrementalTopLevels::new();
+        tl.rebuild(&dag, &time);
+        assert_eq!(tl.values(), &dag.top_levels(|t| time[t.index()])[..]);
+    }
+
+    #[test]
+    fn single_change_updates_match_full_recompute() {
+        for seed in 0..40u64 {
+            let params = DagGenParams {
+                tasks: 12,
+                input_matrices: 4,
+                add_ratio: 0.5,
+                matrix_size: 2000,
+            };
+            let dag = generate(&params, seed);
+            let mut time = times(&dag, |t| ((t.index() * 7 + 3) % 11) as f64 + 0.25);
+            let mut bl = IncrementalBottomLevels::new();
+            let mut tl = IncrementalTopLevels::new();
+            bl.rebuild(&dag, &time);
+            tl.rebuild(&dag, &time);
+            for step in 0..12 {
+                let t = TaskId((seed as usize + step * 5) % dag.len());
+                time[t.index()] = (time[t.index()] * 0.75).max(0.125);
+                bl.update(&dag, t, &time);
+                tl.update(&dag, t, &time);
+                let want_bl = dag.bottom_levels(|x| time[x.index()]);
+                let want_tl = dag.top_levels(|x| time[x.index()]);
+                assert_eq!(bl.values(), &want_bl[..], "bl seed {seed} step {step}");
+                assert_eq!(tl.values(), &want_tl[..], "tl seed {seed} step {step}");
+                assert_eq!(
+                    bl.critical_path_length(),
+                    dag.critical_path_length(|x| time[x.index()])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_matches_reference_including_ties() {
+        // Uniform times create heavy ties; the extraction must match
+        // `Dag::critical_path`'s `max_by` (last-max) behavior exactly.
+        for seed in 0..30u64 {
+            let params = DagGenParams {
+                tasks: 10,
+                input_matrices: 8,
+                add_ratio: 0.25,
+                matrix_size: 2000,
+            };
+            let dag = generate(&params, seed);
+            for unit in [true, false] {
+                let time = times(&dag, |t| {
+                    if unit {
+                        1.0
+                    } else {
+                        ((t.index() * 13 + 5) % 7) as f64 + 1.0
+                    }
+                });
+                let mut bl = IncrementalBottomLevels::new();
+                bl.rebuild(&dag, &time);
+                let mut got = Vec::new();
+                bl.critical_path_into(&dag, &mut got);
+                let want = dag.critical_path(|t| time[t.index()]);
+                assert_eq!(got, want, "seed {seed} unit {unit}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_touches_only_the_cone() {
+        // On a chain, changing the tail's time re-relaxes every ancestor,
+        // while changing the head touches nothing else. We can't observe
+        // the worklist from outside, but the values must stay exact in
+        // both extremes.
+        let dag = chain(Kernel::MatAdd { n: 500 }, 6);
+        let mut time = vec![1.0; 6];
+        let mut bl = IncrementalBottomLevels::new();
+        bl.rebuild(&dag, &time);
+        time[5] = 10.0;
+        bl.update(&dag, TaskId(5), &time);
+        assert_eq!(bl.values(), &dag.bottom_levels(|t| time[t.index()])[..]);
+        time[0] = 0.5;
+        bl.update(&dag, TaskId(0), &time);
+        assert_eq!(bl.values(), &dag.bottom_levels(|t| time[t.index()])[..]);
+        assert_eq!(bl.critical_path_length(), 14.5);
+    }
+
+    #[test]
+    fn empty_dag_is_handled() {
+        let dag = Dag::new(vec![], &[]).unwrap();
+        let mut bl = IncrementalBottomLevels::new();
+        bl.rebuild(&dag, &[]);
+        assert!(bl.values().is_empty());
+        assert_eq!(bl.critical_path_length(), 0.0);
+        let mut path = vec![TaskId(0)];
+        bl.critical_path_into(&dag, &mut path);
+        assert!(path.is_empty());
+    }
+}

@@ -16,11 +16,13 @@
 
 pub mod gen;
 pub mod graph;
+pub mod levels;
 pub mod metrics;
 pub mod shapes;
 
 pub use gen::{generate, paper_corpus, DagGenParams, GeneratedDag, PAPER_CORPUS_SEED};
 pub use graph::{Dag, DagError, Task, TaskId};
+pub use levels::{IncrementalBottomLevels, IncrementalTopLevels};
 pub use metrics::{metrics, DagMetrics};
 pub use shapes::{chain, fork_join, layered_mesh, reduction_tree};
 

@@ -369,10 +369,15 @@ impl Harness {
                 Simulator::new(cluster, mps_core::model::AnalyticModel::paper_jvm())
                     .schedule_and_simulate(&g.dag, algo)
             }
-            SimVariant::Profile => Simulator::new(cluster, self.profile_model.clone())
-                .schedule_and_simulate(&g.dag, algo),
-            SimVariant::Empirical => Simulator::new(cluster, self.empirical_model.clone())
-                .schedule_and_simulate(&g.dag, algo),
+            // Borrowed models: a simulator construction per cell must
+            // clone a pointer, not the profile tables / fitted curves
+            // (the `&M` blanket `PerfModel` impl makes `Clone` free).
+            SimVariant::Profile => {
+                Simulator::new(cluster, &self.profile_model).schedule_and_simulate(&g.dag, algo)
+            }
+            SimVariant::Empirical => {
+                Simulator::new(cluster, &self.empirical_model).schedule_and_simulate(&g.dag, algo)
+            }
         };
         let (sim_makespan, schedule) = match sim_out {
             Ok(out) => (out.result.makespan, out.schedule),

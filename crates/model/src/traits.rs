@@ -49,6 +49,27 @@ pub trait PerfModel {
     }
 }
 
+/// Blanket impl so a shared model is as cheap to hand to a simulator as a
+/// pointer copy: grids construct thousands of simulators per campaign, and
+/// `Arc<ProfileModel>` clones must not deep-copy the measurement tables.
+impl<M: PerfModel + ?Sized> PerfModel for std::sync::Arc<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn task_time(&self, kernel: Kernel, p: usize) -> f64 {
+        (**self).task_time(kernel, p)
+    }
+    fn startup_overhead(&self, p: usize) -> f64 {
+        (**self).startup_overhead(p)
+    }
+    fn redist_overhead(&self, p_src: usize, p_dst: usize) -> f64 {
+        (**self).redist_overhead(p_src, p_dst)
+    }
+    fn simulate_task_analytically(&self) -> bool {
+        (**self).simulate_task_analytically()
+    }
+}
+
 /// Blanket impl so `&M` and boxed models work wherever a model is expected.
 impl<M: PerfModel + ?Sized> PerfModel for &M {
     fn name(&self) -> &'static str {
@@ -98,5 +119,17 @@ mod tests {
         let m = Fixed;
         assert_eq!(takes_model(&m), 5.0);
         assert_eq!(m.name(), "fixed");
+    }
+
+    #[test]
+    fn arc_blanket_impl_shares_without_copying() {
+        let m = std::sync::Arc::new(Fixed);
+        let clone = m.clone();
+        assert!(std::sync::Arc::ptr_eq(&m, &clone));
+        assert_eq!(clone.task_time(Kernel::MatMul { n: 100 }, 5), 2.0);
+        assert_eq!(clone.name(), "fixed");
+        assert_eq!(clone.startup_overhead(4), 0.0);
+        assert_eq!(clone.redist_overhead(2, 4), 0.0);
+        assert!(!clone.simulate_task_analytically());
     }
 }

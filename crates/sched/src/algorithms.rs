@@ -9,7 +9,7 @@ use mps_dag::{Dag, TaskId};
 use mps_model::PerfModel;
 use mps_platform::Cluster;
 
-use crate::allocation::{allocate, AllocationConfig, LevelBudget, SelectionRule, StopRule};
+use crate::allocation::{AllocationConfig, AllocationEngine, LevelBudget, SelectionRule, StopRule};
 use crate::mapping::{default_redist_estimate, map_tasks, MappingCosts};
 use crate::schedule::Schedule;
 
@@ -28,11 +28,20 @@ pub trait Scheduler {
             let kernel = dag.task(t).kernel;
             model.task_time(kernel, p) + model.startup_overhead(p)
         };
-        let allocations = allocate(dag, cluster.node_count(), &config, tau);
+        let mut engine = AllocationEngine::new();
+        let allocations = engine.allocate(dag, cluster.node_count(), &config, tau);
 
+        // Execution costs at the final allocations come straight from the
+        // engine's τ-table — the allocation loop already evaluated every
+        // (t, np[t]) point for its area terms.
         let exec: Vec<f64> = dag
             .task_ids()
-            .map(|t| tau(t, allocations[t.index()]))
+            .map(|t| {
+                engine
+                    .tau_table()
+                    .cached(t, allocations[t.index()])
+                    .unwrap_or_else(|| tau(t, allocations[t.index()]))
+            })
             .collect();
         let redist = |pred: TaskId, succ: TaskId| {
             let p_src = allocations[pred.index()];

@@ -23,7 +23,7 @@
 //! and includes the model's startup overhead, so refined simulators also
 //! produce refined allocations.
 
-use mps_dag::{Dag, TaskId};
+use mps_dag::{Dag, IncrementalBottomLevels, TaskId};
 
 /// Selection rule for the processor-increment step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,10 +72,26 @@ pub struct AllocationConfig {
 }
 
 /// Computes per-task allocations. `tau(t, p)` must return the estimated
-/// execution time of task `t` on `p` processors (`p ≥ 1`).
+/// execution time of task `t` on `p` processors (`p ≥ 1`); it must be a
+/// pure function of `(t, p)` — the engine memoizes it.
 ///
-/// Returns one allocation per task (indexed by task id).
+/// Returns one allocation per task (indexed by task id). This is a thin
+/// wrapper over [`AllocationEngine::allocate`]; callers scheduling many
+/// DAGs should hold an engine and reuse its buffers.
 pub fn allocate(
+    dag: &Dag,
+    cluster_size: usize,
+    config: &AllocationConfig,
+    tau: impl Fn(TaskId, usize) -> f64,
+) -> Vec<usize> {
+    AllocationEngine::new().allocate(dag, cluster_size, config, tau)
+}
+
+/// The pre-rework allocator, frozen verbatim for differential testing:
+/// it re-derives the critical path, its length, and the area sums from
+/// scratch on every step, calling `tau` afresh each time. The incremental
+/// engine behind [`allocate`] must produce bit-identical allocations.
+pub fn allocate_ref(
     dag: &Dag,
     cluster_size: usize,
     config: &AllocationConfig,
@@ -163,6 +179,254 @@ pub fn allocate(
         }
     }
     np
+}
+
+/// Memo cap on the τ-table's processor dimension. Allocations beyond it
+/// (pathological `max_procs` values) fall through to direct `tau` calls —
+/// semantics are unchanged, only the memoization stops.
+const TAU_MEMO_MAX_PROCS: usize = 4096;
+
+/// Lazily-filled memoized τ-table indexed by `(task, p)`.
+///
+/// Each `(task, p)` point is evaluated through the model **at most once**
+/// per cell; the allocation loop, the stop-rule area sums, and the mapping
+/// phase's execution costs all read the same table. `NaN` marks unset
+/// slots (a model returning `NaN` is simply re-evaluated — deterministic
+/// models make that a no-op).
+#[derive(Debug, Default)]
+pub struct TauTable {
+    /// `values[t * max_procs + (p - 1)]`.
+    values: Vec<f64>,
+    n_tasks: usize,
+    max_procs: usize,
+}
+
+impl TauTable {
+    /// Clears and resizes for `n_tasks` tasks × `max_procs` allocations.
+    fn reset(&mut self, n_tasks: usize, max_procs: usize) {
+        self.n_tasks = n_tasks;
+        self.max_procs = max_procs.min(TAU_MEMO_MAX_PROCS);
+        self.values.clear();
+        self.values.resize(n_tasks * self.max_procs, f64::NAN);
+    }
+
+    /// The memoized value, evaluating `tau` on first access.
+    #[inline]
+    fn get(&mut self, tau: &impl Fn(TaskId, usize) -> f64, t: TaskId, p: usize) -> f64 {
+        debug_assert!(p >= 1);
+        if p > self.max_procs {
+            return tau(t, p);
+        }
+        let i = t.index() * self.max_procs + (p - 1);
+        let v = self.values[i];
+        if v.is_nan() {
+            let v = tau(t, p);
+            self.values[i] = v;
+            v
+        } else {
+            v
+        }
+    }
+
+    /// The cached value at `(t, p)`, if that point has been evaluated.
+    pub fn cached(&self, t: TaskId, p: usize) -> Option<f64> {
+        if p == 0 || p > self.max_procs || t.index() >= self.n_tasks {
+            return None;
+        }
+        let v = self.values[t.index() * self.max_procs + (p - 1)];
+        (!v.is_nan()).then_some(v)
+    }
+}
+
+/// Incremental CPA/HCPA/MCPA allocation engine.
+///
+/// Behaviorally identical to [`allocate_ref`] (bit-for-bit on the
+/// returned allocations) but with the per-step re-derivations replaced by
+/// maintained state, following the `SolverWorkspace` pattern from the DES
+/// core (DESIGN.md §5.8; the engine itself is §5.11):
+///
+/// * a memoized [`TauTable`] — each model evaluation happens at most once,
+/// * incrementally maintained bottom levels
+///   ([`IncrementalBottomLevels`]) — one processor increment re-relaxes
+///   only the changed task's ancestor cone, and `T_CP` plus the critical
+///   path fall out of the maintained array,
+/// * O(1)-updated global and per-level area accumulators (subtract the
+///   old `np·τ` term, add the new one),
+/// * a per-task cache of the next strictly-improving allocation, only
+///   recomputed for the task whose allocation changed.
+///
+/// The engine is reusable across DAGs and models; every `allocate` call
+/// resets and re-uses its buffers.
+#[derive(Debug, Default)]
+pub struct AllocationEngine {
+    tau: TauTable,
+    bl: IncrementalBottomLevels,
+    /// `time[t] = τ(t, np[t])` — the memoized value at the current
+    /// allocation.
+    time: Vec<f64>,
+    np: Vec<usize>,
+    levels: Vec<usize>,
+    level_usage: Vec<usize>,
+    /// Per-level `Σ np·τ` accumulators (only maintained under
+    /// [`StopRule::PerLevelArea`]).
+    level_area: Vec<f64>,
+    /// Maintained critical path (scratch, rebuilt each step from `bl`).
+    cp: Vec<TaskId>,
+    /// `(np when computed, next strictly-improving target)` per task.
+    next_improving: Vec<(usize, Option<usize>)>,
+}
+
+impl AllocationEngine {
+    /// A fresh engine (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the τ-table filled by the last
+    /// [`AllocationEngine::allocate`] call. The mapping phase reads its
+    /// execution costs from here instead of re-entering the model.
+    pub fn tau_table(&self) -> &TauTable {
+        &self.tau
+    }
+
+    /// Computes per-task allocations; see [`allocate`] for the contract.
+    pub fn allocate(
+        &mut self,
+        dag: &Dag,
+        cluster_size: usize,
+        config: &AllocationConfig,
+        tau: impl Fn(TaskId, usize) -> f64,
+    ) -> Vec<usize> {
+        assert!(cluster_size >= 1);
+        assert!(config.max_procs >= 1);
+        let n_tasks = dag.len();
+        self.tau.reset(n_tasks, config.max_procs);
+        if n_tasks == 0 {
+            return Vec::new();
+        }
+        self.np.clear();
+        self.np.resize(n_tasks, 1);
+        self.levels.clear();
+        self.levels.extend(dag.precedence_levels());
+        let max_level = self.levels.iter().copied().max().unwrap_or(0);
+        self.level_usage.clear();
+        self.level_usage.resize(max_level + 1, 0);
+        for t in 0..n_tasks {
+            self.level_usage[self.levels[t]] += 1;
+        }
+        self.next_improving.clear();
+        // Stamp 0 is unreachable (allocations start at 1), so every
+        // task's first candidate scan computes its target.
+        self.next_improving.resize(n_tasks, (0, None));
+
+        // τ at the initial one-processor allocation, and the area
+        // accumulators over those terms. The initial sums run in task-id
+        // order, exactly like the reference's per-step re-sums.
+        self.time.clear();
+        for t in 0..n_tasks {
+            let v = self.tau.get(&tau, TaskId(t), 1);
+            self.time.push(v);
+        }
+        let mut global_area = 0.0_f64;
+        self.level_area.clear();
+        self.level_area.resize(max_level + 1, 0.0);
+        for t in 0..n_tasks {
+            // `np = 1` everywhere, so each initial term is just τ(t, 1).
+            let term = self.time[t];
+            global_area += term;
+            self.level_area[self.levels[t]] += term;
+        }
+        self.bl.rebuild(dag, &self.time);
+
+        // Iteration bound: each step adds one processor to one task.
+        let max_steps = n_tasks * config.max_procs;
+        for _ in 0..max_steps {
+            let t_cp = self.bl.critical_path_length();
+            let t_a = match config.stop {
+                StopRule::GlobalArea => global_area / cluster_size as f64,
+                StopRule::PerLevelArea => {
+                    self.level_area.iter().copied().fold(0.0, f64::max) / cluster_size as f64
+                }
+            };
+            if t_cp <= t_a {
+                break;
+            }
+
+            // Candidate selection over the maintained critical path —
+            // identical rules and tie-breaks as the reference (first
+            // maximal score wins; growth targets are the next *strictly
+            // better* allocation, cached per task).
+            let mut cp = std::mem::take(&mut self.cp);
+            self.bl.critical_path_into(dag, &mut cp);
+            let mut best: Option<(TaskId, usize, f64)> = None;
+            for &t in &cp {
+                let cur = self.np[t.index()];
+                let target = self.next_improving(&tau, t, cur, config.max_procs);
+                let Some(q) = target else { continue };
+                if let LevelBudget::BoundedByCluster = config.budget {
+                    if self.level_usage[self.levels[t.index()]] + (q - cur) > cluster_size {
+                        continue;
+                    }
+                }
+                let gain = self.tau.get(&tau, t, cur) - self.tau.get(&tau, t, q);
+                let added = (q - cur) as f64;
+                let score = match config.rule {
+                    SelectionRule::AbsoluteGain => gain,
+                    // Gain per additional processor, damped by the target
+                    // size — reduces to gain/(np+1) for single steps.
+                    SelectionRule::GainPerProcessor => gain / (added * q as f64),
+                };
+                match best {
+                    Some((_, _, s)) if s >= score => {}
+                    _ => best = Some((t, q, score)),
+                }
+            }
+            self.cp = cp;
+
+            match best {
+                Some((t, q, _)) => {
+                    let i = t.index();
+                    let added = q - self.np[i];
+                    let new_time = self.tau.get(&tau, t, q);
+                    // O(1) area update: subtract the old term, add the new.
+                    let old_term = self.np[i] as f64 * self.time[i];
+                    let new_term = q as f64 * new_time;
+                    global_area = global_area - old_term + new_term;
+                    let lvl = self.levels[i];
+                    self.level_area[lvl] = self.level_area[lvl] - old_term + new_term;
+                    self.np[i] = q;
+                    self.level_usage[lvl] += added;
+                    // Re-relax only t's ancestor cone.
+                    self.time[i] = new_time;
+                    self.bl.update(dag, t, &self.time);
+                }
+                // No critical task can be improved: stop.
+                None => break,
+            }
+        }
+        self.np.clone()
+    }
+
+    /// The next strictly-improving allocation for `t` at allocation
+    /// `cur`, cached until `np[t]` changes (τ is pure, so the target is a
+    /// function of `(t, cur)` only).
+    #[inline]
+    fn next_improving(
+        &mut self,
+        tau: &impl Fn(TaskId, usize) -> f64,
+        t: TaskId,
+        cur: usize,
+        max_procs: usize,
+    ) -> Option<usize> {
+        let (stamp, cached) = self.next_improving[t.index()];
+        if stamp == cur {
+            return cached;
+        }
+        let at_cur = self.tau.get(tau, t, cur);
+        let target = (cur + 1..=max_procs).find(|&q| self.tau.get(tau, t, q) < at_cur);
+        self.next_improving[t.index()] = (cur, target);
+        target
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +576,117 @@ mod tests {
         let dag = Dag::new(vec![], &[]).unwrap();
         let np = allocate(&dag, 8, &CPA_CFG, |_, _| 1.0);
         assert!(np.is_empty());
+        assert!(allocate_ref(&dag, 8, &CPA_CFG, |_, _| 1.0).is_empty());
+    }
+
+    /// All three configuration shapes, shared by the differential tests.
+    fn all_configs(max_procs: usize) -> [AllocationConfig; 3] {
+        [
+            AllocationConfig {
+                rule: SelectionRule::AbsoluteGain,
+                budget: LevelBudget::Unbounded,
+                stop: StopRule::GlobalArea,
+                max_procs,
+            },
+            AllocationConfig {
+                rule: SelectionRule::GainPerProcessor,
+                budget: LevelBudget::Unbounded,
+                stop: StopRule::GlobalArea,
+                max_procs,
+            },
+            AllocationConfig {
+                rule: SelectionRule::AbsoluteGain,
+                budget: LevelBudget::BoundedByCluster,
+                stop: StopRule::PerLevelArea,
+                max_procs,
+            },
+        ]
+    }
+
+    #[test]
+    fn engine_matches_reference_on_shapes_and_taus() {
+        // Chains, forks, and an edge-free DAG under several τ regimes:
+        // ideal scaling, overhead-dominated, and a non-monotone profile
+        // with a deliberate outlier (exercises the strictly-improving
+        // target search and its cache).
+        let dags = vec![
+            chain(1),
+            chain(4),
+            chain(7),
+            fork(3),
+            fork(8),
+            Dag::new(vec![Kernel::MatMul { n: 100 }; 5], &[]).unwrap(),
+        ];
+        let taus: Vec<Box<dyn Fn(TaskId, usize) -> f64>> = vec![
+            Box::new(|_t, p| 8.0 / p as f64),
+            Box::new(|_t, p| 1.0 + p as f64),
+            Box::new(|t, p| {
+                let w = 16.0 * (1.0 + t.index() as f64);
+                let outlier = if p == 3 { 5.0 } else { 0.0 };
+                w / p as f64 + 0.4 * p as f64 + outlier
+            }),
+            // Uniform τ: every bottom level ties, stressing the critical
+            // path extraction's tie-break fidelity.
+            Box::new(|_t, _p| 2.0),
+        ];
+        let mut engine = AllocationEngine::new();
+        for dag in &dags {
+            for tau in &taus {
+                for cluster in [1usize, 4, 8] {
+                    for config in all_configs(8) {
+                        let want = allocate_ref(dag, cluster, &config, tau);
+                        let got = engine.allocate(dag, cluster, &config, tau);
+                        assert_eq!(got, want, "cluster {cluster} config {config:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tau_table_caches_final_allocation_times() {
+        use std::cell::Cell;
+        let dag = chain(4);
+        let calls = Cell::new(0usize);
+        let tau = |_t: TaskId, p: usize| {
+            calls.set(calls.get() + 1);
+            8.0 / p as f64
+        };
+        let mut engine = AllocationEngine::new();
+        let np = engine.allocate(&dag, 8, &CPA_CFG, tau);
+        // Every (task, p) point is evaluated at most once...
+        assert!(calls.get() <= dag.len() * CPA_CFG.max_procs);
+        // ...and the final-allocation values are retrievable without
+        // re-entering the model.
+        for t in dag.task_ids() {
+            let cached = engine.tau_table().cached(t, np[t.index()]).unwrap();
+            assert_eq!(cached, 8.0 / np[t.index()] as f64);
+        }
+        assert_eq!(engine.tau_table().cached(TaskId(0), 0), None);
+        assert_eq!(engine.tau_table().cached(TaskId(99), 1), None);
+    }
+
+    #[test]
+    fn memoization_reduces_model_calls_vs_reference() {
+        use std::cell::Cell;
+        let dag = fork(6);
+        let count_ref = Cell::new(0usize);
+        let np_ref = allocate_ref(&dag, 8, &CPA_CFG, |_t, p| {
+            count_ref.set(count_ref.get() + 1);
+            64.0 / p as f64 + 0.1 * p as f64
+        });
+        let count_inc = Cell::new(0usize);
+        let np_inc = allocate(&dag, 8, &CPA_CFG, |_t, p| {
+            count_inc.set(count_inc.get() + 1);
+            64.0 / p as f64 + 0.1 * p as f64
+        });
+        assert_eq!(np_ref, np_inc);
+        assert!(
+            count_inc.get() * 4 < count_ref.get(),
+            "memoized engine made {} model calls vs reference {}",
+            count_inc.get(),
+            count_ref.get()
+        );
     }
 
     #[test]

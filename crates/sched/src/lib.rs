@@ -29,7 +29,10 @@ pub mod mapping;
 pub mod schedule;
 
 pub use algorithms::{paper_algorithms, Cpa, Hcpa, Mcpa, Scheduler};
-pub use allocation::{allocate, AllocationConfig, LevelBudget, SelectionRule, StopRule};
+pub use allocation::{
+    allocate, allocate_ref, AllocationConfig, AllocationEngine, LevelBudget, SelectionRule,
+    StopRule, TauTable,
+};
 pub use mapping::{default_redist_estimate, map_tasks, MappingCosts};
 pub use schedule::{Schedule, ScheduleError, ScheduledTask};
 

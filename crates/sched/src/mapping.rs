@@ -50,6 +50,10 @@ pub fn map_tasks(
     let mut avail = vec![0.0_f64; n_hosts];
     let mut finish = vec![0.0_f64; dag.len()];
     let mut scheduled: Vec<ScheduledTask> = Vec::with_capacity(dag.len());
+    // Host-selection scratch, hoisted out of the task loop. It stays a
+    // permutation of 0..n_hosts across iterations, so partial selection
+    // never needs a re-initialization pass either.
+    let mut host_rank: Vec<usize> = (0..n_hosts).collect();
 
     for t in order {
         let p = allocations[t.index()].min(n_hosts).max(1);
@@ -62,10 +66,17 @@ pub fn map_tasks(
         }
 
         // Pick the p hosts with the earliest availability (deterministic
-        // tie-break by host index).
-        let mut host_order: Vec<usize> = (0..n_hosts).collect();
-        host_order.sort_by(|&a, &b| avail[a].total_cmp(&avail[b]).then(a.cmp(&b)));
-        let chosen: Vec<HostId> = host_order[..p].iter().map(|&h| HostId(h)).collect();
+        // tie-break by host index). The comparator is a total order over
+        // distinct indices, so selecting the p smallest and sorting just
+        // that prefix yields exactly the first p entries a full sort
+        // would — in O(n_hosts + p log p) instead of O(n_hosts log
+        // n_hosts) per task.
+        let by_avail = |a: &usize, b: &usize| avail[*a].total_cmp(&avail[*b]).then(a.cmp(b));
+        if p < n_hosts {
+            host_rank.select_nth_unstable_by(p - 1, by_avail);
+        }
+        host_rank[..p].sort_unstable_by(by_avail);
+        let chosen: Vec<HostId> = host_rank[..p].iter().map(|&h| HostId(h)).collect();
         let host_free = chosen
             .iter()
             .map(|h| avail[h.index()])
@@ -232,6 +243,81 @@ mod tests {
         let s = map_tasks(&dag, &cluster, &[2, 2, 2, 2], &costs, "test");
         for w in s.tasks.windows(2) {
             assert!(w[0].est_start <= w[1].est_start + 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort_reference() {
+        // The selection comparator breaks availability ties by host
+        // index; equal-availability hosts (the common case early in a
+        // schedule, and after same-end tasks) must come out exactly as a
+        // full sort would order them.
+        let dag = Dag::new(
+            vec![Kernel::MatMul { n: 100 }; 6],
+            &[
+                (TaskId(0), TaskId(2)),
+                (TaskId(1), TaskId(2)),
+                (TaskId(2), TaskId(3)),
+                (TaskId(2), TaskId(4)),
+                (TaskId(3), TaskId(5)),
+                (TaskId(4), TaskId(5)),
+            ],
+        )
+        .unwrap();
+        let cluster = Cluster::bayreuth();
+        let n_hosts = cluster.node_count();
+        for (exec, alloc) in [
+            (vec![1.0; 6], vec![3, 3, 8, 2, 2, 5]),
+            (vec![2.0, 2.0, 1.0, 4.0, 4.0, 1.0], vec![1, 1, 32, 4, 4, 2]),
+            (vec![1.5, 0.5, 2.5, 0.5, 1.5, 3.0], vec![7, 2, 5, 9, 1, 6]),
+        ] {
+            let r = no_redist();
+            let costs = MappingCosts {
+                exec: &exec,
+                redist: &r,
+            };
+            let got = map_tasks(&dag, &cluster, &alloc, &costs, "test");
+            got.validate(&dag, &cluster).unwrap();
+
+            // Reference: the pre-rework full sort per task.
+            let bl = dag.bottom_levels(|t| exec[t.index()]);
+            let mut order: Vec<TaskId> = dag.task_ids().collect();
+            order.sort_by(|a, b| {
+                bl[b.index()]
+                    .total_cmp(&bl[a.index()])
+                    .then(a.index().cmp(&b.index()))
+            });
+            let mut avail = vec![0.0_f64; n_hosts];
+            let mut finish = vec![0.0_f64; dag.len()];
+            let mut want: Vec<(TaskId, Vec<HostId>)> = Vec::new();
+            for t in order {
+                let p = alloc[t.index()].min(n_hosts).max(1);
+                let ready = dag
+                    .predecessors(t)
+                    .iter()
+                    .map(|pr| finish[pr.index()])
+                    .fold(0.0_f64, f64::max);
+                let mut host_order: Vec<usize> = (0..n_hosts).collect();
+                host_order.sort_by(|&a, &b| avail[a].total_cmp(&avail[b]).then(a.cmp(&b)));
+                let chosen: Vec<HostId> = host_order[..p].iter().map(|&h| HostId(h)).collect();
+                let host_free = chosen
+                    .iter()
+                    .map(|h| avail[h.index()])
+                    .fold(0.0_f64, f64::max);
+                let end = ready.max(host_free) + exec[t.index()];
+                for h in &chosen {
+                    avail[h.index()] = end;
+                }
+                finish[t.index()] = end;
+                want.push((t, chosen));
+            }
+            for (task, hosts) in want {
+                assert_eq!(
+                    got.placement(task).unwrap().hosts,
+                    hosts,
+                    "task {task} alloc {alloc:?}"
+                );
+            }
         }
     }
 

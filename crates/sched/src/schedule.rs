@@ -97,16 +97,17 @@ impl Schedule {
             seen[st.task.index()] = true;
         }
 
-        // Host sets: non-empty, distinct, in range.
+        // Host sets: non-empty, distinct, in range. One scratch buffer
+        // serves every task's duplicate check — no per-task allocation.
+        let mut scratch: Vec<HostId> = Vec::new();
         for st in &self.tasks {
             if st.hosts.is_empty() {
                 return Err(ScheduleError::BadHostSet(st.task));
             }
-            let mut hs = st.hosts.clone();
-            hs.sort();
-            let before = hs.len();
-            hs.dedup();
-            if hs.len() != before {
+            scratch.clear();
+            scratch.extend_from_slice(&st.hosts);
+            scratch.sort();
+            if scratch.windows(2).any(|w| w[0] == w[1]) {
                 return Err(ScheduleError::BadHostSet(st.task));
             }
             for &h in &st.hosts {
