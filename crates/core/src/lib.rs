@@ -17,6 +17,7 @@
 //! | [`faults`] | seeded fault-injection plans and the fault model hook |
 //! | [`journal`] | write-ahead result journal for crash-safe, resumable campaigns |
 //! | [`supervise`] | worker supervision: process isolation, timeouts, quarantine |
+//! | [`serve`] | scheduling-as-a-service daemon: wire protocol, admission control, drain |
 //! | [`testbed`] | the emulated execution environment (ground truth) |
 //! | [`regress`] | least-squares fitting (Table II machinery) |
 //! | [`stats`] | statistics, box plots, figure-data helpers |
@@ -49,6 +50,7 @@ pub use mps_model as model;
 pub use mps_platform as platform;
 pub use mps_regress as regress;
 pub use mps_sched as sched;
+pub use mps_serve as serve;
 pub use mps_sim as sim;
 pub use mps_stats as stats;
 pub use mps_supervise as supervise;

@@ -259,6 +259,13 @@ pub struct Watchdog {
     pub max_time: f64,
     /// Step budget; `u64::MAX` disables.
     pub max_steps: u64,
+    /// *Wall-clock* deadline; `None` disables. Unlike the two simulated
+    /// bounds this guards the host, not the model: a service running
+    /// simulations on behalf of clients can bound a single request's real
+    /// time even when simulated time advances normally. Checked every
+    /// [`Watchdog::WALL_CHECK_MASK`]+1 steps, so the common case costs one
+    /// integer test per step.
+    pub wall_deadline: Option<std::time::Instant>,
 }
 
 impl Default for Watchdog {
@@ -266,11 +273,16 @@ impl Default for Watchdog {
         Watchdog {
             max_time: f64::INFINITY,
             max_steps: u64::MAX,
+            wall_deadline: None,
         }
     }
 }
 
 impl Watchdog {
+    /// The wall-clock deadline is polled when
+    /// `steps_taken & WALL_CHECK_MASK == 0` (every 4096 steps).
+    pub const WALL_CHECK_MASK: u64 = 0xFFF;
+
     /// A watchdog bounding only simulated time.
     pub fn horizon(max_time: f64) -> Self {
         Watchdog {
@@ -285,6 +297,21 @@ impl Watchdog {
             max_steps,
             ..Watchdog::default()
         }
+    }
+
+    /// A watchdog bounding only host wall-clock time.
+    pub fn wall(deadline: std::time::Instant) -> Self {
+        Watchdog {
+            wall_deadline: Some(deadline),
+            ..Watchdog::default()
+        }
+    }
+
+    /// Adds a wall-clock deadline to this watchdog.
+    #[must_use]
+    pub fn with_wall_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.wall_deadline = Some(deadline);
+        self
     }
 }
 
@@ -661,6 +688,18 @@ impl Engine {
                         time: new_now,
                         steps: self.steps_taken,
                     });
+                }
+                // The wall-clock deadline needs a syscall, so it is only
+                // polled every few thousand steps.
+                if self.steps_taken & Watchdog::WALL_CHECK_MASK == 0 {
+                    if let Some(deadline) = wd.wall_deadline {
+                        if std::time::Instant::now() >= deadline {
+                            return Err(EngineError::Timeout {
+                                time: new_now,
+                                steps: self.steps_taken,
+                            });
+                        }
+                    }
                 }
             }
             let tol = next_dt * REL_EPS + 1e-15;

@@ -306,6 +306,38 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_trips_on_the_wall_clock_deadline() {
+        let mut e = Engine::new();
+        // A deadline already in the past: the first poll (step 4096) must
+        // trip. Timers pop one per step, so give it more than one poll
+        // window's worth of work.
+        e.set_watchdog(Some(Watchdog::wall(std::time::Instant::now())));
+        for i in 1..=2 * (Watchdog::WALL_CHECK_MASK + 1) {
+            e.schedule_timer(i as f64).unwrap();
+        }
+        let err = e.run_to_idle().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::Timeout { steps, .. } if steps == Watchdog::WALL_CHECK_MASK + 1
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn wall_deadline_far_in_the_future_does_not_fire() {
+        let mut e = Engine::new();
+        let r = e.add_resource(1.0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        e.set_watchdog(Some(
+            Watchdog::steps(1_000_000).with_wall_deadline(deadline),
+        ));
+        e.start(ActivitySpec::new(1.0).on(r, 1.0)).unwrap();
+        assert!(e.run_to_idle().is_ok());
+    }
+
+    #[test]
     fn disabled_watchdog_never_fires() {
         let mut e = Engine::new();
         let r = e.add_resource(1.0);

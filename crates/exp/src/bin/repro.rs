@@ -54,6 +54,7 @@ use mps_core::supervise::SupervisorConfig;
 use mps_exp::supervised::{serve_cells, SuperviseOpts, WorkerCommand};
 use mps_exp::{
     ablation, figures, grid_health, parse_poison_spec, GridStatus, Harness, JournaledGrid,
+    ServeBackend,
 };
 
 /// Exit code for a campaign that completed but quarantined poison cells:
@@ -83,6 +84,19 @@ fn main() {
     let mut max_cell_attempts: Option<u32> = None;
     let mut poison_spec: Option<String> = None;
     let mut cell_worker = false;
+    let mut stderr_tail_bytes: Option<usize> = None;
+    let mut spawn_timeout_secs: Option<u64> = None;
+    let mut socket: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut serve_workers: Option<usize> = None;
+    let mut stdio = false;
+    let mut cli_schedule: Option<String> = None;
+    let mut cli_simulate: Option<String> = None;
+    let mut cli_subset_grid: Option<usize> = None;
+    let mut cli_health = false;
+    let mut cli_drain = false;
+    let mut deadline_ms: Option<u64> = None;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -202,6 +216,100 @@ fn main() {
                         .unwrap_or_else(|| die("--poison needs a spec (needle=panic|hang,...)")),
                 );
             }
+            "--stderr-tail-bytes" => {
+                i += 1;
+                stderr_tail_bytes = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n <= 1024 * 1024)
+                        .unwrap_or_else(|| {
+                            die("--stderr-tail-bytes needs an integer in 0..=1048576")
+                        }),
+                );
+            }
+            "--spawn-timeout-secs" => {
+                i += 1;
+                spawn_timeout_secs = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .filter(|&n| (1..=600).contains(&n))
+                        .unwrap_or_else(|| die("--spawn-timeout-secs needs an integer in 1..=600")),
+                );
+            }
+            "--socket" => {
+                i += 1;
+                socket = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--socket needs a path")),
+                );
+            }
+            "--state" => {
+                i += 1;
+                state_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--state needs a directory")),
+                );
+            }
+            "--queue-cap" => {
+                i += 1;
+                queue_cap = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| (1..=4096).contains(&n))
+                        .unwrap_or_else(|| die("--queue-cap needs an integer in 1..=4096")),
+                );
+            }
+            "--serve-workers" => {
+                i += 1;
+                serve_workers = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| (1..=64).contains(&n))
+                        .unwrap_or_else(|| die("--serve-workers needs an integer in 1..=64")),
+                );
+            }
+            "--stdio" => stdio = true,
+            "--schedule" => {
+                i += 1;
+                cli_schedule = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--schedule needs DAG:VARIANT:ALGO")),
+                );
+            }
+            "--simulate" => {
+                i += 1;
+                cli_simulate = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--simulate needs DAG:VARIANT:ALGO")),
+                );
+            }
+            "--subset-grid" => {
+                i += 1;
+                cli_subset_grid = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--subset-grid needs an integer >= 1")),
+                );
+            }
+            "--health" => cli_health = true,
+            "--drain" => cli_drain = true,
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| die("--deadline-ms needs an integer")),
+                );
+            }
+            "--help" | "-h" => {
+                print!("{}", help_text());
+                std::process::exit(0);
+            }
             // Hidden: run as a supervised cell worker over stdin/stdout.
             "--cell-worker" => cell_worker = true,
             // Hidden: inert marker so tests can find worker processes by
@@ -215,7 +323,60 @@ fn main() {
         targets.push("all".to_string());
     }
     args.clear();
-    if journal_path.is_none() && !cell_worker {
+    let serving = targets.iter().any(|t| t == "serve");
+    let clienting = targets.iter().any(|t| t == "client");
+    if serving && clienting {
+        die("serve and client are mutually exclusive targets");
+    }
+    if (serving || clienting) && targets.len() > 1 {
+        die("serve/client cannot be combined with other targets");
+    }
+    if serving {
+        if socket.is_none() && !stdio {
+            die("serve needs --socket PATH (or --stdio)");
+        }
+        if isolation == "process" && state_dir.is_none() {
+            die("serve --isolation process requires --state DIR (the supervisor owns journals)");
+        }
+        if resume {
+            die("--resume is implicit for serve (journals under --state resume themselves)");
+        }
+    }
+    if clienting && socket.is_none() {
+        die("client needs --socket PATH");
+    }
+    if !serving && !clienting {
+        for (set, flag) in [
+            (socket.is_some(), "--socket"),
+            (state_dir.is_some(), "--state"),
+            (queue_cap.is_some(), "--queue-cap"),
+            (serve_workers.is_some(), "--serve-workers"),
+            (stdio, "--stdio"),
+            (cli_schedule.is_some(), "--schedule"),
+            (cli_simulate.is_some(), "--simulate"),
+            (cli_subset_grid.is_some(), "--subset-grid"),
+            (cli_health, "--health"),
+            (cli_drain, "--drain"),
+            (deadline_ms.is_some(), "--deadline-ms"),
+        ] {
+            if set {
+                die(&format!("{flag} requires the serve or client target"));
+            }
+        }
+    }
+    if clienting {
+        std::process::exit(run_client(
+            socket.as_deref().unwrap(),
+            repeats,
+            deadline_ms,
+            cli_health,
+            cli_schedule.as_deref(),
+            cli_simulate.as_deref(),
+            cli_subset_grid,
+            cli_drain,
+        ));
+    }
+    if journal_path.is_none() && !cell_worker && !serving {
         // These flags only make sense for a journaled campaign; silently
         // ignoring them would mislead (e.g. `--resume` quietly recomputing
         // a full grid from scratch).
@@ -235,6 +396,8 @@ fn main() {
         for (set, flag) in [
             (cell_timeout_secs.is_some(), "--cell-timeout-secs"),
             (max_cell_attempts.is_some(), "--max-cell-attempts"),
+            (stderr_tail_bytes.is_some(), "--stderr-tail-bytes"),
+            (spawn_timeout_secs.is_some(), "--spawn-timeout-secs"),
         ] {
             if set {
                 die(&format!("{flag} requires --isolation process"));
@@ -281,6 +444,29 @@ fn main() {
         // supervisor closes the pipe. No catch_unwind — a poisoned cell
         // kills this process and that death is the crash report.
         std::process::exit(serve_cells(&harness, repeats));
+    }
+    if serving {
+        let opts = ServeCliOpts {
+            socket,
+            state_dir,
+            queue_cap,
+            serve_workers,
+            stdio,
+            max_wall_secs,
+            throttle_ms,
+            isolation: isolation.clone(),
+            seed,
+            repeats,
+            max_retries,
+            faults: faults.clone(),
+            poison_spec: poison_spec.clone(),
+            workers,
+            cell_timeout_secs,
+            max_cell_attempts,
+            spawn_timeout_secs,
+            stderr_tail_bytes,
+        };
+        std::process::exit(run_serve(harness, opts));
     }
     let mut grid_status = GridStatus::Complete;
     let cells = if needs_grid {
@@ -340,11 +526,12 @@ fn main() {
                         workers,
                         resume,
                         cell_timeout: Duration::from_secs(cell_timeout_secs.unwrap_or(120)),
+                        spawn_timeout: Duration::from_secs(spawn_timeout_secs.unwrap_or(30)),
+                        stderr_tail_bytes: stderr_tail_bytes.unwrap_or(8 * 1024),
                         config: SupervisorConfig {
                             max_cell_attempts: max_cell_attempts.unwrap_or(2),
                             ..SupervisorConfig::default()
                         },
-                        ..SuperviseOpts::default()
                     };
                     match subset {
                         Some(take) => {
@@ -659,6 +846,347 @@ fn gantt_report(harness: &Harness) -> String {
     out
 }
 
+/// Everything `repro serve` needs from the flag soup.
+struct ServeCliOpts {
+    socket: Option<String>,
+    state_dir: Option<String>,
+    queue_cap: Option<usize>,
+    serve_workers: Option<usize>,
+    stdio: bool,
+    max_wall_secs: Option<u64>,
+    throttle_ms: Option<u64>,
+    isolation: String,
+    seed: u64,
+    repeats: u64,
+    max_retries: u32,
+    faults: Option<String>,
+    poison_spec: Option<String>,
+    workers: Option<usize>,
+    cell_timeout_secs: Option<u64>,
+    max_cell_attempts: Option<u32>,
+    spawn_timeout_secs: Option<u64>,
+    stderr_tail_bytes: Option<usize>,
+}
+
+/// The `serve` target: run the scheduling daemon until it drains.
+/// Exit codes: 0 clean drain, 3 drained with quarantined cells,
+/// 130 aborted drain (second signal), 2 startup error.
+fn run_serve(harness: Harness, o: ServeCliOpts) -> i32 {
+    install_signal_handlers();
+    let mut ctrl = RunControl::unlimited().with_cancel(CancelToken::following_signals());
+    if let Some(secs) = o.max_wall_secs {
+        ctrl = ctrl.with_deadline_in(Duration::from_secs(secs));
+    }
+    if let Some(ms) = o.throttle_ms {
+        ctrl = ctrl.with_throttle(Duration::from_millis(ms));
+    }
+    let mut backend = ServeBackend::new(harness);
+    if let Some(dir) = &o.state_dir {
+        backend = backend.with_state_dir(PathBuf::from(dir));
+    }
+    if o.isolation == "process" {
+        let program: PathBuf = std::env::current_exe()
+            .unwrap_or_else(|e| die(&format!("cannot locate own binary: {e}")));
+        let mut wargs = vec![
+            "--cell-worker".to_string(),
+            "--seed".to_string(),
+            o.seed.to_string(),
+            "--repeats".to_string(),
+            o.repeats.to_string(),
+            "--max-retries".to_string(),
+            o.max_retries.to_string(),
+        ];
+        if let Some(desc) = &o.faults {
+            wargs.push("--faults".to_string());
+            wargs.push(desc.clone());
+        }
+        if let Some(spec) = &o.poison_spec {
+            wargs.push("--poison".to_string());
+            wargs.push(spec.clone());
+        }
+        wargs.push("--worker-tag".to_string());
+        wargs.push("serve".to_string());
+        let opts = SuperviseOpts {
+            repeats: o.repeats,
+            workers: o.workers.unwrap_or(2),
+            resume: false,
+            cell_timeout: Duration::from_secs(o.cell_timeout_secs.unwrap_or(120)),
+            spawn_timeout: Duration::from_secs(o.spawn_timeout_secs.unwrap_or(30)),
+            stderr_tail_bytes: o.stderr_tail_bytes.unwrap_or(8 * 1024),
+            config: SupervisorConfig {
+                max_cell_attempts: o.max_cell_attempts.unwrap_or(2),
+                ..SupervisorConfig::default()
+            },
+        };
+        backend = backend.with_worker(
+            WorkerCommand {
+                program,
+                args: wargs,
+            },
+            opts,
+        );
+    }
+    let cfg = mps_core::serve::ServerConfig {
+        server: "mps-serve".to_string(),
+        queue_capacity: o.queue_cap.unwrap_or(16),
+        executors: o.serve_workers.unwrap_or(2),
+        ctrl,
+    };
+    let server = mps_core::serve::Server::new(std::sync::Arc::new(backend), cfg);
+    let result = if o.stdio {
+        eprintln!(
+            "# serving mps-proto/v1 on stdio ({} isolation)",
+            o.isolation
+        );
+        server.run_stdio()
+    } else {
+        #[cfg(unix)]
+        {
+            let path = o.socket.as_deref().expect("validated: --socket or --stdio");
+            eprintln!(
+                "# serving mps-proto/v1 on {path} ({} isolation, queue {})",
+                o.isolation,
+                o.queue_cap.unwrap_or(16)
+            );
+            server.run_unix(Path::new(path))
+        }
+        #[cfg(not(unix))]
+        {
+            die("serve over a socket requires a Unix platform (use --stdio)")
+        }
+    };
+    match result {
+        Err(e) => {
+            eprintln!("repro: serve: {e}");
+            2
+        }
+        Ok(x) => {
+            eprintln!(
+                "# serve exit: {} served, {} shed, {} quarantined, {} recovered — {}",
+                x.served,
+                x.shed,
+                x.quarantined,
+                x.recovered,
+                if x.interrupted {
+                    "drain aborted"
+                } else {
+                    "drained clean"
+                }
+            );
+            if x.interrupted {
+                130
+            } else if x.quarantined > 0 {
+                EXIT_QUARANTINED
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// Parses a `DAG:VARIANT:ALGO` request spec.
+fn parse_cell_spec(spec: &str) -> (usize, String, String) {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [dag, variant, algo] = parts[..] else {
+        die(&format!("bad spec {spec:?} (want DAG:VARIANT:ALGO)"));
+    };
+    let dag = dag
+        .parse()
+        .unwrap_or_else(|_| die(&format!("bad DAG index in {spec:?}")));
+    (dag, variant.to_string(), algo.to_string())
+}
+
+/// The `client` target: submit work to a running daemon, stream cells
+/// to stdout as `<key>\t<payload>` lines. Exit codes: 0 done, 2
+/// connect/protocol error, 4 request failed, 5 overloaded, 6 draining.
+#[allow(clippy::too_many_arguments)]
+#[cfg(unix)]
+fn run_client(
+    socket: &str,
+    repeats: u64,
+    deadline_ms: Option<u64>,
+    health: bool,
+    schedule: Option<&str>,
+    simulate: Option<&str>,
+    subset_grid: Option<usize>,
+    drain: bool,
+) -> i32 {
+    use mps_core::serve::client::connect_unix;
+    use mps_core::serve::{RequestOutcome, WorkRequest};
+
+    let (mut client, _cap) =
+        match connect_unix(Path::new(socket), "repro-client", Duration::from_secs(10)) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("repro: client: {e}");
+                return 2;
+            }
+        };
+    let mut id = 0u64;
+    let mut code = 0i32;
+
+    if health {
+        id += 1;
+        match client.health(id) {
+            Ok(stats) => match serde_json::to_string_pretty(&stats) {
+                Ok(j) => println!("{j}"),
+                Err(e) => {
+                    eprintln!("repro: client: encode stats: {e}");
+                    code = 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("repro: client: health: {e}");
+                return 2;
+            }
+        }
+    }
+
+    let mut work_items: Vec<WorkRequest> = Vec::new();
+    if let Some(spec) = schedule {
+        let (dag, variant, algo) = parse_cell_spec(spec);
+        work_items.push(WorkRequest::Schedule { dag, variant, algo });
+    }
+    if let Some(spec) = simulate {
+        let (dag, variant, algo) = parse_cell_spec(spec);
+        work_items.push(WorkRequest::Simulate {
+            dag,
+            variant,
+            algo,
+            repeats,
+        });
+    }
+    if let Some(take) = subset_grid {
+        work_items.push(WorkRequest::SubsetGrid { take, repeats });
+    }
+    for work in &work_items {
+        id += 1;
+        let outcome = client.request(id, work, deadline_ms, &mut |key, payload| {
+            println!("{key}\t{payload}");
+        });
+        match outcome {
+            Ok(RequestOutcome::Done(summary)) => {
+                eprintln!(
+                    "# request {id}: {} cell(s) ({} resumed, {} computed, {} quarantined) — {}",
+                    summary.cells,
+                    summary.resumed,
+                    summary.computed,
+                    summary.quarantined,
+                    summary.status
+                );
+            }
+            Ok(RequestOutcome::Failed { error }) => {
+                eprintln!("repro: client: request {id} failed: {error}");
+                code = code.max(4);
+            }
+            Ok(RequestOutcome::Overloaded { retry_after_ms }) => {
+                eprintln!("repro: client: overloaded — retry after {retry_after_ms} ms");
+                code = code.max(5);
+            }
+            Ok(RequestOutcome::Draining) => {
+                eprintln!("repro: client: server is draining");
+                code = code.max(6);
+            }
+            Err(e) => {
+                eprintln!("repro: client: {e}");
+                return 2;
+            }
+        }
+    }
+    if drain {
+        id += 1;
+        if let Err(e) = client.drain(id) {
+            eprintln!("repro: client: drain: {e}");
+            return 2;
+        }
+        eprintln!("# drain acknowledged");
+    }
+    code
+}
+
+#[cfg(not(unix))]
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    _socket: &str,
+    _repeats: u64,
+    _deadline_ms: Option<u64>,
+    _health: bool,
+    _schedule: Option<&str>,
+    _simulate: Option<&str>,
+    _subset_grid: Option<usize>,
+    _drain: bool,
+) -> i32 {
+    die("the client target requires a Unix platform")
+}
+
+/// `--help` text, to stdout (exit 0) — `die`'s short usage goes to
+/// stderr with exit 2.
+fn help_text() -> String {
+    "repro — regenerate the paper's tables and figures, or run/query the
+scheduling daemon.
+
+usage: repro [FLAGS] [TARGET]...
+
+targets:
+  table1 fig1..fig8 table2 gantt ablations faultsweep grid all
+  serve    run the mps-serve scheduling daemon (mps-proto/v1)
+  client   submit work to a running daemon
+
+grid flags:
+  --seed S             harness seed (default 2011)
+  --repeats R          testbed runs per cell (default 3)
+  --json DIR           also write grid.json / grid.csv
+  --faults PLAN        inject a fault plan (preset or clause list)
+  --max-retries N      per-task retry budget under faults
+  --subset N           only the first N corpus DAGs
+  --workers N          worker threads / processes
+  --journal PATH       crash-safe write-ahead journal for the grid
+  --resume             continue an existing journal
+  --max-wall-secs S    graceful checkpoint after S seconds
+  --throttle-ms N      sleep N ms between cells (test kill windows)
+  --isolation MODE     inproc (default) or process
+
+supervision flags (require --isolation process):
+  --cell-timeout-secs S    per-attempt wall budget, >= 1 (default 120)
+  --max-cell-attempts N    strikes before quarantine, >= 1 (default 2)
+  --spawn-timeout-secs S   worker spawn->handshake budget, 1..=600
+                           (default 30)
+  --stderr-tail-bytes N    worker stderr retained per crash report,
+                           0..=1048576 (default 8192)
+  --poison SPEC            poison matching cells (needle=panic|hang,...)
+
+serve flags (target: serve):
+  --socket PATH        Unix socket to listen on
+  --stdio              serve one connection over stdin/stdout instead
+  --state DIR          journal every grid request under DIR: identical
+                       resubmissions replay byte-identically, and a
+                       restarted daemon finishes interrupted requests
+  --queue-cap N        admission queue capacity, 1..=4096 (default 16)
+  --serve-workers N    concurrent request executors, 1..=64 (default 2)
+  --isolation process  run cells in supervised workers (needs --state);
+                       poison requests are quarantined, not fatal
+  --max-wall-secs S    drain and exit after S seconds
+
+client flags (target: client):
+  --socket PATH              daemon socket
+  --schedule DAG:VAR:ALGO    one schedule (no testbed runs)
+  --simulate DAG:VAR:ALGO    one full cell (--repeats testbed runs)
+  --subset-grid N            first N DAGs x 3 variants x 2 algorithms
+  --deadline-ms N            per-request deadline
+  --health                   print server statistics
+  --drain                    ask the daemon to drain and exit
+  (VAR: analytic|profile|empirical; ALGO: HCPA|MCPA; cells stream to
+   stdout as <key><TAB><payload-json> lines)
+
+exit codes:
+  0 success / clean drain      2 usage or runtime error
+  3 completed with quarantined cells
+  4 client request failed      5 overloaded (retry hinted)
+  6 server draining            130 interrupted
+"
+    .to_string()
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!("usage: repro [--seed S] [--repeats R] [--json DIR] \\");
@@ -674,5 +1202,7 @@ fn die(msg: &str) -> ! {
     eprintln!("  --resume continues it, recomputing only missing cells.");
     eprintln!("  --isolation process runs cells in supervised child workers;");
     eprintln!("  poison cells are quarantined after --max-cell-attempts strikes.");
+    eprintln!("  `repro serve|client` runs/queries the scheduling daemon —");
+    eprintln!("  see `repro --help` for the full flag reference.");
     std::process::exit(2);
 }

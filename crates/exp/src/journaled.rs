@@ -293,6 +293,7 @@ impl Harness {
             cells_expected: expected,
             config_digest: self.config_digest(),
             isolation: "inproc".to_string(),
+            request: String::new(),
         };
 
         let (resumed_cells, mut writer, salvage_dropped_bytes) =

@@ -16,6 +16,7 @@ pub mod ablation;
 pub mod figures;
 pub mod journaled;
 pub mod runner;
+pub mod serve_backend;
 pub mod supervised;
 
 pub use journaled::{GridStatus, JournaledGrid};
@@ -23,4 +24,5 @@ pub use runner::{
     cell_key, grid_health, paired_relative_makespans, parse_poison_spec, CellOutcome, CellResult,
     GridHealth, Harness, PoisonAction, PoisonRule, SimVariant, ERROR_PCT_SENTINEL,
 };
+pub use serve_backend::ServeBackend;
 pub use supervised::{SuperviseOpts, WorkerCommand};

@@ -364,21 +364,31 @@ impl Harness {
             real_runs: Vec::new(),
             outcome: CellOutcome::Full,
         };
-        let sim_out = match variant {
-            SimVariant::Analytic => {
-                Simulator::new(cluster, mps_core::model::AnalyticModel::paper_jvm())
-                    .schedule_and_simulate(&g.dag, algo)
+        // Warm allocation engine: the memoized tau-tables and solver
+        // workspaces survive across cells on this thread (the engine
+        // resets its per-allocation state, so reuse is bit-identical) —
+        // long-lived daemons amortize the warm-up instead of paying it
+        // per request.
+        thread_local! {
+            static ENGINE: std::cell::RefCell<mps_core::sched::AllocationEngine> =
+                std::cell::RefCell::new(mps_core::sched::AllocationEngine::new());
+        }
+        let sim_out = ENGINE.with(|e| {
+            let engine = &mut *e.borrow_mut();
+            match variant {
+                SimVariant::Analytic => {
+                    Simulator::new(cluster, mps_core::model::AnalyticModel::paper_jvm())
+                        .schedule_and_simulate_with_engine(&g.dag, algo, engine)
+                }
+                // Borrowed models: a simulator construction per cell must
+                // clone a pointer, not the profile tables / fitted curves
+                // (the `&M` blanket `PerfModel` impl makes `Clone` free).
+                SimVariant::Profile => Simulator::new(cluster, &self.profile_model)
+                    .schedule_and_simulate_with_engine(&g.dag, algo, engine),
+                SimVariant::Empirical => Simulator::new(cluster, &self.empirical_model)
+                    .schedule_and_simulate_with_engine(&g.dag, algo, engine),
             }
-            // Borrowed models: a simulator construction per cell must
-            // clone a pointer, not the profile tables / fitted curves
-            // (the `&M` blanket `PerfModel` impl makes `Clone` free).
-            SimVariant::Profile => {
-                Simulator::new(cluster, &self.profile_model).schedule_and_simulate(&g.dag, algo)
-            }
-            SimVariant::Empirical => {
-                Simulator::new(cluster, &self.empirical_model).schedule_and_simulate(&g.dag, algo)
-            }
-        };
+        });
         let (sim_makespan, schedule) = match sim_out {
             Ok(out) => (out.result.makespan, out.schedule),
             Err(e) => {
@@ -553,6 +563,23 @@ impl Harness {
     ) -> Vec<CellResult> {
         let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
         self.run_cells(&corpus, repeats, workers)
+    }
+
+    /// Computes one schedule (no simulation, no testbed execution) with
+    /// the warm per-thread engine — the daemon's `Schedule` request.
+    pub(crate) fn schedule_only(
+        &self,
+        g: &GeneratedDag,
+        variant: SimVariant,
+        algo: &dyn Scheduler,
+    ) -> Result<mps_core::sched::Schedule, String> {
+        let cluster = self.testbed.nominal_cluster();
+        let model = self.model_of(variant);
+        let schedule = algo.schedule(&g.dag, &cluster, model.as_ref());
+        schedule
+            .validate(&g.dag, &cluster)
+            .map_err(|e| format!("schedule validation: {e:?}"))?;
+        Ok(schedule)
     }
 
     /// Returns the model for a variant as a trait object (for reporting).

@@ -34,8 +34,8 @@ use mps_core::dag::gen::GeneratedDag;
 use mps_core::journal::{JournalHeader, JournalWriter, RunControl, FORMAT_V1};
 use mps_core::supervise::{
     read_frame, write_frame, Action, Attempt, AttemptOutcome, CrashReport, Disposition,
-    SuperviseError, Supervisor, SupervisorConfig, WorkerDeath, WorkerProcess, WorkerRecv,
-    WorkerSpec,
+    SuperviseError, Supervisor, SupervisorConfig, WorkerDeath, WorkerHello, WorkerProcess,
+    WorkerRecv, WorkerSpec,
 };
 use mps_core::MpsError;
 
@@ -56,6 +56,11 @@ pub struct CellRequest {
     pub variant: SimVariant,
     /// Algorithm index (0 = HCPA, 1 = MCPA).
     pub algo: usize,
+    /// Testbed repeats for this cell. `None` (absent on the wire, as
+    /// written by pre-service supervisors) falls back to the worker's
+    /// `--repeats` flag; the serve backend dispatches per-request values.
+    #[serde(default)]
+    pub repeats: Option<u64>,
 }
 
 /// Worker → supervisor: the completed cell, keyed for the journal.
@@ -65,15 +70,6 @@ pub struct CellResponse {
     pub key: String,
     /// The measured cell.
     pub cell: CellResult,
-}
-
-/// Worker → supervisor: sent once after startup, before any cell. The
-/// spawn-to-ready handshake is timed separately from cell execution so a
-/// slow process start never eats into a cell's budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct WorkerReady {
-    /// Protocol sanity marker.
-    pub ready: bool,
 }
 
 /// How to launch a worker process (the `repro` binary in `--cell-worker`
@@ -98,8 +94,10 @@ pub struct SuperviseOpts {
     /// Wall-clock budget per cell attempt; a worker exceeding it is
     /// SIGKILLed and the attempt counts as a timeout.
     pub cell_timeout: Duration,
-    /// Budget for the spawn → `WorkerReady` handshake.
+    /// Budget for the spawn → [`WorkerHello`] handshake.
     pub spawn_timeout: Duration,
+    /// Bytes of worker stderr retained for crash reports.
+    pub stderr_tail_bytes: usize,
     /// Restart/backoff/quarantine policy.
     pub config: SupervisorConfig,
 }
@@ -112,6 +110,7 @@ impl Default for SuperviseOpts {
             resume: false,
             cell_timeout: Duration::from_secs(120),
             spawn_timeout: Duration::from_secs(30),
+            stderr_tail_bytes: 8 * 1024,
             config: SupervisorConfig::default(),
         }
     }
@@ -131,7 +130,10 @@ pub fn serve_cells(harness: &Harness, repeats: u64) -> i32 {
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
     let mut output = stdout.lock();
-    if write_frame(&mut output, &WorkerReady { ready: true }).is_err() {
+    // The handshake carries the worker protocol version; a supervisor
+    // from a different build answers by killing us, never by misparsing
+    // our frames.
+    if write_frame(&mut output, &WorkerHello::current()).is_err() {
         return 1;
     }
     loop {
@@ -142,6 +144,7 @@ pub fn serve_cells(harness: &Harness, repeats: u64) -> i32 {
                     return 1;
                 };
                 let algo = algo_of(req.algo);
+                let repeats = req.repeats.unwrap_or(repeats);
                 let cell = harness.run_one(g, req.variant, algo, repeats);
                 let key = cell_key(
                     &g.name(),
@@ -168,7 +171,7 @@ struct Slot {
     proc: Option<WorkerProcess>,
     /// Earliest instant the issued spawn may execute (backoff).
     spawn_due: Option<Instant>,
-    /// Deadline for the `WorkerReady` handshake.
+    /// Deadline for the [`WorkerHello`] handshake.
     ready_deadline: Option<Instant>,
     /// Deadline and start instant of the dispatched cell.
     cell_deadline: Option<Instant>,
@@ -215,6 +218,10 @@ struct Run<'a> {
     reports: Vec<CrashReport>,
     writer: &'a mut JournalWriter,
     new_cells: Vec<(String, CellResult)>,
+    /// Streaming observer: called with `(key, payload_json)` right after
+    /// each cell (measurement or quarantine record) becomes durable. The
+    /// serve backend forwards these to the requesting client.
+    on_cell: &'a mut dyn FnMut(&str, &str),
 }
 
 impl Run<'_> {
@@ -239,6 +246,7 @@ impl Run<'_> {
         self.writer
             .append_record(&key, &payload)
             .map_err(MpsError::Journal)?;
+        (self.on_cell)(&key, &payload);
         self.new_cells.push((key, cell));
         Ok(())
     }
@@ -306,7 +314,16 @@ impl Harness {
         ctrl: &RunControl,
     ) -> Result<JournaledGrid, MpsError> {
         let corpus = self.corpus();
-        self.run_cells_supervised(&corpus, "paper-grid", path, worker, opts, ctrl)
+        self.run_cells_supervised(
+            &corpus,
+            "paper-grid",
+            "",
+            path,
+            worker,
+            opts,
+            ctrl,
+            &mut |_, _| {},
+        )
     }
 
     /// [`Harness::run_grid_supervised`] over the first `take` corpus DAGs.
@@ -322,17 +339,54 @@ impl Harness {
     ) -> Result<JournaledGrid, MpsError> {
         let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
         let campaign = format!("paper-grid[..{}]", corpus.len());
-        self.run_cells_supervised(&corpus, &campaign, path, worker, opts, ctrl)
+        self.run_cells_supervised(
+            &corpus,
+            &campaign,
+            "",
+            path,
+            worker,
+            opts,
+            ctrl,
+            &mut |_, _| {},
+        )
     }
 
-    fn run_cells_supervised(
+    /// [`Harness::run_subset_supervised`] with a streaming observer:
+    /// `on_cell(key, payload_json)` fires as each newly computed cell
+    /// becomes durable in the journal. The serve backend's process-
+    /// isolation path.
+    /// `request` is the verbatim work-request JSON stored in the journal
+    /// header so a restarted daemon can reconstruct the work from the
+    /// journal alone (empty for plain grid campaigns).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_subset_supervised_streaming(
         &self,
-        corpus: &[GeneratedDag],
-        campaign: &str,
+        take: usize,
+        request: &str,
         path: &Path,
         worker: &WorkerCommand,
         opts: &SuperviseOpts,
         ctrl: &RunControl,
+        on_cell: &mut dyn FnMut(&str, &str),
+    ) -> Result<JournaledGrid, MpsError> {
+        let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
+        let campaign = format!("serve[..{}]", corpus.len());
+        self.run_cells_supervised(
+            &corpus, &campaign, request, path, worker, opts, ctrl, on_cell,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_cells_supervised(
+        &self,
+        corpus: &[GeneratedDag],
+        campaign: &str,
+        request: &str,
+        path: &Path,
+        worker: &WorkerCommand,
+        opts: &SuperviseOpts,
+        ctrl: &RunControl,
+        on_cell: &mut dyn FnMut(&str, &str),
     ) -> Result<JournaledGrid, MpsError> {
         let expected = (corpus.len() * SimVariant::ALL.len() * 2) as u64;
         let header = JournalHeader {
@@ -343,6 +397,7 @@ impl Harness {
             cells_expected: expected,
             config_digest: self.config_digest(),
             isolation: "process".to_string(),
+            request: request.to_string(),
         };
         let (resumed_cells, mut writer, salvage_dropped_bytes) =
             open_grid_journal(path, &header, opts.resume)?;
@@ -359,8 +414,10 @@ impl Harness {
             reports: vec![CrashReport::default(); pending.len()],
             writer: &mut writer,
             new_cells: Vec::new(),
+            on_cell,
         };
-        let spec = WorkerSpec::new(worker.program.clone(), worker.args.clone());
+        let mut spec = WorkerSpec::new(worker.program.clone(), worker.args.clone());
+        spec.stderr_tail_bytes = opts.stderr_tail_bytes;
 
         let outcome = supervise_loop(&mut run, &mut machine, &mut slots, &spec, ctrl);
         let new_cells = std::mem::take(&mut run.new_cells);
@@ -427,6 +484,7 @@ fn supervise_loop(
                         dag: cs.dag,
                         variant: cs.variant,
                         algo: cs.algo,
+                        repeats: Some(run.opts.repeats),
                     };
                     let now = Instant::now();
                     let sent = slots[worker]
@@ -546,8 +604,15 @@ fn on_frame(
     use mps_core::supervise::proto::decode_frame;
 
     if slots[w].ready_deadline.is_some() {
-        match decode_frame::<WorkerReady>(bytes) {
+        match decode_frame::<WorkerHello>(bytes) {
             Ok(hello) if hello.ready => {
+                if let Err(e) = hello.check_version() {
+                    // Version skew is a configuration error, not a flaky
+                    // worker: respawning the same binary can never fix
+                    // it, so fail the campaign with the typed error.
+                    slots[w].kill();
+                    return Err(MpsError::Supervise(e));
+                }
                 slots[w].ready_deadline = None;
                 machine.worker_up(w);
             }

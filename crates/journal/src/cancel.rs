@@ -5,7 +5,7 @@
 //! it fires they finish the unit in flight and stop, so every completed
 //! result still reaches the journal before the process exits.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,19 +18,24 @@ pub enum StopReason {
     DeadlineExpired,
 }
 
-/// Set by the process-wide signal handler; consulted by tokens created
-/// with [`CancelToken::following_signals`].
-static SIGNALED: AtomicBool = AtomicBool::new(false);
+/// Incremented by the process-wide signal handler; consulted by tokens
+/// created with [`CancelToken::following_signals`].
+static SIGNALED: AtomicU32 = AtomicU32::new(0);
 
-/// Installs SIGINT + SIGTERM handlers that set a process-wide flag
-/// (visible via [`signal_received`]) instead of killing the process.
+/// Installs SIGINT + SIGTERM handlers that bump a process-wide counter
+/// (visible via [`signal_received`] / [`signal_count`]) instead of
+/// killing the process.
 ///
-/// The handler only performs an atomic store, which is async-signal-safe.
+/// Counting rather than latching lets a drain loop distinguish "please
+/// checkpoint and stop" (first signal) from "stop *now*" (a second
+/// signal while the drain is still running).
+///
+/// The handler only performs an atomic add, which is async-signal-safe.
 /// No-op on non-Unix platforms.
 #[cfg(unix)]
 pub fn install_signal_handlers() {
     extern "C" fn on_signal(_signum: i32) {
-        SIGNALED.store(true, Ordering::SeqCst);
+        SIGNALED.fetch_add(1, Ordering::SeqCst);
     }
     extern "C" {
         // Provided by libc, which std already links on Unix.
@@ -50,6 +55,13 @@ pub fn install_signal_handlers() {}
 
 /// True once a SIGINT/SIGTERM has been observed by the installed handler.
 pub fn signal_received() -> bool {
+    signal_count() > 0
+}
+
+/// How many SIGINT/SIGTERM deliveries the installed handler has observed.
+/// A graceful drain polls this to escalate: one signal drains, a second
+/// aborts the drain.
+pub fn signal_count() -> u32 {
     SIGNALED.load(Ordering::SeqCst)
 }
 

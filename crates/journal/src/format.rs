@@ -127,6 +127,14 @@ pub struct JournalHeader {
     /// can be *resumed* under `--isolation process` to quarantine it.
     #[serde(default)]
     pub isolation: String,
+    /// For service journals (`mps-serve`): the verbatim JSON of the work
+    /// request this journal belongs to, so a restarted daemon can
+    /// reconstruct and finish in-flight work from the journal alone.
+    /// Empty for grid campaigns (journals written before this field
+    /// existed parse as empty), and compared by `check_matches` — a
+    /// journal can never be resumed under a *different* request.
+    #[serde(default)]
+    pub request: String,
 }
 
 impl JournalHeader {
@@ -173,6 +181,13 @@ impl JournalHeader {
                 field: "config_digest",
                 expected: expected.config_digest.clone(),
                 found: self.config_digest.clone(),
+            });
+        }
+        if self.request != expected.request {
+            return Err(crate::JournalError::HeaderMismatch {
+                field: "request",
+                expected: expected.request.clone(),
+                found: self.request.clone(),
             });
         }
         Ok(())
@@ -255,6 +270,7 @@ mod tests {
             cells_expected: 324,
             config_digest: "0".to_string(),
             isolation: "inproc".to_string(),
+            request: String::new(),
         };
         let mut b = a.clone();
         assert!(a.check_matches(&b).is_ok());
@@ -284,6 +300,7 @@ mod tests {
             cells_expected: 24,
             config_digest: "deadbeef".to_string(),
             isolation: "process".to_string(),
+            request: r#"{"type":"SubsetGrid","take":2}"#.to_string(),
         };
         let json = serde_json::to_string(&h).unwrap();
         let back: JournalHeader = serde_json::from_str(&json).unwrap();

@@ -43,7 +43,9 @@ pub mod cancel;
 pub mod format;
 pub mod store;
 
-pub use cancel::{install_signal_handlers, signal_received, CancelToken, RunControl, StopReason};
+pub use cancel::{
+    install_signal_handlers, signal_count, signal_received, CancelToken, RunControl, StopReason,
+};
 pub use format::{decode_line, encode_line, fnv64, JournalHeader, FORMAT_V1, HEADER_KEY};
 pub use store::{
     manifest_path, open_resume, read_manifest, recover, write_manifest, JournalWriter, Manifest,

@@ -310,6 +310,7 @@ mod tests {
             cells_expected: 3,
             config_digest: "d".to_string(),
             isolation: String::new(),
+            request: String::new(),
         }
     }
 

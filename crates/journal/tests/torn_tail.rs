@@ -22,6 +22,7 @@ fn header(cells: u64) -> JournalHeader {
         cells_expected: cells,
         config_digest: "fixed".to_string(),
         isolation: String::new(),
+        request: String::new(),
     }
 }
 

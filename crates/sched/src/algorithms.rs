@@ -23,12 +23,28 @@ pub trait Scheduler {
 
     /// Computes a full schedule for `dag` on `cluster` under `model`.
     fn schedule(&self, dag: &Dag, cluster: &Cluster, model: &dyn PerfModel) -> Schedule {
+        let mut engine = AllocationEngine::new();
+        self.schedule_with_engine(dag, cluster, model, &mut engine)
+    }
+
+    /// [`Scheduler::schedule`] reusing a caller-owned [`AllocationEngine`].
+    ///
+    /// `allocate` resets the engine's τ-table and state per call, so the
+    /// result is bit-identical to a fresh engine; what reuse buys is the
+    /// engine's grown buffers — a long-lived service scheduling thousands
+    /// of DAGs skips the per-request allocations entirely.
+    fn schedule_with_engine(
+        &self,
+        dag: &Dag,
+        cluster: &Cluster,
+        model: &dyn PerfModel,
+        engine: &mut AllocationEngine,
+    ) -> Schedule {
         let config = self.allocation_config(cluster);
         let tau = |t: TaskId, p: usize| {
             let kernel = dag.task(t).kernel;
             model.task_time(kernel, p) + model.startup_overhead(p)
         };
-        let mut engine = AllocationEngine::new();
         let allocations = engine.allocate(dag, cluster.node_count(), &config, tau);
 
         // Execution costs at the final allocations come straight from the

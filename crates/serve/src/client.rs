@@ -1,0 +1,184 @@
+//! A small synchronous client for `mps-proto/v1`.
+//!
+//! Generic over any `Read + Write` transport so tests can drive it over
+//! in-memory pipes; [`connect_unix`] is the production path.
+
+use std::io::{Read, Write};
+
+use crate::proto::{
+    recv_msg, send_msg, ClientFrame, ServerFrame, ServerStats, WorkRequest, WorkSummary,
+    PROTO_VERSION,
+};
+use crate::ServeError;
+
+/// How a submitted request ended, from the client's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Admitted and finished; cells were streamed to the callback.
+    Done(WorkSummary),
+    /// Admitted but the backend failed it.
+    Failed {
+        /// Display form of the server-side error.
+        error: String,
+    },
+    /// Shed at admission: retry after the hinted backoff.
+    Overloaded {
+        /// Suggested backoff before resubmitting.
+        retry_after_ms: u64,
+    },
+    /// Refused: the server is draining.
+    Draining,
+}
+
+/// A connected, handshaken `mps-proto/v1` client.
+pub struct Client<S: Read + Write> {
+    io: S,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Performs the handshake on `io`. Returns the client and the
+    /// server's advertised queue capacity, or a typed
+    /// [`ServeError::VersionMismatch`] on skew.
+    pub fn handshake(io: S, client_name: &str) -> Result<(Self, u64), ServeError> {
+        let mut c = Client { io };
+        send_msg(
+            &mut c.io,
+            &ClientFrame::Hello {
+                proto: PROTO_VERSION.to_string(),
+                client: client_name.to_string(),
+            },
+        )?;
+        match recv_msg::<_, ServerFrame>(&mut c.io)? {
+            Some(ServerFrame::HelloAck { queue_capacity, .. }) => Ok((c, queue_capacity)),
+            Some(ServerFrame::VersionMismatch { want, .. }) => Err(ServeError::VersionMismatch {
+                ours: PROTO_VERSION.to_string(),
+                theirs: want,
+            }),
+            Some(other) => Err(ServeError::Protocol {
+                reason: format!("expected HelloAck, got {other:?}"),
+            }),
+            None => Err(ServeError::Protocol {
+                reason: "connection closed during handshake".to_string(),
+            }),
+        }
+    }
+
+    /// Submits `work` and blocks until it resolves, invoking `on_cell`
+    /// for every streamed `(key, payload)` cell.
+    pub fn request(
+        &mut self,
+        id: u64,
+        work: &WorkRequest,
+        deadline_ms: Option<u64>,
+        on_cell: &mut dyn FnMut(&str, &str),
+    ) -> Result<RequestOutcome, ServeError> {
+        send_msg(
+            &mut self.io,
+            &ClientFrame::Submit {
+                id,
+                work: work.clone(),
+                deadline_ms,
+            },
+        )?;
+        loop {
+            match recv_msg::<_, ServerFrame>(&mut self.io)? {
+                Some(ServerFrame::Accepted { id: i }) if i == id => continue,
+                Some(ServerFrame::Overloaded {
+                    id: i,
+                    retry_after_ms,
+                }) if i == id => return Ok(RequestOutcome::Overloaded { retry_after_ms }),
+                Some(ServerFrame::Draining { id: i }) if i == id => {
+                    return Ok(RequestOutcome::Draining)
+                }
+                Some(ServerFrame::Cell {
+                    id: i,
+                    key,
+                    payload,
+                }) if i == id => on_cell(&key, &payload),
+                Some(ServerFrame::Done { id: i, summary }) if i == id => {
+                    return Ok(RequestOutcome::Done(summary))
+                }
+                Some(ServerFrame::Failed { id: i, error }) if i == id => {
+                    return Ok(RequestOutcome::Failed { error })
+                }
+                Some(other) => {
+                    return Err(ServeError::Protocol {
+                        reason: format!("unexpected frame for request {id}: {other:?}"),
+                    })
+                }
+                None => {
+                    return Err(ServeError::Protocol {
+                        reason: format!("connection closed while request {id} was in flight"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Asks for server statistics.
+    pub fn health(&mut self, id: u64) -> Result<ServerStats, ServeError> {
+        send_msg(&mut self.io, &ClientFrame::Health { id })?;
+        match recv_msg::<_, ServerFrame>(&mut self.io)? {
+            Some(ServerFrame::Stats { id: i, stats }) if i == id => Ok(stats),
+            Some(other) => Err(ServeError::Protocol {
+                reason: format!("expected Stats, got {other:?}"),
+            }),
+            None => Err(ServeError::Protocol {
+                reason: "connection closed awaiting Stats".to_string(),
+            }),
+        }
+    }
+
+    /// Asks the server to drain and waits for the acknowledgement.
+    pub fn drain(&mut self, id: u64) -> Result<(), ServeError> {
+        send_msg(&mut self.io, &ClientFrame::Drain { id })?;
+        match recv_msg::<_, ServerFrame>(&mut self.io)? {
+            Some(ServerFrame::DrainStarted { id: i }) if i == id => Ok(()),
+            Some(other) => Err(ServeError::Protocol {
+                reason: format!("expected DrainStarted, got {other:?}"),
+            }),
+            None => Err(ServeError::Protocol {
+                reason: "connection closed awaiting DrainStarted".to_string(),
+            }),
+        }
+    }
+
+    /// Sends a polite goodbye and consumes the client.
+    pub fn bye(mut self) -> Result<(), ServeError> {
+        send_msg(&mut self.io, &ClientFrame::Bye)
+    }
+
+    /// Sends one raw frame without waiting for a reply (pipelined
+    /// submission — load generators fire bursts this way).
+    pub fn send_raw(&mut self, frame: &ClientFrame) -> Result<(), ServeError> {
+        send_msg(&mut self.io, frame)
+    }
+
+    /// Receives one raw server frame (`None` on clean EOF).
+    pub fn recv_raw(&mut self) -> Result<Option<ServerFrame>, ServeError> {
+        recv_msg(&mut self.io)
+    }
+}
+
+/// Connects to a daemon's Unix socket and handshakes, retrying for up to
+/// `retry_for` while the socket does not exist yet (daemon still
+/// starting). Returns the client and the server's queue capacity.
+#[cfg(unix)]
+pub fn connect_unix(
+    socket: &std::path::Path,
+    client_name: &str,
+    retry_for: std::time::Duration,
+) -> Result<(Client<std::os::unix::net::UnixStream>, u64), ServeError> {
+    let deadline = std::time::Instant::now() + retry_for;
+    loop {
+        match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(stream) => return Client::handshake(stream, client_name),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(ServeError::io("connect", e));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Property tests for the `mps-proto/v1` checksummed envelope.
+//!
+//! Two promises under test, for *every* frame shape in the protocol:
+//!
+//! * **Round-trip**: any frame — with adversarial string content (quotes,
+//!   backslashes, braces, multi-byte UTF-8) — encodes and decodes to an
+//!   equal value, and the stream position lands on the next frame
+//!   boundary.
+//! * **Corruption detection**: flip any single byte of an encoded frame
+//!   (length prefix, envelope, or body) and decoding never yields a
+//!   *different* message — it yields a typed [`ServeError::Frame`]. The
+//!   one benign non-error case is an ASCII-case flip inside the hex
+//!   checksum, which still decodes to the identical original message.
+
+use mps_serve::proto::{
+    recv_msg, send_msg, ClientFrame, ServerFrame, ServerStats, WorkRequest, WorkSummary,
+};
+use mps_serve::ServeError;
+use proptest::prelude::*;
+
+/// Adversarial characters for the free-text fields: JSON structural
+/// bytes, escapes, and multi-byte UTF-8.
+const CHARSET: &[char] = &[
+    'a', 'Z', '9', '-', '_', '/', ' ', '"', '\\', '{', '}', '[', ']', ':', ',', '\n', '\t', 'τ',
+    'é', '✓',
+];
+
+fn text(codes: &[u8]) -> String {
+    codes
+        .iter()
+        .map(|&c| CHARSET[c as usize % CHARSET.len()])
+        .collect()
+}
+
+fn work(kind: u8, dag: usize, s1: &str, s2: &str, n: u64) -> WorkRequest {
+    match kind % 3 {
+        0 => WorkRequest::Schedule {
+            dag,
+            variant: s1.to_string(),
+            algo: s2.to_string(),
+        },
+        1 => WorkRequest::Simulate {
+            dag,
+            variant: s1.to_string(),
+            algo: s2.to_string(),
+            repeats: n,
+        },
+        _ => WorkRequest::SubsetGrid {
+            take: dag,
+            repeats: n,
+        },
+    }
+}
+
+/// Every client frame shape, cycled by `kind`.
+fn client_frame(kind: u8, id: u64, s1: &str, s2: &str, dag: usize, n: u64) -> ClientFrame {
+    match kind % 5 {
+        0 => ClientFrame::Hello {
+            proto: s1.to_string(),
+            client: s2.to_string(),
+        },
+        1 => ClientFrame::Submit {
+            id,
+            work: work(kind / 5, dag, s1, s2, n),
+            deadline_ms: if n.is_multiple_of(2) { None } else { Some(n) },
+        },
+        2 => ClientFrame::Health { id },
+        3 => ClientFrame::Drain { id },
+        _ => ClientFrame::Bye,
+    }
+}
+
+/// Every server frame shape, cycled by `kind`.
+fn server_frame(kind: u8, id: u64, s1: &str, s2: &str, n: u64) -> ServerFrame {
+    match kind % 9 {
+        0 => ServerFrame::HelloAck {
+            proto: s1.to_string(),
+            server: s2.to_string(),
+            queue_capacity: n,
+        },
+        1 => ServerFrame::VersionMismatch {
+            want: s1.to_string(),
+            got: s2.to_string(),
+        },
+        2 => ServerFrame::Accepted { id },
+        3 => ServerFrame::Overloaded {
+            id,
+            retry_after_ms: n,
+        },
+        4 => ServerFrame::Draining { id },
+        5 => ServerFrame::Cell {
+            id,
+            key: s1.to_string(),
+            payload: s2.to_string(),
+        },
+        6 => ServerFrame::Done {
+            id,
+            summary: WorkSummary {
+                cells: n,
+                resumed: n / 2,
+                computed: n - n / 2,
+                quarantined: n % 3,
+                status: s1.to_string(),
+            },
+        },
+        7 => ServerFrame::Failed {
+            id,
+            error: s1.to_string(),
+        },
+        _ => ServerFrame::Stats {
+            id,
+            stats: ServerStats {
+                queue_depth: n % 7,
+                queue_capacity: n % 13,
+                inflight: n % 3,
+                served: n,
+                shed: n / 9,
+                quarantined: n % 5,
+                recovered: n % 2,
+                draining: n % 2 == 1,
+            },
+        },
+    }
+}
+
+/// Decodes one frame from `buf`, tolerating any typed error.
+fn try_decode_client(buf: &[u8]) -> Result<Option<ClientFrame>, ServeError> {
+    let mut r = buf;
+    recv_msg::<_, ClientFrame>(&mut r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Client frames round-trip through the envelope, and consecutive
+    /// frames on one stream stay delimited.
+    #[test]
+    fn client_frames_round_trip(
+        kind in 0u8..15,
+        id in any::<u64>(),
+        c1 in prop::collection::vec(0u8..=255, 0..12),
+        c2 in prop::collection::vec(0u8..=255, 0..12),
+        dag in 0usize..512,
+        n in 0u64..1_000_000,
+    ) {
+        let a = client_frame(kind, id, &text(&c1), &text(&c2), dag, n);
+        let b = client_frame(kind.wrapping_add(7), id ^ 1, &text(&c2), &text(&c1), dag + 1, n + 1);
+        let mut buf = Vec::new();
+        send_msg(&mut buf, &a).unwrap();
+        send_msg(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        prop_assert_eq!(recv_msg::<_, ClientFrame>(&mut r).unwrap(), Some(a));
+        prop_assert_eq!(recv_msg::<_, ClientFrame>(&mut r).unwrap(), Some(b));
+        prop_assert_eq!(recv_msg::<_, ClientFrame>(&mut r).unwrap(), None);
+    }
+
+    /// Server frames round-trip through the envelope.
+    #[test]
+    fn server_frames_round_trip(
+        kind in 0u8..9,
+        id in any::<u64>(),
+        c1 in prop::collection::vec(0u8..=255, 0..12),
+        c2 in prop::collection::vec(0u8..=255, 0..12),
+        n in 0u64..1_000_000,
+    ) {
+        let f = server_frame(kind, id, &text(&c1), &text(&c2), n);
+        let mut buf = Vec::new();
+        send_msg(&mut buf, &f).unwrap();
+        let mut r = &buf[..];
+        prop_assert_eq!(recv_msg::<_, ServerFrame>(&mut r).unwrap(), Some(f));
+    }
+
+    /// Flip the low bit of any single byte — length prefix included — and
+    /// decoding fails with a typed frame error. (The low bit never merely
+    /// changes hex case, so every such flip is detectable.)
+    #[test]
+    fn any_low_bit_flip_is_a_typed_frame_error(
+        kind in 0u8..15,
+        id in any::<u64>(),
+        c1 in prop::collection::vec(0u8..=255, 0..12),
+        c2 in prop::collection::vec(0u8..=255, 0..12),
+        dag in 0usize..512,
+        n in 0u64..1_000_000,
+        pos_seed in any::<u64>(),
+    ) {
+        let f = client_frame(kind, id, &text(&c1), &text(&c2), dag, n);
+        let mut buf = Vec::new();
+        send_msg(&mut buf, &f).unwrap();
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= 0x01;
+        match try_decode_client(&buf) {
+            Err(ServeError::Frame { .. }) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "flip at byte {pos} of {} was not detected: {other:?}",
+                    buf.len()
+                )));
+            }
+        }
+    }
+
+    /// Flip any single byte by any mask: decoding never yields a
+    /// *different* message. (An ASCII-case flip inside the hex checksum
+    /// may still decode — to the identical original.)
+    #[test]
+    fn no_byte_flip_ever_misparses(
+        kind in 0u8..15,
+        id in any::<u64>(),
+        c1 in prop::collection::vec(0u8..=255, 0..12),
+        c2 in prop::collection::vec(0u8..=255, 0..12),
+        dag in 0usize..512,
+        n in 0u64..1_000_000,
+        pos_seed in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let f = client_frame(kind, id, &text(&c1), &text(&c2), dag, n);
+        let mut buf = Vec::new();
+        send_msg(&mut buf, &f).unwrap();
+        let pos = (pos_seed as usize) % buf.len();
+        buf[pos] ^= mask;
+        match try_decode_client(&buf) {
+            Err(_) => {}
+            Ok(Some(got)) => prop_assert_eq!(
+                got,
+                f,
+                "corrupted frame decoded to a different message"
+            ),
+            Ok(None) => {
+                return Err(TestCaseError::fail(
+                    "corrupted frame decoded as clean EOF".to_string(),
+                ));
+            }
+        }
+    }
+}

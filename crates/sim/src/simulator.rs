@@ -11,7 +11,7 @@ use mps_dag::{Dag, TaskId};
 use mps_kernels::Kernel;
 use mps_model::PerfModel;
 use mps_platform::{Cluster, HostId};
-use mps_sched::{Schedule, Scheduler};
+use mps_sched::{AllocationEngine, Schedule, Scheduler};
 
 use crate::executor::{execute, ExecError, ExecutionModel, ExecutionResult, TaskExecution};
 
@@ -96,7 +96,20 @@ impl<M: PerfModel + Clone> Simulator<M> {
         dag: &Dag,
         algorithm: &dyn Scheduler,
     ) -> Result<SimOutcome, ExecError> {
-        let schedule = algorithm.schedule(dag, &self.cluster, &self.model);
+        let mut engine = AllocationEngine::new();
+        self.schedule_and_simulate_with_engine(dag, algorithm, &mut engine)
+    }
+
+    /// [`Simulator::schedule_and_simulate`] reusing a caller-owned
+    /// [`AllocationEngine`] — bit-identical results (the engine resets per
+    /// call), but a warm engine skips the per-request buffer allocations.
+    pub fn schedule_and_simulate_with_engine(
+        &self,
+        dag: &Dag,
+        algorithm: &dyn Scheduler,
+        engine: &mut AllocationEngine,
+    ) -> Result<SimOutcome, ExecError> {
+        let schedule = algorithm.schedule_with_engine(dag, &self.cluster, &self.model, engine);
         let result = self.simulate(dag, &schedule)?;
         Ok(SimOutcome { schedule, result })
     }

@@ -38,7 +38,9 @@ pub mod report;
 pub mod state;
 
 pub use pool::{WorkerDeath, WorkerProcess, WorkerRecv, WorkerSpec};
-pub use proto::{read_frame, read_frame_bytes, write_frame, MAX_FRAME_BYTES};
+pub use proto::{
+    read_frame, read_frame_bytes, write_frame, WorkerHello, MAX_FRAME_BYTES, WORKER_PROTO_VERSION,
+};
 pub use report::{Attempt, AttemptOutcome, CrashReport, FailureKind};
 pub use state::{Action, CellFate, Disposition, Supervisor, SupervisorConfig};
 
@@ -57,6 +59,15 @@ pub enum SuperviseError {
         /// What was wrong with it.
         reason: String,
     },
+    /// The peer speaks a different protocol version — a supervisor from
+    /// one build driving a worker from another. Deterministic: retrying
+    /// or respawning cannot heal it, so it aborts the run.
+    VersionMismatch {
+        /// The version this side speaks.
+        ours: String,
+        /// The version the peer announced (empty: a pre-versioning peer).
+        theirs: String,
+    },
     /// The restart-intensity cap was reached with cells still unresolved:
     /// workers die faster than the supervisor is willing to respawn them
     /// (e.g. a broken worker binary), so the run aborts with a typed
@@ -74,6 +85,18 @@ impl std::fmt::Display for SuperviseError {
         match self {
             SuperviseError::Io { op, err } => write!(f, "worker {op} failed: {err}"),
             SuperviseError::Frame { reason } => write!(f, "bad worker frame: {reason}"),
+            SuperviseError::VersionMismatch { ours, theirs } => {
+                let theirs = if theirs.is_empty() {
+                    "<unversioned>"
+                } else {
+                    theirs.as_str()
+                };
+                write!(
+                    f,
+                    "protocol version mismatch: we speak {ours}, peer announced \
+                     {theirs} — the two binaries are from different builds"
+                )
+            }
             SuperviseError::RestartBudgetExhausted {
                 restarts,
                 unresolved,

@@ -17,6 +17,51 @@ use crate::SuperviseError;
 /// result is a few KiB; anything near this bound is corruption).
 pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
 
+/// Version tag of the supervisor ↔ worker protocol. The worker announces
+/// it in its [`WorkerHello`]; a supervisor that sees any other value must
+/// fail the run with [`SuperviseError::VersionMismatch`] instead of
+/// retrying — version skew (a supervisor driving a worker binary from a
+/// different build) is deterministic and will not heal on respawn.
+pub const WORKER_PROTO_VERSION: &str = "mps-worker/v1";
+
+/// Worker → supervisor: the first frame after startup, before any work.
+///
+/// The spawn-to-ready handshake is timed separately from work execution
+/// so a slow process start never eats into a work item's budget. The
+/// `proto` field is the versioning seam: workers predating it decode to
+/// an empty string, which [`WorkerHello::check_version`] reports as a
+/// mismatch against [`WORKER_PROTO_VERSION`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerHello {
+    /// Protocol sanity marker.
+    pub ready: bool,
+    /// Protocol version the worker speaks ([`WORKER_PROTO_VERSION`]).
+    #[serde(default)]
+    pub proto: String,
+}
+
+impl WorkerHello {
+    /// The hello a current-version worker sends.
+    pub fn current() -> Self {
+        WorkerHello {
+            ready: true,
+            proto: WORKER_PROTO_VERSION.to_string(),
+        }
+    }
+
+    /// Checks the announced version against ours; a typed error on skew.
+    pub fn check_version(&self) -> Result<(), SuperviseError> {
+        if self.proto == WORKER_PROTO_VERSION {
+            Ok(())
+        } else {
+            Err(SuperviseError::VersionMismatch {
+                ours: WORKER_PROTO_VERSION.to_string(),
+                theirs: self.proto.clone(),
+            })
+        }
+    }
+}
+
 /// Writes one frame and flushes, so the peer sees it immediately.
 pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), SuperviseError> {
     let json = serde_json::to_string(msg).map_err(|e| SuperviseError::Frame {
@@ -146,6 +191,29 @@ mod tests {
             read_frame_bytes(&mut r),
             Err(SuperviseError::Frame { .. })
         ));
+    }
+
+    #[test]
+    fn worker_hello_version_check() {
+        assert!(WorkerHello::current().check_version().is_ok());
+        // A worker from a build predating versioning: `proto` decodes to
+        // the empty string and must be reported as skew.
+        let legacy: WorkerHello = serde_json::from_str(r#"{"ready":true}"#).unwrap();
+        assert!(matches!(
+            legacy.check_version(),
+            Err(SuperviseError::VersionMismatch { theirs, .. }) if theirs.is_empty()
+        ));
+        let future = WorkerHello {
+            ready: true,
+            proto: "mps-worker/v2".to_string(),
+        };
+        match future.check_version().unwrap_err() {
+            SuperviseError::VersionMismatch { ours, theirs } => {
+                assert_eq!(ours, WORKER_PROTO_VERSION);
+                assert_eq!(theirs, "mps-worker/v2");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
