@@ -67,7 +67,7 @@ impl Workload {
         ];
         let mut count = 0usize;
         let mut checksum = 0usize;
-        for g in &self.harness.corpus() {
+        for g in self.harness.corpus().iter() {
             for model in models {
                 let tau = |t: TaskId, p: usize| {
                     let kernel = g.dag.task(t).kernel;
@@ -94,7 +94,7 @@ impl Workload {
             &self.harness.profile_model,
             &self.harness.empirical_model,
         ];
-        for g in &self.harness.corpus() {
+        for g in self.harness.corpus().iter() {
             for model in models {
                 let tau = |t: TaskId, p: usize| {
                     let kernel = g.dag.task(t).kernel;

@@ -33,6 +33,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::solver::{max_min_fair_rates, Demand, SolverError, SolverWorkspace};
+
 use crate::trace::{Trace, TraceEventKind};
 use crate::usage::{ResourceUsage, UsageMeter};
 
@@ -50,6 +51,15 @@ impl ResourceId {
 /// Identifier of an activity within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActivityId(pub(crate) u64);
+
+impl ActivityId {
+    /// Raw id. Dense and monotone from zero within one engine lifetime
+    /// (ids restart after [`Engine::reset`]), which makes it usable as a
+    /// direct index into caller-side per-activity tables.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// Identifier of a timer within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -128,6 +138,13 @@ struct Slot {
     id: u64,
     weights: Vec<(ResourceId, f64)>,
     rate_bound: f64,
+    /// Rate this activity gets when it shares no resource with any other
+    /// live activity, i.e. a re-solve over a closure containing only this
+    /// activity. Capacities are append-only, so the value stays valid for
+    /// the slot's whole working phase; computed by [`Engine::attach_working`]
+    /// with exactly the solver's arithmetic, NaN when the weights are not
+    /// strictly ascending by resource (then the staged solver runs instead).
+    solo_rate: f64,
     label: Option<String>,
     state: ActState,
 }
@@ -463,6 +480,55 @@ impl Engine {
         self.capacities[r.0]
     }
 
+    /// Rewinds the engine to simulated time zero, dropping every live
+    /// activity, timer, and predicted event while keeping its resources
+    /// (ids and capacities) and every internal buffer's allocation.
+    ///
+    /// A reset engine is observationally identical to a freshly built one
+    /// with the same `add_resource` sequence: activity and timer ids restart
+    /// at zero, the slab is empty, and the first post-reset solve sees
+    /// exactly the same state a cold engine would. Hot loops that execute
+    /// many short simulations on one platform reset instead of rebuilding,
+    /// which keeps the slab, heaps, incidence index, and solver workspace
+    /// warm.
+    ///
+    /// Tracing is turned off and the recorded trace cleared; the usage
+    /// meter and watchdog are removed (re-enable any of them per run).
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+        self.slots.clear();
+        self.free_slots.clear();
+        self.n_live = 0;
+        self.slot_inc.clear();
+        self.slot_stamp.clear();
+        self.next_activity = 0;
+        self.next_timer = 0;
+        for acts in &mut self.res_acts {
+            acts.clear();
+        }
+        for d in &mut self.res_dirty {
+            *d = false;
+        }
+        self.dirty_res.clear();
+        self.finish_heap.clear();
+        self.latency_heap.clear();
+        self.timer_heap.clear();
+        self.bfs_res.clear();
+        self.closure_slots.clear();
+        self.act_mark.clear();
+        // res_mark entries stay valid: marks are epoch-compared, and the
+        // monotone mark_epoch keeps stale entries inert.
+        self.finished_scratch.clear();
+        self.latency_scratch.clear();
+        self.timer_scratch.clear();
+        self.trace.clear();
+        self.tracing = false;
+        self.meter = None;
+        self.watchdog = None;
+        self.steps_taken = 0;
+        self.solves = 0;
+    }
+
     /// Number of live (unfinished) activities.
     pub fn live_activities(&self) -> usize {
         self.n_live
@@ -541,6 +607,7 @@ impl Engine {
             id: id.0,
             weights: spec.weights,
             rate_bound: spec.rate_bound,
+            solo_rate: f64::NAN,
             label: spec.label,
             state,
         });
@@ -734,22 +801,53 @@ impl Engine {
     fn attach_working(&mut self, slot: u32, now: f64) {
         let s = slot as usize;
         let inc = self.slot_inc[s];
-        let n_w = self.slots[s].as_ref().expect("live slot").weights.len();
+        let a = self.slots[s].as_ref().expect("live slot");
         let mut constrained = false;
-        for k in 0..n_w {
-            let (r, w) = self.slots[s].as_ref().expect("live slot").weights[k];
+        // While wiring up the incidence index, also precompute the rate
+        // this activity would get from a re-solve it does not share with
+        // anyone (`Slot::solo_rate`): the ascending-resource bottleneck
+        // scan below replays the solver's cross-multiplied comparison and
+        // final division exactly, so `refresh` can skip staging whole
+        // singleton closures. Only valid when the positive-weight entries
+        // are strictly ascending by resource — then the entry order equals
+        // the solver's sorted scan order and no aggregation happens.
+        let mut sorted_strict = true;
+        let mut prev_r: isize = -1;
+        let mut bn_rem = 0.0_f64;
+        let mut bn_tw = 0.0_f64;
+        for &(r, w) in &a.weights {
             if w > 0.0 {
                 constrained = true;
                 self.res_acts[r.0].push((slot, inc));
-                self.mark_dirty(r.0);
+                if !self.res_dirty[r.0] {
+                    self.res_dirty[r.0] = true;
+                    self.dirty_res.push(r.0 as u32);
+                }
+                if r.0 as isize <= prev_r {
+                    sorted_strict = false;
+                }
+                prev_r = r.0 as isize;
+                let crem = self.capacities[r.0].max(0.0);
+                let smaller = if bn_tw == 0.0 {
+                    true
+                } else {
+                    let lhs = crem * bn_tw;
+                    let rhs = bn_rem * w;
+                    if lhs.is_finite() && rhs.is_finite() {
+                        lhs < rhs
+                    } else {
+                        crem / w < bn_rem / bn_tw
+                    }
+                };
+                if smaller {
+                    bn_rem = crem;
+                    bn_tw = w;
+                }
             }
         }
-        let (rem, bound) = {
-            let a = self.slots[s].as_ref().expect("live slot");
-            match a.state {
-                ActState::Working { rem, .. } => (rem, a.rate_bound),
-                ActState::Latency { .. } => unreachable!("attach_working on latency activity"),
-            }
+        let (rem, bound) = match a.state {
+            ActState::Working { rem, .. } => (rem, a.rate_bound),
+            ActState::Latency { .. } => unreachable!("attach_working on latency activity"),
         };
         if !constrained {
             // Never enters the solver: the rate is just the bound (matching
@@ -758,6 +856,23 @@ impl Engine {
                 if let ActState::Working { ref mut rate, .. } = a.state {
                     *rate = bound;
                 }
+            }
+        } else if sorted_strict {
+            let bottleneck_rate = bn_rem / bn_tw;
+            let tightest = if bound.is_finite() {
+                bound
+            } else {
+                f64::INFINITY
+            };
+            let solo = if tightest < bottleneck_rate {
+                tightest
+            } else if !bottleneck_rate.is_finite() {
+                bound
+            } else {
+                bottleneck_rate
+            };
+            if let Some(a) = self.slots[s].as_mut() {
+                a.solo_rate = solo;
             }
         }
         let stamp = self.slot_stamp[s];
@@ -837,9 +952,8 @@ impl Engine {
                 }
                 self.act_mark[su] = epoch;
                 closure.push(s);
-                let n_w = self.slots[su].as_ref().expect("indexed slot").weights.len();
-                for wi in 0..n_w {
-                    let (rr, w) = self.slots[su].as_ref().expect("indexed slot").weights[wi];
+                let a = self.slots[su].as_ref().expect("indexed slot");
+                for &(rr, w) in &a.weights {
                     if w > 0.0 && self.res_mark[rr.0] != epoch {
                         self.res_mark[rr.0] = epoch;
                         stack.push(rr.0 as u32);
@@ -849,27 +963,43 @@ impl Engine {
         }
 
         if !closure.is_empty() {
-            // Stage in ascending activity-id order so FP-sensitive solver
-            // internals (accumulation and tie-breaking order) match a
-            // from-scratch solve over the same component.
-            closure.sort_unstable_by_key(|&s| self.slots[s as usize].as_ref().expect("slot").id);
-            self.ws.clear_stage();
-            for &s in &closure {
-                let a = self.slots[s as usize].as_ref().expect("slot");
-                for &(r, w) in &a.weights {
-                    if w > 0.0 {
-                        self.ws.push_weight(r.0, w);
+            // Singleton closure whose activity has a precomputed solo rate:
+            // the re-solve's outcome is already known (capacities are
+            // append-only and the activity shares no resource), so skip
+            // staging and solving entirely.
+            let solo = if closure.len() == 1 {
+                self.slots[closure[0] as usize]
+                    .as_ref()
+                    .expect("slot")
+                    .solo_rate
+            } else {
+                f64::NAN
+            };
+            let use_solo = !solo.is_nan();
+            if !use_solo {
+                // Stage in ascending activity-id order so FP-sensitive solver
+                // internals (accumulation and tie-breaking order) match a
+                // from-scratch solve over the same component.
+                closure
+                    .sort_unstable_by_key(|&s| self.slots[s as usize].as_ref().expect("slot").id);
+                self.ws.clear_stage();
+                for &s in &closure {
+                    let a = self.slots[s as usize].as_ref().expect("slot");
+                    for &(r, w) in &a.weights {
+                        if w > 0.0 {
+                            self.ws.push_weight(r.0, w);
+                        }
                     }
+                    self.ws.push_activity(a.rate_bound);
                 }
-                self.ws.push_activity(a.rate_bound);
+                self.ws.solve_staged(&self.capacities);
             }
-            self.ws.solve_staged(&self.capacities);
             self.solves += 1;
 
             let now = self.now;
             for (j, &s) in closure.iter().enumerate() {
                 let su = s as usize;
-                let new_rate = self.ws.rates()[j];
+                let new_rate = if use_solo { solo } else { self.ws.rates()[j] };
                 let a = self.slots[su].as_mut().expect("slot");
                 if let ActState::Working {
                     ref mut rem,

@@ -472,6 +472,77 @@ impl SolverWorkspace {
         self.epoch += 1;
         self.touched.clear();
 
+        // Single-activity fast path: with one staged activity max-min
+        // reduces to one freeze, so the reverse-incidence index and the
+        // bound ordering are dead weight. The accumulation pass, the
+        // ascending-resource bottleneck scan (cross-multiplied comparison
+        // included), and the final division replicate the general loop's
+        // floating-point operations exactly, so the rate is bit-identical.
+        if n == 1 {
+            let (s, e) = (self.act_off[0] as usize, self.act_off[1] as usize);
+            if s == e {
+                self.rates[0] = self.bounds[0];
+                return &self.rates;
+            }
+            for k in s..e {
+                let r = self.act_res[k] as usize;
+                if self.res_epoch[r] != self.epoch {
+                    self.res_epoch[r] = self.epoch;
+                    self.touched.push(r as u32);
+                    self.rem_cap[r] = capacities[r];
+                    self.total_weight[r] = 0.0;
+                }
+                self.total_weight[r] += self.act_w[k];
+            }
+            self.touched.sort_unstable();
+            let mut bn_rem = 0.0_f64;
+            let mut bn_tw = 0.0_f64;
+            let mut bottleneck_res = usize::MAX;
+            for t in 0..self.touched.len() {
+                let r = self.touched[t] as usize;
+                if self.total_weight[r] <= 0.0 {
+                    continue;
+                }
+                let rem = self.rem_cap[r].max(0.0);
+                let tw = self.total_weight[r];
+                let smaller = if bottleneck_res == usize::MAX {
+                    true
+                } else {
+                    let lhs = rem * bn_tw;
+                    let rhs = bn_rem * tw;
+                    if lhs.is_finite() && rhs.is_finite() {
+                        lhs < rhs
+                    } else {
+                        rem / tw < bn_rem / bn_tw
+                    }
+                };
+                if smaller {
+                    bn_rem = rem;
+                    bn_tw = tw;
+                    bottleneck_res = r;
+                }
+            }
+            let bottleneck_rate = if bottleneck_res == usize::MAX {
+                f64::INFINITY
+            } else {
+                bn_rem / bn_tw
+            };
+            let bound = self.bounds[0];
+            let tightest = if bound.is_finite() {
+                bound
+            } else {
+                f64::INFINITY
+            };
+            self.rates[0] = if tightest < bottleneck_rate {
+                tightest
+            } else if !bottleneck_rate.is_finite() {
+                bound
+            } else {
+                bottleneck_rate
+            };
+            return &self.rates;
+        }
+
         // Pass 1: classify activities, initialise touched resources, and
         // accumulate per-resource load of the (initially all-unfrozen)
         // activity set.

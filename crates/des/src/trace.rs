@@ -58,6 +58,11 @@ impl Trace {
         &self.events
     }
 
+    /// Discards all recorded events, keeping the buffer allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -196,7 +196,7 @@ pub fn algorithm_quality(seed: u64, subset: usize) -> String {
     let harness = Harness::new(seed);
     let corpus = harness.corpus();
     let model = AnalyticModel::paper_jvm();
-    let sim = Simulator::new(harness.testbed.nominal_cluster(), model);
+    let sim = Simulator::new(harness.nominal_cluster().clone(), model);
     let algos: Vec<Box<dyn Scheduler>> = vec![Box::new(Cpa), Box::new(Hcpa), Box::new(Mcpa)];
     let _ = writeln!(
         out,

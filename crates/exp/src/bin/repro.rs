@@ -97,6 +97,8 @@ fn main() {
     let mut cli_health = false;
     let mut cli_drain = false;
     let mut deadline_ms: Option<u64> = None;
+    let mut campaign_dir: Option<String> = None;
+    let mut points: Option<usize> = None;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -306,6 +308,23 @@ fn main() {
                         .unwrap_or_else(|| die("--deadline-ms needs an integer")),
                 );
             }
+            "--campaign-dir" => {
+                i += 1;
+                campaign_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--campaign-dir needs a directory")),
+                );
+            }
+            "--points" => {
+                i += 1;
+                points = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--points needs an integer >= 1")),
+                );
+            }
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -325,8 +344,39 @@ fn main() {
     args.clear();
     let serving = targets.iter().any(|t| t == "serve");
     let clienting = targets.iter().any(|t| t == "client");
+    let campaigning = targets.iter().any(|t| t == "campaign");
     if serving && clienting {
         die("serve and client are mutually exclusive targets");
+    }
+    if campaigning {
+        if targets.len() > 1 {
+            die("campaign cannot be combined with other targets");
+        }
+        if campaign_dir.is_none() {
+            die("campaign needs --campaign-dir DIR");
+        }
+        // Campaign points build their own fault-sweep plans, own one
+        // journal each, and resume by re-invocation.
+        for (set, flag) in [
+            (faults.is_some(), "--faults"),
+            (journal_path.is_some(), "--journal"),
+            (resume, "--resume"),
+            (json_dir.is_some(), "--json"),
+            (isolation == "process", "--isolation process"),
+        ] {
+            if set {
+                die(&format!("{flag} cannot be used with the campaign target"));
+            }
+        }
+    } else {
+        for (set, flag) in [
+            (campaign_dir.is_some(), "--campaign-dir"),
+            (points.is_some(), "--points"),
+        ] {
+            if set {
+                die(&format!("{flag} requires the campaign target"));
+            }
+        }
     }
     if (serving || clienting) && targets.len() > 1 {
         die("serve/client cannot be combined with other targets");
@@ -376,7 +426,7 @@ fn main() {
             cli_drain,
         ));
     }
-    if journal_path.is_none() && !cell_worker && !serving {
+    if journal_path.is_none() && !cell_worker && !serving && !campaigning {
         // These flags only make sense for a journaled campaign; silently
         // ignoring them would mislead (e.g. `--resume` quietly recomputing
         // a full grid from scratch).
@@ -467,6 +517,16 @@ fn main() {
             stderr_tail_bytes,
         };
         std::process::exit(run_serve(harness, opts));
+    }
+    if campaigning {
+        let opts = mps_exp::CampaignOpts {
+            dir: PathBuf::from(campaign_dir.unwrap()),
+            points: points.unwrap_or(mps_exp::campaign::DEFAULT_POINTS),
+            repeats,
+            workers: workers.unwrap_or_else(Harness::default_workers),
+            subset,
+        };
+        std::process::exit(run_campaign(&mut harness, opts, max_wall_secs, throttle_ms));
     }
     let mut grid_status = GridStatus::Complete;
     let cells = if needs_grid {
@@ -812,24 +872,24 @@ fn gantt_report(harness: &Harness) -> String {
         .expect("corpus has n = 2000 DAGs");
     let mut out = format!("Gantt charts for {} on the emulated testbed\n\n", g.name());
     for variant in SimVariant::ALL {
-        let cluster = harness.testbed.nominal_cluster();
+        let cluster = harness.nominal_cluster();
         let schedule = match variant {
             SimVariant::Analytic => mps_core::sched::Scheduler::schedule(
                 &mps_core::sched::Hcpa,
                 &g.dag,
-                &cluster,
+                cluster,
                 &mps_core::model::AnalyticModel::paper_jvm(),
             ),
             SimVariant::Profile => mps_core::sched::Scheduler::schedule(
                 &mps_core::sched::Hcpa,
                 &g.dag,
-                &cluster,
+                cluster,
                 &harness.profile_model,
             ),
             SimVariant::Empirical => mps_core::sched::Scheduler::schedule(
                 &mps_core::sched::Hcpa,
                 &g.dag,
-                &cluster,
+                cluster,
                 &harness.empirical_model,
             ),
         };
@@ -847,6 +907,70 @@ fn gantt_report(harness: &Harness) -> String {
 }
 
 /// Everything `repro serve` needs from the flag soup.
+/// The `campaign` target: a fault-sweep campaign of `opts.points` grid
+/// points under `opts.dir`, one write-ahead journal per point. Resume is
+/// re-invocation with the same arguments — complete points load back
+/// without recomputing a cell. Exit codes mirror the journaled grid: 0
+/// for a complete campaign *or* a clean wall-clock checkpoint, 130 for
+/// an interrupt, [`EXIT_QUARANTINED`] when complete with crash-family
+/// cells in some journal.
+fn run_campaign(
+    harness: &mut Harness,
+    opts: mps_exp::CampaignOpts,
+    max_wall_secs: Option<u64>,
+    throttle_ms: Option<u64>,
+) -> i32 {
+    install_signal_handlers();
+    let mut ctrl = RunControl::unlimited().with_cancel(CancelToken::following_signals());
+    if let Some(secs) = max_wall_secs {
+        ctrl = ctrl.with_deadline_in(Duration::from_secs(secs));
+    }
+    if let Some(ms) = throttle_ms {
+        ctrl = ctrl.with_throttle(Duration::from_millis(ms));
+    }
+    let cells_per_point = opts.subset.unwrap_or(54) * 6;
+    eprintln!(
+        "# campaign {}: {} point(s) x {} cell(s), fault intensity 0..1",
+        opts.dir.display(),
+        opts.points,
+        cells_per_point,
+    );
+    let t = std::time::Instant::now();
+    let report = harness
+        .run_campaign(&opts, &ctrl, |p, status| {
+            eprintln!(
+                "# point {:04}: {} resumed, {} computed, {} quarantined — {}",
+                p.point,
+                p.resumed,
+                p.computed,
+                p.quarantined,
+                status.label()
+            );
+        })
+        .unwrap_or_else(|e| die(&format!("campaign: {e}")));
+    println!(
+        "campaign {}: {}/{} point(s) done, {} cell(s) durable ({} resumed, {} computed, {} quarantined) in {:.1} s — {}",
+        opts.dir.display(),
+        report.points_done,
+        report.points_total,
+        report.cells,
+        report.resumed,
+        report.computed,
+        report.quarantined,
+        t.elapsed().as_secs_f64(),
+        report.status.label(),
+    );
+    match report.status {
+        GridStatus::Interrupted => 130,
+        GridStatus::DeadlineExpired => {
+            eprintln!("# checkpoint saved — continue by re-running the same campaign invocation");
+            0
+        }
+        GridStatus::Complete if report.quarantined > 0 => EXIT_QUARANTINED,
+        GridStatus::Complete => 0,
+    }
+}
+
 struct ServeCliOpts {
     socket: Option<String>,
     state_dir: Option<String>,
@@ -1131,6 +1255,7 @@ targets:
   table1 fig1..fig8 table2 gantt ablations faultsweep grid all
   serve    run the mps-serve scheduling daemon (mps-proto/v1)
   client   submit work to a running daemon
+  campaign fault-sweep campaign: many grid points, one journal each
 
 grid flags:
   --seed S             harness seed (default 2011)
@@ -1154,6 +1279,15 @@ supervision flags (require --isolation process):
   --stderr-tail-bytes N    worker stderr retained per crash report,
                            0..=1048576 (default 8192)
   --poison SPEC            poison matching cells (needle=panic|hang,...)
+
+campaign flags (target: campaign):
+  --campaign-dir DIR   campaign directory: point-NNNN.jl journals plus
+                       a campaign.json progress manifest
+  --points N           sweep points, fault intensity 0..1 (default 309:
+                       309 x 324 cells crosses 100k on the full grid)
+  (resume = re-invoke with the same arguments; complete points are
+   no-ops, the first incomplete point resumes mid-grid. --subset,
+   --repeats, --workers, --max-wall-secs, --throttle-ms apply.)
 
 serve flags (target: serve):
   --socket PATH        Unix socket to listen on

@@ -1,0 +1,241 @@
+//! Large-campaign driver: many grid *points*, each the paper grid under
+//! a distinct fault plan drawn from a deterministic intensity sweep, one
+//! write-ahead journal per point.
+//!
+//! A campaign directory holds `point-0000.jl`, `point-0001.jl`, … — each
+//! an ordinary grid journal (`mps-journal/v1`, resumable, torn-tail
+//! tolerant) — plus a `campaign.json` summary rewritten after every
+//! point. Resume is re-invocation: points whose journals are complete
+//! load back without recomputing a cell, the first incomplete point
+//! resumes mid-grid, and untouched points run fresh. Killing the driver
+//! at any instant (including SIGKILL) therefore loses at most the cells
+//! in flight, and the finished campaign is byte-identical to an
+//! uninterrupted one (`crates/exp/tests/campaign_resume.rs`).
+//!
+//! The default shape — 309 points × 324 cells — crosses 100 000 cells
+//! while exercising every fault intensity from pristine to harsh; the
+//! batched grid path (DESIGN.md §5.13) pushes it through the journals
+//! in well under a minute on one core.
+
+use std::path::{Path, PathBuf};
+
+use mps_core::faults::FaultPlan;
+use mps_core::journal::RunControl;
+
+use crate::journaled::GridStatus;
+use crate::runner::Harness;
+use mps_core::journal::JournalError;
+
+/// Default number of sweep points: the smallest count that pushes the
+/// full 54-DAG grid (324 cells/point) past 100 000 cells.
+pub const DEFAULT_POINTS: usize = 309;
+
+/// Fault-sweep ceiling: the harshest point runs at this intensity (see
+/// [`FaultPlan::random`]; 1.0 is already "several crashes and slowdowns").
+const MAX_INTENSITY: f64 = 1.0;
+
+/// Event horizon (seconds) for generated fault plans; matches the CLI's
+/// `--faults` horizon so presets and sweep points live on the same scale.
+const CAMPAIGN_HORIZON: f64 = 120.0;
+
+/// The fault plan of sweep point `point` of `points`: intensity ramps
+/// linearly from 0 (pristine grid) to [`MAX_INTENSITY`], and the plan
+/// seed folds the point index into `base_seed` so equal-intensity points
+/// still draw distinct event schedules. Deterministic — resuming a
+/// campaign rebuilds bit-identical plans, which the per-journal config
+/// digest then verifies.
+pub fn point_fault_plan(base_seed: u64, point: usize, points: usize, hosts: usize) -> FaultPlan {
+    let intensity = if points <= 1 {
+        0.0
+    } else {
+        MAX_INTENSITY * point as f64 / (points - 1) as f64
+    };
+    let seed = base_seed ^ (point as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    FaultPlan::random(seed, intensity, hosts, CAMPAIGN_HORIZON)
+}
+
+/// Journal path of sweep point `point` inside `dir`.
+pub fn point_journal(dir: &Path, point: usize) -> PathBuf {
+    dir.join(format!("point-{point:04}.jl"))
+}
+
+/// Campaign shape and pacing.
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Campaign directory (created if missing); one journal per point.
+    pub dir: PathBuf,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Testbed repeats per cell.
+    pub repeats: u64,
+    /// Worker threads per grid point.
+    pub workers: usize,
+    /// `Some(take)`: first `take` corpus DAGs per point (tests, smokes);
+    /// `None`: the full 54-DAG grid.
+    pub subset: Option<usize>,
+}
+
+/// One finished (or checkpointed) sweep point.
+#[derive(Debug, Clone)]
+pub struct PointSummary {
+    /// Sweep index.
+    pub point: usize,
+    /// Cells loaded from the point's journal instead of recomputed.
+    pub resumed: usize,
+    /// Cells computed by this invocation.
+    pub computed: usize,
+    /// Crash-family cells (quarantined/crashed/timed out).
+    pub quarantined: usize,
+}
+
+/// Outcome of a campaign invocation.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Points whose journals are complete.
+    pub points_done: usize,
+    /// Total sweep points requested.
+    pub points_total: usize,
+    /// Durable cells across all touched points (resumed + computed).
+    pub cells: usize,
+    /// Cells loaded from journals instead of recomputed.
+    pub resumed: usize,
+    /// Cells computed by this invocation.
+    pub computed: usize,
+    /// Crash-family cells across the campaign.
+    pub quarantined: usize,
+    /// How the invocation ended ([`GridStatus::Complete`] iff every
+    /// point's journal is complete).
+    pub status: GridStatus,
+    /// Per-point provenance for the points this invocation touched.
+    pub points: Vec<PointSummary>,
+}
+
+impl Harness {
+    /// Runs (or resumes) a fault-sweep campaign: `opts.points` grid
+    /// points, each under [`point_fault_plan`], journaled at
+    /// [`point_journal`]. The harness's own fault plan is replaced per
+    /// point and restored afterwards. `ctrl` is honoured between cells
+    /// (inside each point, by the journaled grid) and between points, so
+    /// SIGINT/deadline produce a clean checkpoint that re-invocation
+    /// continues.
+    pub fn run_campaign(
+        &mut self,
+        opts: &CampaignOpts,
+        ctrl: &RunControl,
+        mut progress: impl FnMut(&PointSummary, GridStatus),
+    ) -> Result<CampaignReport, JournalError> {
+        std::fs::create_dir_all(&opts.dir).map_err(|e| JournalError::Io {
+            op: "create campaign dir",
+            path: opts.dir.display().to_string(),
+            err: e.to_string(),
+        })?;
+        let hosts = self.nominal_cluster().node_count();
+        let base_seed = self.testbed.base_seed;
+        let saved_plan = self.fault_plan.take();
+
+        let mut report = CampaignReport {
+            points_done: 0,
+            points_total: opts.points,
+            cells: 0,
+            resumed: 0,
+            computed: 0,
+            quarantined: 0,
+            status: GridStatus::Complete,
+            points: Vec::new(),
+        };
+        for point in 0..opts.points {
+            if let Some(reason) = ctrl.should_stop() {
+                report.status = match reason {
+                    mps_core::journal::StopReason::Cancelled => GridStatus::Interrupted,
+                    mps_core::journal::StopReason::DeadlineExpired => GridStatus::DeadlineExpired,
+                };
+                break;
+            }
+            let path = point_journal(&opts.dir, point);
+            let resume = path.exists();
+            self.fault_plan = Some(point_fault_plan(base_seed, point, opts.points, hosts));
+            let grid = match opts.subset {
+                Some(take) => {
+                    self.run_subset_journaled(take, &path, opts.repeats, opts.workers, resume, ctrl)
+                }
+                None => self.run_grid_journaled(&path, opts.repeats, opts.workers, resume, ctrl),
+            };
+            let grid = match grid {
+                Ok(g) => g,
+                Err(e) => {
+                    self.fault_plan = saved_plan;
+                    return Err(e);
+                }
+            };
+            let summary = PointSummary {
+                point,
+                resumed: grid.resumed,
+                computed: grid.computed,
+                quarantined: grid.quarantined,
+            };
+            report.cells += grid.resumed + grid.computed;
+            report.resumed += grid.resumed;
+            report.computed += grid.computed;
+            report.quarantined += grid.quarantined;
+            progress(&summary, grid.status);
+            report.points.push(summary);
+            if grid.status != GridStatus::Complete {
+                report.status = grid.status;
+                break;
+            }
+            report.points_done += 1;
+            self.write_campaign_manifest(opts, &report)?;
+        }
+        self.fault_plan = saved_plan;
+        self.write_campaign_manifest(opts, &report)?;
+        Ok(report)
+    }
+
+    /// Rewrites `campaign.json` (atomic rename) so an observer — or a
+    /// resumed invocation's operator — can see campaign progress without
+    /// scanning journals.
+    fn write_campaign_manifest(
+        &self,
+        opts: &CampaignOpts,
+        report: &CampaignReport,
+    ) -> Result<(), JournalError> {
+        let json = format!(
+            r#"{{
+  "schema": "mps-campaign/v1",
+  "seed": {seed},
+  "points_total": {pt},
+  "points_done": {pd},
+  "repeats": {rep},
+  "subset": {sub},
+  "cells": {cells},
+  "resumed": {res},
+  "computed": {comp},
+  "quarantined": {quar},
+  "status": "{status}"
+}}
+"#,
+            seed = self.testbed.base_seed,
+            pt = report.points_total,
+            pd = report.points_done,
+            rep = opts.repeats,
+            sub = opts.subset.map_or("null".to_string(), |s| s.to_string()),
+            cells = report.cells,
+            res = report.resumed,
+            comp = report.computed,
+            quar = report.quarantined,
+            status = report.status.label(),
+        );
+        let path = opts.dir.join("campaign.json");
+        let tmp = opts.dir.join("campaign.json.tmp");
+        std::fs::write(&tmp, &json).map_err(|e| JournalError::Io {
+            op: "write campaign manifest",
+            path: tmp.display().to_string(),
+            err: e.to_string(),
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|e| JournalError::Io {
+            op: "publish campaign manifest",
+            path: path.display().to_string(),
+            err: e.to_string(),
+        })
+    }
+}

@@ -262,7 +262,7 @@ impl Harness {
         resume: bool,
         ctrl: &RunControl,
     ) -> Result<JournaledGrid, JournalError> {
-        let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
+        let corpus: Vec<GeneratedDag> = self.corpus().iter().take(take).cloned().collect();
         let campaign = format!("paper-grid[..{}]", corpus.len());
         self.run_cells_journaled(
             &corpus,

@@ -13,12 +13,14 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod figures;
 pub mod journaled;
 pub mod runner;
 pub mod serve_backend;
 pub mod supervised;
 
+pub use campaign::{CampaignOpts, CampaignReport, PointSummary};
 pub use journaled::{GridStatus, JournaledGrid};
 pub use runner::{
     cell_key, grid_health, paired_relative_makespans, parse_poison_spec, CellOutcome, CellResult,

@@ -34,7 +34,7 @@ use crate::supervised::{SuperviseOpts, WorkerCommand};
 /// A [`Harness`]-backed executor for daemon work requests.
 pub struct ServeBackend {
     harness: Harness,
-    corpus: Vec<GeneratedDag>,
+    corpus: std::sync::Arc<Vec<GeneratedDag>>,
     state_dir: Option<PathBuf>,
     worker: Option<(WorkerCommand, SuperviseOpts)>,
 }

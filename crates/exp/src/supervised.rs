@@ -337,7 +337,7 @@ impl Harness {
         opts: &SuperviseOpts,
         ctrl: &RunControl,
     ) -> Result<JournaledGrid, MpsError> {
-        let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
+        let corpus: Vec<GeneratedDag> = self.corpus().iter().take(take).cloned().collect();
         let campaign = format!("paper-grid[..{}]", corpus.len());
         self.run_cells_supervised(
             &corpus,
@@ -369,7 +369,7 @@ impl Harness {
         ctrl: &RunControl,
         on_cell: &mut dyn FnMut(&str, &str),
     ) -> Result<JournaledGrid, MpsError> {
-        let corpus: Vec<GeneratedDag> = self.corpus().into_iter().take(take).collect();
+        let corpus: Vec<GeneratedDag> = self.corpus().iter().take(take).cloned().collect();
         let campaign = format!("serve[..{}]", corpus.len());
         self.run_cells_supervised(
             &corpus, &campaign, request, path, worker, opts, ctrl, on_cell,

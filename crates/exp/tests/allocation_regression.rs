@@ -31,7 +31,7 @@ fn corpus_allocations_bit_identical_across_models_and_algorithms() {
 
     let mut engine = AllocationEngine::new();
     let mut checked = 0usize;
-    for g in &corpus {
+    for g in corpus.iter() {
         for (model_name, model) in models {
             let tau = |t: TaskId, p: usize| {
                 let kernel = g.dag.task(t).kernel;

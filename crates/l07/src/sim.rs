@@ -14,8 +14,6 @@
 //! * network latency is charged once, as the maximum route latency over the
 //!   task's flows (plus any caller-provided extra latency).
 
-use std::collections::HashMap;
-
 use mps_des::{ActivityId, ActivitySpec, Completion, Engine, EngineError, ResourceId};
 use mps_platform::{Cluster, HostId, LinkId};
 
@@ -57,6 +55,16 @@ impl From<EngineError> for L07Error {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PTaskId(ActivityId);
 
+impl PTaskId {
+    /// Dense raw index of this task (see [`ActivityId::raw`]): within one
+    /// simulator lifetime (or between [`L07Sim::reset`] calls) ids count up
+    /// from zero, so callers can use this as a direct index into per-task
+    /// side tables instead of a `HashMap`.
+    pub fn index(self) -> usize {
+        self.0.raw() as usize
+    }
+}
+
 /// A completion event: which task finished and when.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PTaskCompletion {
@@ -75,6 +83,15 @@ pub struct L07Sim {
     up: Vec<ResourceId>,
     down: Vec<ResourceId>,
     backbone: ResourceId,
+    /// Every engine resource in id order (`cpu`, `up`, `down`, backbone);
+    /// maps the raw indices used by the dense submit scratch back to ids.
+    resources: Vec<ResourceId>,
+    /// Dense per-resource weight accumulator reused across submissions.
+    /// Always all-zero between calls to [`L07Sim::submit`].
+    weight_acc: Vec<f64>,
+    /// Raw indices of the resources touched by the current submission, in
+    /// first-touch order.
+    touched: Vec<usize>,
     /// Reused by [`L07Sim::next_completions_into`] so steady-state stepping
     /// does not allocate.
     step_scratch: Vec<Completion>,
@@ -85,16 +102,24 @@ impl L07Sim {
     pub fn new(cluster: Cluster) -> Self {
         let mut engine = Engine::new();
         let n = cluster.node_count();
-        let cpu = (0..n)
+        let cpu: Vec<ResourceId> = (0..n)
             .map(|i| engine.add_resource(cluster.host_speed(HostId(i))))
             .collect();
-        let up = (0..n)
+        let up: Vec<ResourceId> = (0..n)
             .map(|i| engine.add_resource(cluster.link_props(LinkId::Up(i)).bandwidth))
             .collect();
-        let down = (0..n)
+        let down: Vec<ResourceId> = (0..n)
             .map(|i| engine.add_resource(cluster.link_props(LinkId::Down(i)).bandwidth))
             .collect();
         let backbone = engine.add_resource(cluster.link_props(LinkId::Backbone).bandwidth);
+        let resources: Vec<ResourceId> = cpu
+            .iter()
+            .chain(&up)
+            .chain(&down)
+            .copied()
+            .chain(std::iter::once(backbone))
+            .collect();
+        let weight_acc = vec![0.0; resources.len()];
         L07Sim {
             engine,
             cluster,
@@ -102,8 +127,21 @@ impl L07Sim {
             up,
             down,
             backbone,
+            resources,
+            weight_acc,
+            touched: Vec::new(),
             step_scratch: Vec::new(),
         }
+    }
+
+    /// Rewinds to time zero with no tasks, keeping the platform mapping and
+    /// every internal buffer allocation. Task ids restart from zero, so a
+    /// reset simulator produces bit-identical results to a freshly built
+    /// one — this is what lets executor slabs reuse one `L07Sim` across
+    /// many runs instead of paying [`L07Sim::new`] per execution.
+    pub fn reset(&mut self) {
+        self.engine.reset();
+        self.step_scratch.clear();
     }
 
     /// Enables DES trace recording.
@@ -181,6 +219,16 @@ impl L07Sim {
         }
     }
 
+    /// Adds `w` (> 0) to the dense weight scratch for `r`, recording the
+    /// first touch so the scratch can be drained and re-zeroed cheaply.
+    fn accumulate_weight(&mut self, r: ResourceId, w: f64) {
+        let i = r.index();
+        if self.weight_acc[i] == 0.0 {
+            self.touched.push(i);
+        }
+        self.weight_acc[i] += w;
+    }
+
     /// Submits a parallel task; it starts consuming resources immediately.
     pub fn submit(&mut self, spec: PTaskSpec) -> Result<PTaskId, L07Error> {
         let n = self.cluster.node_count();
@@ -214,11 +262,16 @@ impl L07Sim {
         }
 
         // Accumulate per-resource weights: the task progresses from 0 to 1,
-        // so weights are the full amounts.
-        let mut weights: HashMap<ResourceId, f64> = HashMap::new();
+        // so weights are the full amounts. The dense `weight_acc` scratch
+        // keyed by resource index applies the exact same sequence of `+=`
+        // per resource as a map keyed by `ResourceId` would, so the sums
+        // are bit-identical — only the container changed. Every contribution
+        // is strictly positive (zero amounts are skipped), so a zero slot
+        // means "untouched".
+        debug_assert!(self.touched.is_empty());
         for &(h, f) in &spec.comp {
             if f > 0.0 {
-                *weights.entry(self.cpu[h.index()]).or_insert(0.0) += f;
+                self.accumulate_weight(self.cpu[h.index()], f);
             }
         }
         let mut max_route_latency = 0.0_f64;
@@ -226,14 +279,19 @@ impl L07Sim {
             if s == d || b <= 0.0 {
                 continue;
             }
-            for link in self.cluster.route(s, d) {
-                *weights.entry(self.resource_of_link(link)).or_insert(0.0) += b;
+            for link in self.cluster.route_links(s, d) {
+                self.accumulate_weight(self.resource_of_link(link), b);
             }
             max_route_latency = max_route_latency.max(self.cluster.route_latency(s, d));
         }
 
-        let mut sorted: Vec<(ResourceId, f64)> = weights.into_iter().collect();
-        sorted.sort_by_key(|&(r, _)| r);
+        self.touched.sort_unstable();
+        let mut sorted: Vec<(ResourceId, f64)> = Vec::with_capacity(self.touched.len());
+        for &i in &self.touched {
+            sorted.push((self.resources[i], self.weight_acc[i]));
+            self.weight_acc[i] = 0.0;
+        }
+        self.touched.clear();
 
         let mut act = ActivitySpec::new(1.0)
             .with_latency(max_route_latency + spec.extra_latency)
@@ -514,6 +572,42 @@ mod tests {
         // horizon (minus the latency phase).
         let bb = s.backbone_utilization().unwrap();
         assert!(bb > 0.99, "backbone {bb}");
+    }
+
+    #[test]
+    fn reset_reproduces_bit_identical_results() {
+        // One workload with coupled compute + contending flows, executed on
+        // a fresh simulator and again on the same simulator after reset():
+        // completion times must match to the bit, and task ids must restart.
+        fn run(s: &mut L07Sim) -> Vec<(usize, u64)> {
+            let h = hosts(&[0, 1, 2, 3]);
+            let mut spec = PTaskSpec::compute(&h, &[4.0e8, 3.0e8, 2.0e8, 1.0e8]);
+            for i in 0..4usize {
+                spec.flows.push((HostId(i), HostId((i + 1) % 4), 7.0e7));
+            }
+            s.submit(spec).unwrap();
+            s.submit(PTaskSpec::p2p(HostId(5), HostId(6), 1.25e8))
+                .unwrap();
+            s.submit(PTaskSpec::compute_uniform(&hosts(&[1]), 2.5e8))
+                .unwrap();
+            let mut out = Vec::new();
+            while let Some(batch) = s.next_completions().unwrap() {
+                for c in batch {
+                    out.push((c.task.index(), c.time.to_bits()));
+                }
+            }
+            out
+        }
+        let mut fresh = sim();
+        let first = run(&mut fresh);
+        assert!(!first.is_empty());
+        fresh.reset();
+        assert!(fresh.is_idle());
+        assert_eq!(fresh.now(), 0.0);
+        let second = run(&mut fresh);
+        assert_eq!(first, second);
+        // Ids restarted from zero, like a freshly built simulator.
+        assert_eq!(second.iter().map(|&(i, _)| i).min(), Some(0));
     }
 
     #[test]

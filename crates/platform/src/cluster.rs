@@ -276,10 +276,25 @@ impl Cluster {
         vec![LinkId::Up(src.0), LinkId::Backbone, LinkId::Down(dst.0)]
     }
 
+    /// Allocation-free variant of [`Cluster::route`]: yields the same links
+    /// in the same order without building a `Vec`. Hot-path callers (the L07
+    /// simulator accumulates link weights per flow) use this.
+    pub fn route_links(
+        &self,
+        src: HostId,
+        dst: HostId,
+    ) -> std::iter::Take<std::array::IntoIter<LinkId, 3>> {
+        assert!(src.0 < self.spec.nodes, "src host out of range");
+        assert!(dst.0 < self.spec.nodes, "dst host out of range");
+        let len = if src == dst { 0 } else { 3 };
+        [LinkId::Up(src.0), LinkId::Backbone, LinkId::Down(dst.0)]
+            .into_iter()
+            .take(len)
+    }
+
     /// Total latency along the route from `src` to `dst`.
     pub fn route_latency(&self, src: HostId, dst: HostId) -> f64 {
-        self.route(src, dst)
-            .into_iter()
+        self.route_links(src, dst)
             .map(|l| self.link_props(l).latency)
             .sum()
     }
@@ -318,6 +333,15 @@ mod tests {
         let c = Cluster::bayreuth();
         let r = c.route(HostId(3), HostId(7));
         assert_eq!(r, vec![LinkId::Up(3), LinkId::Backbone, LinkId::Down(7)]);
+    }
+
+    #[test]
+    fn route_links_matches_route() {
+        let c = Cluster::bayreuth();
+        for (s, d) in [(3usize, 7usize), (5, 5), (0, 31), (31, 0)] {
+            let iterated: Vec<LinkId> = c.route_links(HostId(s), HostId(d)).collect();
+            assert_eq!(iterated, c.route(HostId(s), HostId(d)));
+        }
     }
 
     #[test]

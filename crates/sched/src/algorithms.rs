@@ -9,7 +9,9 @@ use mps_dag::{Dag, TaskId};
 use mps_model::PerfModel;
 use mps_platform::Cluster;
 
-use crate::allocation::{AllocationConfig, AllocationEngine, LevelBudget, SelectionRule, StopRule};
+use crate::allocation::{
+    AllocKey, AllocationConfig, AllocationEngine, LevelBudget, SelectionRule, StopRule,
+};
 use crate::mapping::{default_redist_estimate, map_tasks, MappingCosts};
 use crate::schedule::Schedule;
 
@@ -40,37 +42,70 @@ pub trait Scheduler {
         model: &dyn PerfModel,
         engine: &mut AllocationEngine,
     ) -> Schedule {
-        let config = self.allocation_config(cluster);
-        let tau = |t: TaskId, p: usize| {
-            let kernel = dag.task(t).kernel;
-            model.task_time(kernel, p) + model.startup_overhead(p)
-        };
-        let allocations = engine.allocate(dag, cluster.node_count(), &config, tau);
-
-        // Execution costs at the final allocations come straight from the
-        // engine's τ-table — the allocation loop already evaluated every
-        // (t, np[t]) point for its area terms.
-        let exec: Vec<f64> = dag
-            .task_ids()
-            .map(|t| {
-                engine
-                    .tau_table()
-                    .cached(t, allocations[t.index()])
-                    .unwrap_or_else(|| tau(t, allocations[t.index()]))
-            })
-            .collect();
-        let redist = |pred: TaskId, succ: TaskId| {
-            let p_src = allocations[pred.index()];
-            let p_dst = allocations[succ.index()];
-            let bytes = dag.task(pred).kernel.matrix_bytes();
-            default_redist_estimate(cluster, bytes, model.redist_overhead(p_src, p_dst))
-        };
-        let costs = MappingCosts {
-            exec: &exec,
-            redist: &redist,
-        };
-        map_tasks(dag, cluster, &allocations, &costs, self.name())
+        schedule_body(self, dag, cluster, model, engine, None)
     }
+
+    /// [`Scheduler::schedule_with_engine`] with an [`AllocKey`]: when the
+    /// key repeats the previous keyed call, the engine carries the τ-table
+    /// and precedence levels over (see
+    /// [`AllocationEngine::allocate_keyed`]) — bit-identical schedules,
+    /// but a batch scheduling the same DAG under the same model with
+    /// several algorithms pays for each model evaluation once.
+    fn schedule_with_keyed_engine(
+        &self,
+        dag: &Dag,
+        cluster: &Cluster,
+        model: &dyn PerfModel,
+        engine: &mut AllocationEngine,
+        key: AllocKey,
+    ) -> Schedule {
+        schedule_body(self, dag, cluster, model, engine, Some(key))
+    }
+}
+
+/// Shared body of the [`Scheduler`] pipeline: allocation (optionally
+/// keyed), then τ-table-fed mapping.
+fn schedule_body<S: Scheduler + ?Sized>(
+    algo: &S,
+    dag: &Dag,
+    cluster: &Cluster,
+    model: &dyn PerfModel,
+    engine: &mut AllocationEngine,
+    key: Option<AllocKey>,
+) -> Schedule {
+    let config = algo.allocation_config(cluster);
+    let tau = |t: TaskId, p: usize| {
+        let kernel = dag.task(t).kernel;
+        model.task_time(kernel, p) + model.startup_overhead(p)
+    };
+    let allocations = match key {
+        Some(k) => engine.allocate_keyed(k, dag, cluster.node_count(), &config, tau),
+        None => engine.allocate(dag, cluster.node_count(), &config, tau),
+    };
+
+    // Execution costs at the final allocations come straight from the
+    // engine's τ-table — the allocation loop already evaluated every
+    // (t, np[t]) point for its area terms.
+    let exec: Vec<f64> = dag
+        .task_ids()
+        .map(|t| {
+            engine
+                .tau_table()
+                .cached(t, allocations[t.index()])
+                .unwrap_or_else(|| tau(t, allocations[t.index()]))
+        })
+        .collect();
+    let redist = |pred: TaskId, succ: TaskId| {
+        let p_src = allocations[pred.index()];
+        let p_dst = allocations[succ.index()];
+        let bytes = dag.task(pred).kernel.matrix_bytes();
+        default_redist_estimate(cluster, bytes, model.redist_overhead(p_src, p_dst))
+    };
+    let costs = MappingCosts {
+        exec: &exec,
+        redist: &redist,
+    };
+    map_tasks(dag, cluster, &allocations, &costs, algo.name())
 }
 
 /// Radulescu & van Gemund's original CPA.

@@ -230,6 +230,62 @@ enum TaskState {
     Done,
 }
 
+/// What an in-flight simulator activity means to the executor.
+#[derive(Debug, Clone, Copy)]
+enum Meaning {
+    TaskRun(TaskId),
+    /// A failed attempt waiting out its startup + backoff charge.
+    Backoff(TaskId),
+    Redist {
+        succ: TaskId,
+    },
+}
+
+/// Reusable executor state: the L07 simulator plus every per-run buffer,
+/// kept warm across executions.
+///
+/// Building a fresh [`L07Sim`] (cluster clone + ~100 DES resources) and
+/// re-allocating queue/state vectors per execution dominates short runs.
+/// A slab amortizes all of it: the simulator is [`L07Sim::reset`] between
+/// runs (bit-identical to a fresh build), buffers keep their capacity, and
+/// redistribution plans — a pure function of `(n, p_src, p_dst)` for the
+/// vanilla block distributions the executor uses — are memoized.
+///
+/// Results are byte-identical to the slab-free path for any sequence of
+/// executions; a slab is plain reusable scratch, not a semantic cache.
+#[derive(Debug, Default)]
+pub struct ExecSlab {
+    /// Rebuilt only when the cluster changes between runs.
+    sim: Option<L07Sim>,
+    hosts_of: Vec<Vec<HostId>>,
+    queue: Vec<Vec<TaskId>>,
+    queue_head: Vec<usize>,
+    pending_redists: Vec<usize>,
+    state: Vec<TaskState>,
+    launched: Vec<bool>,
+    /// Dense activity-id → meaning map: ids restart at zero every run.
+    in_flight: Vec<Option<Meaning>>,
+    completions: Vec<mps_l07::PTaskCompletion>,
+    src_idx: Vec<usize>,
+    dst_idx: Vec<usize>,
+    plan_cache: HashMap<(usize, usize, usize), RedistPlan>,
+}
+
+impl ExecSlab {
+    /// An empty slab; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clears every inner vector (keeping capacity) and sets the outer length.
+fn reset_nested<T>(v: &mut Vec<Vec<T>>, len: usize) {
+    for inner in v.iter_mut() {
+        inner.clear();
+    }
+    v.resize_with(len, Vec::new);
+}
+
 /// Executes `schedule` for `dag` on `cluster` under `model` with the
 /// default [`ExecPolicy`].
 pub fn execute(
@@ -257,10 +313,39 @@ pub fn execute_with_policy(
     model: &mut dyn ExecutionModel,
     policy: &ExecPolicy,
 ) -> Result<ExecutionResult, ExecError> {
+    let mut slab = ExecSlab::new();
+    execute_with_slab(&mut slab, dag, cluster, schedule, model, policy)
+}
+
+/// [`execute_with_policy`] reusing `slab`'s simulator and buffers.
+pub fn execute_with_slab(
+    slab: &mut ExecSlab,
+    dag: &Dag,
+    cluster: &Cluster,
+    schedule: &Schedule,
+    model: &mut dyn ExecutionModel,
+    policy: &ExecPolicy,
+) -> Result<ExecutionResult, ExecError> {
     schedule
         .validate(dag, cluster)
         .map_err(|e| ExecError::InvalidSchedule(e.to_string()))?;
+    execute_with_slab_prevalidated(slab, dag, cluster, schedule, model, policy)
+}
 
+/// [`execute_with_slab`] minus the schedule validation pass.
+///
+/// The caller promises `schedule.validate(dag, cluster)` holds — e.g. the
+/// schedule came straight from a scheduler, or one validation covers many
+/// executions of the same schedule (the harness runs each schedule once in
+/// the simulator and three times on the testbed).
+pub fn execute_with_slab_prevalidated(
+    slab: &mut ExecSlab,
+    dag: &Dag,
+    cluster: &Cluster,
+    schedule: &Schedule,
+    model: &mut dyn ExecutionModel,
+    policy: &ExecPolicy,
+) -> Result<ExecutionResult, ExecError> {
     let n_tasks = dag.len();
     if n_tasks == 0 {
         return Ok(ExecutionResult {
@@ -270,50 +355,78 @@ pub fn execute_with_policy(
         });
     }
 
-    let mut sim = L07Sim::new(cluster.clone());
+    let ExecSlab {
+        sim: sim_slot,
+        hosts_of,
+        queue,
+        queue_head,
+        pending_redists,
+        state,
+        launched,
+        in_flight,
+        completions,
+        src_idx,
+        dst_idx,
+        plan_cache,
+    } = slab;
+
+    let rebuild = match sim_slot {
+        Some(s) => s.cluster() != cluster,
+        None => true,
+    };
+    if rebuild {
+        *sim_slot = Some(L07Sim::new(cluster.clone()));
+    } else {
+        sim_slot.as_mut().expect("checked above").reset();
+    }
+    let sim = sim_slot.as_mut().expect("just ensured");
     sim.set_watchdog(policy.watchdog);
 
     // Placement lookup.
-    let mut hosts_of: Vec<Vec<HostId>> = vec![Vec::new(); n_tasks];
+    reset_nested(hosts_of, n_tasks);
     for st in &schedule.tasks {
-        hosts_of[st.task.index()] = st.hosts.clone();
+        hosts_of[st.task.index()].extend_from_slice(&st.hosts);
     }
 
     // Per-host task queues in schedule order.
     let n_hosts = cluster.node_count();
-    let mut queue: Vec<Vec<TaskId>> = vec![Vec::new(); n_hosts];
+    reset_nested(queue, n_hosts);
     for st in &schedule.tasks {
         for h in &st.hosts {
             queue[h.index()].push(st.task);
         }
     }
-    let mut queue_head = vec![0usize; n_hosts];
+    queue_head.clear();
+    queue_head.resize(n_hosts, 0);
 
     // Incoming redistributions still pending per task.
-    let mut pending_redists: Vec<usize> =
-        dag.task_ids().map(|t| dag.predecessors(t).len()).collect();
+    pending_redists.clear();
+    pending_redists.extend(dag.task_ids().map(|t| dag.predecessors(t).len()));
 
-    let mut state = vec![TaskState::Waiting; n_tasks];
+    state.clear();
+    state.resize(n_tasks, TaskState::Waiting);
     let mut spans = vec![(0.0_f64, 0.0_f64); n_tasks];
     let mut attempts = vec![0u32; n_tasks];
-    let mut launched = vec![false; n_tasks];
+    launched.clear();
+    launched.resize(n_tasks, false);
     let mut done_count = 0usize;
 
-    // Maps in-flight simulator activities to what they mean.
-    #[derive(Debug, Clone, Copy)]
-    enum Meaning {
-        TaskRun(TaskId),
-        /// A failed attempt waiting out its startup + backoff charge.
-        Backoff(TaskId),
-        Redist {
-            succ: TaskId,
-        },
+    // Maps in-flight simulator activities to what they mean. Activity ids
+    // count up densely from zero within a run, so a Vec indexed by
+    // [`PTaskId::index`] replaces a hash map.
+    in_flight.clear();
+    fn insert_in_flight(in_flight: &mut Vec<Option<Meaning>>, id: PTaskId, m: Meaning) {
+        let idx = id.index();
+        debug_assert_eq!(idx, in_flight.len(), "activity ids must be dense");
+        if idx >= in_flight.len() {
+            in_flight.resize(idx + 1, None);
+        }
+        in_flight[idx] = Some(m);
     }
-    let mut in_flight: HashMap<PTaskId, Meaning> = HashMap::new();
 
     // Tries to start every eligible waiting task. Returns how many started.
     let try_start = |sim: &mut L07Sim,
-                     in_flight: &mut HashMap<PTaskId, Meaning>,
+                     in_flight: &mut Vec<Option<Meaning>>,
                      state: &mut Vec<TaskState>,
                      spans: &mut Vec<(f64, f64)>,
                      attempts: &mut Vec<u32>,
@@ -373,7 +486,7 @@ pub fn execute_with_policy(
                         spec = spec.with_label(format!("backoff-{}-{}", t.index(), attempt));
                     }
                     let id = sim.submit(spec)?;
-                    in_flight.insert(id, Meaning::Backoff(t));
+                    insert_in_flight(in_flight, id, Meaning::Backoff(t));
                     state[t.index()] = TaskState::Backoff;
                     continue;
                 }
@@ -395,7 +508,7 @@ pub fn execute_with_policy(
                 spec = spec.with_label(format!("task-{}", t.index()));
             }
             let id = sim.submit(spec)?;
-            in_flight.insert(id, Meaning::TaskRun(t));
+            insert_in_flight(in_flight, id, Meaning::TaskRun(t));
             state[t.index()] = TaskState::Running;
             started += 1;
         }
@@ -403,26 +516,26 @@ pub fn execute_with_policy(
     };
 
     try_start(
-        &mut sim,
-        &mut in_flight,
-        &mut state,
+        sim,
+        in_flight,
+        state,
         &mut spans,
         &mut attempts,
-        &mut launched,
-        &queue_head,
-        &pending_redists,
+        launched,
+        queue_head,
+        pending_redists,
         model,
     )?;
 
-    let mut completions: Vec<mps_l07::PTaskCompletion> = Vec::new();
+    completions.clear();
     while done_count < n_tasks {
-        if !sim.next_completions_into(&mut completions)? {
+        if !sim.next_completions_into(completions)? {
             return Err(ExecError::Stalled {
                 unstarted: state.iter().filter(|&&s| s != TaskState::Done).count(),
             });
         }
-        for &c in &completions {
-            match in_flight.remove(&c.task) {
+        for &c in completions.iter() {
+            match in_flight.get_mut(c.task.index()).and_then(Option::take) {
                 Some(Meaning::TaskRun(t)) => {
                     state[t.index()] = TaskState::Done;
                     spans[t.index()].1 = c.time;
@@ -436,19 +549,28 @@ pub fn execute_with_policy(
                         );
                         queue_head[h.index()] += 1;
                     }
-                    // Start redistributions to every successor.
+                    // Start redistributions to every successor. The plans
+                    // are pure functions of (n, p_src, p_dst) — both sides
+                    // always use vanilla block distributions — so they are
+                    // memoized in the slab.
                     let src_hosts = &hosts_of[t.index()];
                     let n = dag.task(t).kernel.n();
                     for &succ in dag.successors(t) {
                         let dst_hosts = &hosts_of[succ.index()];
-                        let plan = RedistPlan::compute(
-                            &BlockDist1D::vanilla(n, src_hosts.len()),
-                            &BlockDist1D::vanilla(n, dst_hosts.len()),
-                        );
-                        let src_idx: Vec<usize> = src_hosts.iter().map(|h| h.index()).collect();
-                        let dst_idx: Vec<usize> = dst_hosts.iter().map(|h| h.index()).collect();
+                        let plan = plan_cache
+                            .entry((n, src_hosts.len(), dst_hosts.len()))
+                            .or_insert_with(|| {
+                                RedistPlan::compute(
+                                    &BlockDist1D::vanilla(n, src_hosts.len()),
+                                    &BlockDist1D::vanilla(n, dst_hosts.len()),
+                                )
+                            });
+                        src_idx.clear();
+                        src_idx.extend(src_hosts.iter().map(|h| h.index()));
+                        dst_idx.clear();
+                        dst_idx.extend(dst_hosts.iter().map(|h| h.index()));
                         let mut flows: Vec<(HostId, HostId, f64)> = plan
-                            .network_transfers(&src_idx, &dst_idx)
+                            .network_transfers(src_idx, dst_idx)
                             .into_iter()
                             .map(|(s, d, b)| (HostId(s), HostId(d), b))
                             .collect();
@@ -471,7 +593,7 @@ pub fn execute_with_policy(
                                 spec.with_label(format!("redist-{}-{}", t.index(), succ.index()));
                         }
                         let id = sim.submit(spec)?;
-                        in_flight.insert(id, Meaning::Redist { succ });
+                        insert_in_flight(in_flight, id, Meaning::Redist { succ });
                     }
                 }
                 Some(Meaning::Backoff(t)) => {
@@ -487,14 +609,14 @@ pub fn execute_with_policy(
             }
         }
         try_start(
-            &mut sim,
-            &mut in_flight,
-            &mut state,
+            sim,
+            in_flight,
+            state,
             &mut spans,
             &mut attempts,
-            &mut launched,
-            &queue_head,
-            &pending_redists,
+            launched,
+            queue_head,
+            pending_redists,
             model,
         )?;
     }

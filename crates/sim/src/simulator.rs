@@ -11,9 +11,12 @@ use mps_dag::{Dag, TaskId};
 use mps_kernels::Kernel;
 use mps_model::PerfModel;
 use mps_platform::{Cluster, HostId};
-use mps_sched::{AllocationEngine, Schedule, Scheduler};
+use mps_sched::{AllocKey, AllocationEngine, Schedule, Scheduler};
 
-use crate::executor::{execute, ExecError, ExecutionModel, ExecutionResult, TaskExecution};
+use crate::executor::{
+    execute, execute_with_slab, ExecError, ExecPolicy, ExecSlab, ExecutionModel, ExecutionResult,
+    TaskExecution,
+};
 
 /// Adapter: a deterministic [`PerfModel`] as an [`ExecutionModel`].
 #[derive(Debug, Clone)]
@@ -85,8 +88,28 @@ impl<M: PerfModel + Clone> Simulator<M> {
 
     /// Simulates an existing schedule.
     pub fn simulate(&self, dag: &Dag, schedule: &Schedule) -> Result<ExecutionResult, ExecError> {
-        let mut exec_model = ModelExecution::new(self.model.clone());
+        let mut exec_model = ModelExecution::new(&self.model);
         execute(dag, &self.cluster, schedule, &mut exec_model)
+    }
+
+    /// [`Simulator::simulate`] reusing a caller-owned [`ExecSlab`]:
+    /// bit-identical results, but the L07 simulator and executor buffers
+    /// stay warm across calls instead of being rebuilt per execution.
+    pub fn simulate_with_slab(
+        &self,
+        slab: &mut ExecSlab,
+        dag: &Dag,
+        schedule: &Schedule,
+    ) -> Result<ExecutionResult, ExecError> {
+        let mut exec_model = ModelExecution::new(&self.model);
+        execute_with_slab(
+            slab,
+            dag,
+            &self.cluster,
+            schedule,
+            &mut exec_model,
+            &ExecPolicy::default(),
+        )
     }
 
     /// The full §V-A pipeline: schedule with `algorithm` under this model,
@@ -111,6 +134,41 @@ impl<M: PerfModel + Clone> Simulator<M> {
     ) -> Result<SimOutcome, ExecError> {
         let schedule = algorithm.schedule_with_engine(dag, &self.cluster, &self.model, engine);
         let result = self.simulate(dag, &schedule)?;
+        Ok(SimOutcome { schedule, result })
+    }
+
+    /// The fully warmed pipeline: schedule with a caller-owned
+    /// [`AllocationEngine`] and simulate in a caller-owned [`ExecSlab`].
+    /// Bit-identical to [`Simulator::schedule_and_simulate`].
+    pub fn schedule_and_simulate_with_slabs(
+        &self,
+        dag: &Dag,
+        algorithm: &dyn Scheduler,
+        engine: &mut AllocationEngine,
+        slab: &mut ExecSlab,
+    ) -> Result<SimOutcome, ExecError> {
+        let schedule = algorithm.schedule_with_engine(dag, &self.cluster, &self.model, engine);
+        let result = self.simulate_with_slab(slab, dag, &schedule)?;
+        Ok(SimOutcome { schedule, result })
+    }
+
+    /// [`Simulator::schedule_and_simulate_with_slabs`] with an
+    /// [`AllocKey`]: consecutive calls sharing the key (same DAG, same
+    /// model) carry the engine's τ-table across algorithms — bit-identical
+    /// outcomes, fewer model evaluations. See
+    /// [`mps_sched::AllocationEngine::allocate_keyed`] for the key
+    /// contract.
+    pub fn schedule_and_simulate_keyed(
+        &self,
+        dag: &Dag,
+        algorithm: &dyn Scheduler,
+        key: AllocKey,
+        engine: &mut AllocationEngine,
+        slab: &mut ExecSlab,
+    ) -> Result<SimOutcome, ExecError> {
+        let schedule =
+            algorithm.schedule_with_keyed_engine(dag, &self.cluster, &self.model, engine, key);
+        let result = self.simulate_with_slab(slab, dag, &schedule)?;
         Ok(SimOutcome { schedule, result })
     }
 }

@@ -17,8 +17,8 @@ use mps_kernels::Kernel;
 use mps_platform::{Cluster, ClusterSpec, HostId};
 use mps_sched::Schedule;
 use mps_sim::{
-    execute, execute_with_policy, ExecError, ExecPolicy, ExecutionModel, ExecutionResult,
-    FaultyExecution, TaskExecution,
+    execute, execute_with_policy, execute_with_slab_prevalidated, ExecError, ExecPolicy, ExecSlab,
+    ExecutionModel, ExecutionResult, FaultyExecution, TaskExecution,
 };
 
 use crate::ground_truth::GroundTruth;
@@ -95,11 +95,33 @@ impl Testbed {
         schedule: &Schedule,
         run_seed: u64,
     ) -> Result<ExecutionResult, ExecError> {
-        let mut model = TestbedRun {
-            truth: &self.truth,
-            rng: self.rng_for(0xE0EC, run_seed),
-        };
+        let mut model = TestbedRun::new(&self.truth, self.rng_for(0xE0EC, run_seed));
         execute(dag, &self.cluster, schedule, &mut model)
+    }
+
+    /// [`Testbed::execute`] reusing a caller-owned [`ExecSlab`], skipping
+    /// the schedule-validation pass. Bit-identical to [`Testbed::execute`]
+    /// **provided** the caller has already validated `schedule` against
+    /// `dag` and a 32-node cluster (validation only consults the node
+    /// count, so validating against the nominal cluster covers the derated
+    /// one). The harness validates once per cell and then runs the same
+    /// schedule once in the simulator and several times here.
+    pub fn execute_prevalidated_with_slab(
+        &self,
+        slab: &mut ExecSlab,
+        dag: &Dag,
+        schedule: &Schedule,
+        run_seed: u64,
+    ) -> Result<ExecutionResult, ExecError> {
+        let mut model = TestbedRun::new(&self.truth, self.rng_for(0xE0EC, run_seed));
+        execute_with_slab_prevalidated(
+            slab,
+            dag,
+            &self.cluster,
+            schedule,
+            &mut model,
+            &ExecPolicy::default(),
+        )
     }
 
     /// [`Testbed::execute`] under an injected [`FaultPlan`]: the run plays
@@ -115,12 +137,26 @@ impl Testbed {
         plan: &FaultPlan,
         policy: &ExecPolicy,
     ) -> Result<ExecutionResult, ExecError> {
-        let inner = TestbedRun {
-            truth: &self.truth,
-            rng: self.rng_for(0xE0EC, run_seed),
-        };
+        let inner = TestbedRun::new(&self.truth, self.rng_for(0xE0EC, run_seed));
         let mut model = FaultyExecution::new(inner, ScriptedFaults::new(plan.clone()));
         execute_with_policy(dag, &self.cluster, schedule, &mut model, policy)
+    }
+
+    /// [`Testbed::execute_with_faults`] reusing a caller-owned [`ExecSlab`]
+    /// and skipping schedule validation (same caller contract as
+    /// [`Testbed::execute_prevalidated_with_slab`]).
+    pub fn execute_with_faults_prevalidated_with_slab(
+        &self,
+        slab: &mut ExecSlab,
+        dag: &Dag,
+        schedule: &Schedule,
+        run_seed: u64,
+        plan: &FaultPlan,
+        policy: &ExecPolicy,
+    ) -> Result<ExecutionResult, ExecError> {
+        let inner = TestbedRun::new(&self.truth, self.rng_for(0xE0EC, run_seed));
+        let mut model = FaultyExecution::new(inner, ScriptedFaults::new(plan.clone()));
+        execute_with_slab_prevalidated(slab, dag, &self.cluster, schedule, &mut model, policy)
     }
 
     /// One timed run of a single kernel at allocation `p` (the §VI
@@ -151,26 +187,43 @@ impl Testbed {
 }
 
 /// The per-run execution model: ground truth + fresh noise.
+///
+/// The noise distributions are built once per run, not per sample — the
+/// parameters are constants, and sampling depends only on the RNG state,
+/// so the drawn values are unchanged.
 struct TestbedRun<'a> {
     truth: &'a GroundTruth,
     rng: StdRng,
+    task_noise: LogNormal,
+    startup_noise: LogNormal,
+    redist_noise: LogNormal,
+}
+
+impl<'a> TestbedRun<'a> {
+    fn new(truth: &'a GroundTruth, rng: StdRng) -> Self {
+        TestbedRun {
+            truth,
+            rng,
+            task_noise: LogNormal::new(0.0, TASK_NOISE_SIGMA).expect("valid sigma"),
+            startup_noise: LogNormal::new(0.0, STARTUP_NOISE_SIGMA).expect("valid sigma"),
+            redist_noise: LogNormal::new(0.0, REDIST_NOISE_SIGMA).expect("valid sigma"),
+        }
+    }
 }
 
 impl ExecutionModel for TestbedRun<'_> {
     fn task_execution(&mut self, _task: TaskId, kernel: Kernel, hosts: &[HostId]) -> TaskExecution {
-        let noise = LogNormal::new(0.0, TASK_NOISE_SIGMA).expect("valid sigma");
-        let t = self.truth.task_time_mean(kernel, hosts.len()) * noise.sample(&mut self.rng);
+        let t =
+            self.truth.task_time_mean(kernel, hosts.len()) * self.task_noise.sample(&mut self.rng);
         TaskExecution::Fixed(t)
     }
 
     fn startup_overhead(&mut self, _task: TaskId, p: usize) -> f64 {
-        let noise = LogNormal::new(0.0, STARTUP_NOISE_SIGMA).expect("valid sigma");
-        self.truth.startup_mean(p) * noise.sample(&mut self.rng)
+        self.truth.startup_mean(p) * self.startup_noise.sample(&mut self.rng)
     }
 
     fn redist_overhead(&mut self, p_src: usize, p_dst: usize) -> f64 {
-        let noise = LogNormal::new(0.0, REDIST_NOISE_SIGMA).expect("valid sigma");
-        self.truth.redist_mean(p_src, p_dst) * noise.sample(&mut self.rng)
+        self.truth.redist_mean(p_src, p_dst) * self.redist_noise.sample(&mut self.rng)
     }
 }
 
