@@ -99,6 +99,8 @@ fn main() {
     let mut deadline_ms: Option<u64> = None;
     let mut campaign_dir: Option<String> = None;
     let mut points: Option<usize> = None;
+    let mut episodes: Option<usize> = None;
+    let mut chaos_dir: Option<String> = None;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -325,6 +327,23 @@ fn main() {
                         .unwrap_or_else(|| die("--points needs an integer >= 1")),
                 );
             }
+            "--episodes" => {
+                i += 1;
+                episodes = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--episodes needs an integer >= 1")),
+                );
+            }
+            "--chaos-dir" => {
+                i += 1;
+                chaos_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--chaos-dir needs a directory")),
+                );
+            }
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -345,8 +364,40 @@ fn main() {
     let serving = targets.iter().any(|t| t == "serve");
     let clienting = targets.iter().any(|t| t == "client");
     let campaigning = targets.iter().any(|t| t == "campaign");
+    let chaosing = targets.iter().any(|t| t == "chaos");
     if serving && clienting {
         die("serve and client are mutually exclusive targets");
+    }
+    if chaosing {
+        if targets.len() > 1 {
+            die("chaos cannot be combined with other targets");
+        }
+        // Chaos episodes build their own harnesses, fault plans, and
+        // scratch journals; the grid/campaign knobs would be inert lies.
+        for (set, flag) in [
+            (faults.is_some(), "--faults"),
+            (journal_path.is_some(), "--journal"),
+            (resume, "--resume"),
+            (json_dir.is_some(), "--json"),
+            (subset.is_some(), "--subset"),
+            (workers.is_some(), "--workers"),
+            (isolation == "process", "--isolation process"),
+            (max_wall_secs.is_some(), "--max-wall-secs"),
+            (throttle_ms.is_some(), "--throttle-ms"),
+        ] {
+            if set {
+                die(&format!("{flag} cannot be used with the chaos target"));
+            }
+        }
+    } else {
+        for (set, flag) in [
+            (episodes.is_some(), "--episodes"),
+            (chaos_dir.is_some(), "--chaos-dir"),
+        ] {
+            if set {
+                die(&format!("{flag} requires the chaos target"));
+            }
+        }
     }
     if campaigning {
         if targets.len() > 1 {
@@ -413,6 +464,17 @@ fn main() {
                 die(&format!("{flag} requires the serve or client target"));
             }
         }
+    }
+    if chaosing {
+        let dir = chaos_dir.map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("mps-chaos-{}", std::process::id()))
+        });
+        let opts = mps_exp::ChaosOpts {
+            episodes: episodes.unwrap_or(50),
+            seed,
+            dir,
+        };
+        std::process::exit(run_chaos(&opts));
     }
     if clienting {
         std::process::exit(run_client(
@@ -971,6 +1033,54 @@ fn run_campaign(
     }
 }
 
+fn run_chaos(opts: &mps_exp::ChaosOpts) -> i32 {
+    eprintln!(
+        "# chaos soak: {} episode(s), seed {}, scratch {}",
+        opts.episodes,
+        opts.seed,
+        opts.dir.display()
+    );
+    let t = std::time::Instant::now();
+    let report = mps_exp::chaos::run_chaos(opts, |line| eprintln!("# {line}"))
+        .unwrap_or_else(|e| die(&format!("chaos: {e}")));
+    println!(
+        "chaos soak (seed {}): {} episode(s), {} typed failure(s) in {:.1} s",
+        opts.seed,
+        report.episodes,
+        report.failed_typed,
+        t.elapsed().as_secs_f64()
+    );
+    println!(
+        "  io faults injected  : {} (enospc {}, eio {}, short-write {}, fsync {}, torn-rename {})",
+        report.io.total(),
+        report.io.enospc,
+        report.io.eio,
+        report.io.short_write,
+        report.io.fsync_fail,
+        report.io.torn_rename
+    );
+    println!(
+        "  wire faults injected: {} (corrupt {}, stall {}, close {})",
+        report.wire.total(),
+        report.wire.corrupt,
+        report.wire.stall,
+        report.wire.close
+    );
+    if report.passed() {
+        println!("  verdict: PASS — every fault absorbed or typed, every class exercised");
+        0
+    } else {
+        println!(
+            "  verdict: FAIL — {} invariant violation(s):",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("    - {v}");
+        }
+        2
+    }
+}
+
 struct ServeCliOpts {
     socket: Option<String>,
     state_dir: Option<String>,
@@ -1055,6 +1165,7 @@ fn run_serve(harness: Harness, o: ServeCliOpts) -> i32 {
         queue_capacity: o.queue_cap.unwrap_or(16),
         executors: o.serve_workers.unwrap_or(2),
         ctrl,
+        ..mps_core::serve::ServerConfig::default()
     };
     let server = mps_core::serve::Server::new(std::sync::Arc::new(backend), cfg);
     let result = if o.stdio {
@@ -1256,6 +1367,8 @@ targets:
   serve    run the mps-serve scheduling daemon (mps-proto/v1)
   client   submit work to a running daemon
   campaign fault-sweep campaign: many grid points, one journal each
+  chaos    seeded I/O + wire fault-injection soak over every durability
+           path (journal, campaign, daemon), with invariant checks
 
 grid flags:
   --seed S             harness seed (default 2011)
@@ -1288,6 +1401,16 @@ campaign flags (target: campaign):
   (resume = re-invoke with the same arguments; complete points are
    no-ops, the first incomplete point resumes mid-grid. --subset,
    --repeats, --workers, --max-wall-secs, --throttle-ms apply.)
+
+chaos flags (target: chaos):
+  --episodes N         seeded episodes per soak (default 50); each cycles
+                       journal/campaign/daemon under escalating fault
+                       intensity, then targeted single-class episodes
+  --chaos-dir DIR      scratch directory for episode journals (default:
+                       a per-pid directory under the system temp dir)
+  (--seed seeds the whole soak; a fixed seed reproduces the exact fault
+   sequence. Exit 0 = every injected fault was absorbed or surfaced
+   typed AND every fault class actually fired; exit 2 otherwise.)
 
 serve flags (target: serve):
   --socket PATH        Unix socket to listen on

@@ -17,8 +17,10 @@
 //! batched grid path (DESIGN.md §5.13) pushes it through the journals
 //! in well under a minute on one core.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use mps_core::faults::io::IoEnv;
 use mps_core::faults::FaultPlan;
 use mps_core::journal::RunControl;
 
@@ -57,6 +59,114 @@ pub fn point_fault_plan(base_seed: u64, point: usize, points: usize, hosts: usiz
 /// Journal path of sweep point `point` inside `dir`.
 pub fn point_journal(dir: &Path, point: usize) -> PathBuf {
     dir.join(format!("point-{point:04}.jl"))
+}
+
+/// Schema tag of `campaign.json`.
+pub const CAMPAIGN_MANIFEST_V1: &str = "mps-campaign/v1";
+
+/// The `campaign.json` summary: progress an observer (or a resumed
+/// invocation's operator) can read without scanning journals.
+///
+/// The manifest is *advisory*: resume logic never consults it — resume
+/// state lives in the per-point journals — so a corrupted or missing
+/// `campaign.json` can never reset campaign progress
+/// (`crates/exp/tests/campaign_manifest_corruption.rs`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignManifest {
+    /// Schema tag ([`CAMPAIGN_MANIFEST_V1`]).
+    pub schema: String,
+    /// Testbed base seed.
+    pub seed: u64,
+    /// Total sweep points requested.
+    pub points_total: u64,
+    /// Points whose journals are complete.
+    pub points_done: u64,
+    /// Testbed repeats per cell.
+    pub repeats: u64,
+    /// `Some(take)`: subset campaign over the first `take` corpus DAGs.
+    pub subset: Option<u64>,
+    /// Durable cells across all touched points.
+    pub cells: u64,
+    /// Cells loaded from journals instead of recomputed.
+    pub resumed: u64,
+    /// Cells computed by the writing invocation.
+    pub computed: u64,
+    /// Crash-family cells across the campaign.
+    pub quarantined: u64,
+    /// Status label of the writing invocation ([`GridStatus::label`]).
+    pub status: String,
+}
+
+/// Atomically publishes `campaign.json` in `dir` through `env`:
+/// tmp-file write + fdatasync + rename + directory sync, every step a
+/// typed [`JournalError`] on failure.
+pub fn write_campaign_manifest_in(
+    env: &dyn IoEnv,
+    dir: &Path,
+    m: &CampaignManifest,
+) -> Result<(), JournalError> {
+    let json = serde_json::to_string(m).map_err(|e| JournalError::Serde {
+        what: "campaign manifest",
+        err: e.to_string(),
+    })?;
+    let path = dir.join("campaign.json");
+    let tmp = dir.join("campaign.json.tmp");
+    let io_err = |op: &'static str, p: &Path, e: std::io::Error| JournalError::Io {
+        op,
+        path: p.display().to_string(),
+        err: e.to_string(),
+    };
+    let mut f = env.create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    f.write_all(json.as_bytes())
+        .and_then(|()| f.write_all(b"\n"))
+        .map_err(|e| io_err("append", &tmp, e))?;
+    f.sync_data().map_err(|e| io_err("sync", &tmp, e))?;
+    drop(f);
+    env.rename(&tmp, &path)
+        .map_err(|e| io_err("rename", &path, e))?;
+    env.sync_dir(dir).map_err(|e| io_err("sync-dir", dir, e))
+}
+
+/// Reads `campaign.json` from `dir`. `Ok(None)` if absent; a manifest
+/// that exists but does not parse (or carries the wrong schema tag) is a
+/// typed [`JournalError::Serde`] — never a panic, and never grounds for
+/// resetting campaign progress (resume state lives in the journals).
+pub fn read_campaign_manifest(dir: &Path) -> Result<Option<CampaignManifest>, JournalError> {
+    read_campaign_manifest_in(&mps_core::faults::io::RealIo, dir)
+}
+
+/// [`read_campaign_manifest`] against an explicit environment.
+pub fn read_campaign_manifest_in(
+    env: &dyn IoEnv,
+    dir: &Path,
+) -> Result<Option<CampaignManifest>, JournalError> {
+    let path = dir.join("campaign.json");
+    let bytes = match env.read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(JournalError::Io {
+                op: "read",
+                path: path.display().to_string(),
+                err: e.to_string(),
+            })
+        }
+    };
+    let text = String::from_utf8(bytes).map_err(|e| JournalError::Serde {
+        what: "campaign manifest",
+        err: e.to_string(),
+    })?;
+    let m: CampaignManifest = serde_json::from_str(&text).map_err(|e| JournalError::Serde {
+        what: "campaign manifest",
+        err: e.to_string(),
+    })?;
+    if m.schema != CAMPAIGN_MANIFEST_V1 {
+        return Err(JournalError::Serde {
+            what: "campaign manifest",
+            err: format!("unknown schema {:?}", m.schema),
+        });
+    }
+    Ok(Some(m))
 }
 
 /// Campaign shape and pacing.
@@ -191,51 +301,27 @@ impl Harness {
         Ok(report)
     }
 
-    /// Rewrites `campaign.json` (atomic rename) so an observer — or a
-    /// resumed invocation's operator — can see campaign progress without
-    /// scanning journals.
+    /// Rewrites `campaign.json` (atomic rename via the harness's I/O
+    /// environment) so an observer — or a resumed invocation's operator —
+    /// can see campaign progress without scanning journals.
     fn write_campaign_manifest(
         &self,
         opts: &CampaignOpts,
         report: &CampaignReport,
     ) -> Result<(), JournalError> {
-        let json = format!(
-            r#"{{
-  "schema": "mps-campaign/v1",
-  "seed": {seed},
-  "points_total": {pt},
-  "points_done": {pd},
-  "repeats": {rep},
-  "subset": {sub},
-  "cells": {cells},
-  "resumed": {res},
-  "computed": {comp},
-  "quarantined": {quar},
-  "status": "{status}"
-}}
-"#,
-            seed = self.testbed.base_seed,
-            pt = report.points_total,
-            pd = report.points_done,
-            rep = opts.repeats,
-            sub = opts.subset.map_or("null".to_string(), |s| s.to_string()),
-            cells = report.cells,
-            res = report.resumed,
-            comp = report.computed,
-            quar = report.quarantined,
-            status = report.status.label(),
-        );
-        let path = opts.dir.join("campaign.json");
-        let tmp = opts.dir.join("campaign.json.tmp");
-        std::fs::write(&tmp, &json).map_err(|e| JournalError::Io {
-            op: "write campaign manifest",
-            path: tmp.display().to_string(),
-            err: e.to_string(),
-        })?;
-        std::fs::rename(&tmp, &path).map_err(|e| JournalError::Io {
-            op: "publish campaign manifest",
-            path: path.display().to_string(),
-            err: e.to_string(),
-        })
+        let m = CampaignManifest {
+            schema: CAMPAIGN_MANIFEST_V1.to_string(),
+            seed: self.testbed.base_seed,
+            points_total: report.points_total as u64,
+            points_done: report.points_done as u64,
+            repeats: opts.repeats,
+            subset: opts.subset.map(|s| s as u64),
+            cells: report.cells as u64,
+            resumed: report.resumed as u64,
+            computed: report.computed as u64,
+            quarantined: report.quarantined as u64,
+            status: report.status.label().to_string(),
+        };
+        write_campaign_manifest_in(&**self.io_env(), &opts.dir, &m)
     }
 }

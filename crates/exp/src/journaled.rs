@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use mps_core::dag::gen::GeneratedDag;
+use mps_core::faults::io::IoEnv;
 use mps_core::journal::{
     self as journal, JournalError, JournalHeader, JournalWriter, Manifest, RunControl, StopReason,
     FORMAT_V1, MANIFEST_FORMAT_V1,
@@ -94,12 +95,13 @@ pub(crate) type OpenedJournal = (Vec<(String, CellResult)>, JournalWriter, u64);
 /// truncating any torn tail) or starts a fresh one. Shared between the
 /// in-process and process-isolated grid drivers.
 pub(crate) fn open_grid_journal(
+    env: &dyn IoEnv,
     path: &Path,
     header: &JournalHeader,
     resume: bool,
 ) -> Result<OpenedJournal, JournalError> {
     if resume && path.exists() {
-        let (rec, w) = journal::open_resume(path)?;
+        let (rec, w) = journal::open_resume_in(env, path)?;
         match &rec.header {
             Some(h) => {
                 h.check_matches(header)?;
@@ -118,13 +120,13 @@ pub(crate) fn open_grid_journal(
             // empty — start over in place.
             None => {
                 drop(w);
-                let w = JournalWriter::create_overwrite(path, header)?;
+                let w = JournalWriter::create_overwrite_in(env, path, header)?;
                 Ok((Vec::new(), w, rec.dropped_bytes))
             }
         }
     } else {
         // `create` refuses to clobber an existing journal.
-        Ok((Vec::new(), JournalWriter::create(path, header)?, 0))
+        Ok((Vec::new(), JournalWriter::create_in(env, path, header)?, 0))
     }
 }
 
@@ -160,7 +162,9 @@ pub(crate) fn pending_specs(
 
 /// Writes the manifest and assembles the merged, canonically sorted grid.
 /// Shared final step of both grid drivers.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finalize_grid(
+    env: &dyn IoEnv,
     path: &Path,
     campaign: &str,
     expected: u64,
@@ -190,7 +194,8 @@ pub(crate) fn finalize_grid(
         .iter()
         .filter(|c| c.outcome.crash_report().is_some())
         .count();
-    journal::write_manifest(
+    journal::write_manifest_in(
+        env,
         path,
         &Manifest {
             format: MANIFEST_FORMAT_V1.to_string(),
@@ -296,8 +301,9 @@ impl Harness {
             request: String::new(),
         };
 
+        let env = self.io_env().clone();
         let (resumed_cells, mut writer, salvage_dropped_bytes) =
-            open_grid_journal(opts.path, &header, opts.resume)?;
+            open_grid_journal(&*env, opts.path, &header, opts.resume)?;
 
         let done: HashSet<&str> = resumed_cells.iter().map(|(k, _)| k.as_str()).collect();
         let pending = pending_specs(corpus, &done, opts.repeats);
@@ -373,6 +379,7 @@ impl Harness {
         writer.sync()?;
 
         finalize_grid(
+            &*env,
             opts.path,
             campaign,
             expected,

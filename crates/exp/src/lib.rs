@@ -14,13 +14,15 @@
 
 pub mod ablation;
 pub mod campaign;
+pub mod chaos;
 pub mod figures;
 pub mod journaled;
 pub mod runner;
 pub mod serve_backend;
 pub mod supervised;
 
-pub use campaign::{CampaignOpts, CampaignReport, PointSummary};
+pub use campaign::{CampaignManifest, CampaignOpts, CampaignReport, PointSummary};
+pub use chaos::{ChaosOpts, ChaosReport};
 pub use journaled::{GridStatus, JournaledGrid};
 pub use runner::{
     cell_key, grid_health, paired_relative_makespans, parse_poison_spec, CellOutcome, CellResult,

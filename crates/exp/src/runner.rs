@@ -16,6 +16,7 @@ use std::sync::{Arc, OnceLock};
 use serde::{Deserialize, Serialize};
 
 use mps_core::dag::gen::{paper_corpus, GeneratedDag, PAPER_CORPUS_SEED};
+use mps_core::faults::io::IoEnv;
 use mps_core::faults::FaultPlan;
 use mps_core::model::{EmpiricalModel, PerfModel, ProfileModel};
 use mps_core::platform::Cluster;
@@ -280,6 +281,13 @@ pub struct Harness {
     /// Poison rules: cells whose key matches misbehave on purpose (test
     /// instrumentation for the supervision layer).
     pub poison: Vec<PoisonRule>,
+    /// The I/O environment every durability path (journals, manifests)
+    /// goes through — [`RealIo`](mps_core::faults::io::RealIo) in
+    /// production, a seeded [`ChaosIo`](mps_core::faults::io::ChaosIo)
+    /// or [`SwitchIo`](mps_core::faults::io::SwitchIo) under chaos
+    /// testing. Not part of the config digest: the env changes the
+    /// disk's physics, never the computed results.
+    io_env: Arc<dyn IoEnv>,
     /// The nominal (paper-spec) cluster every simulator schedules
     /// against — built once instead of per cell.
     nominal: Cluster,
@@ -339,6 +347,7 @@ impl Harness {
             fault_plan: None,
             policy: ExecPolicy::default(),
             poison: Vec::new(),
+            io_env: Arc::new(mps_core::faults::io::RealIo),
             nominal,
             instance: INSTANCES.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
@@ -365,6 +374,18 @@ impl Harness {
     pub fn with_poison(mut self, rules: Vec<PoisonRule>) -> Self {
         self.poison = rules;
         self
+    }
+
+    /// Routes every durability path (journal appends, manifest writes,
+    /// recovery reads) through `env` — the chaos-testing seam.
+    pub fn with_io_env(mut self, env: Arc<dyn IoEnv>) -> Self {
+        self.io_env = env;
+        self
+    }
+
+    /// The I/O environment this harness journals through.
+    pub fn io_env(&self) -> &Arc<dyn IoEnv> {
+        &self.io_env
     }
 
     /// The paper's DAG corpus — generated once per process and shared

@@ -219,8 +219,9 @@ impl ServeBackend {
             isolation: "serve".to_string(),
             request: work_json.to_string(),
         };
+        let env = self.harness.io_env().clone();
         let (resumed_cells, mut writer, dropped) =
-            open_grid_journal(path, &header, path.exists()).map_err(backend_err)?;
+            open_grid_journal(&*env, path, &header, path.exists()).map_err(backend_err)?;
         // Replay: re-serializing a parsed `CellResult` reproduces the
         // journaled bytes exactly (same serializer, same field order),
         // so a resumed stream is byte-identical to the original.
@@ -253,6 +254,7 @@ impl ServeBackend {
         writer.sync().map_err(backend_err)?;
         let campaign = format!("serve[..{}]", corpus.len());
         let grid = finalize_grid(
+            &*env,
             path,
             &campaign,
             expected,
@@ -283,7 +285,7 @@ impl ServeBackend {
         if resume {
             // Replay the raw journaled records (verbatim bytes) before
             // the supervised run re-opens the journal for appends.
-            let rec = journal::recover(path).map_err(backend_err)?;
+            let rec = journal::recover_in(&**self.harness.io_env(), path).map_err(backend_err)?;
             for (key, payload) in &rec.records {
                 emit(key, payload);
             }
@@ -396,12 +398,13 @@ impl Backend for ServeBackend {
             .collect();
         paths.sort();
         for path in paths {
-            if let Some(m) = journal::read_manifest(&path).map_err(backend_err)? {
+            let env = &**self.harness.io_env();
+            if let Some(m) = journal::read_manifest_in(env, &path).map_err(backend_err)? {
                 if m.status == "complete" {
                     continue;
                 }
             }
-            let rec = journal::recover(&path).map_err(backend_err)?;
+            let rec = journal::recover_in(env, &path).map_err(backend_err)?;
             let Some(header) = rec.header else { continue };
             if header.request.is_empty() {
                 continue;

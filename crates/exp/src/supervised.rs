@@ -399,8 +399,9 @@ impl Harness {
             isolation: "process".to_string(),
             request: request.to_string(),
         };
+        let env = self.io_env().clone();
         let (resumed_cells, mut writer, salvage_dropped_bytes) =
-            open_grid_journal(path, &header, opts.resume)?;
+            open_grid_journal(&*env, path, &header, opts.resume)?;
         let done: HashSet<&str> = resumed_cells.iter().map(|(k, _)| k.as_str()).collect();
         let pending = pending_specs(corpus, &done, opts.repeats);
 
@@ -433,6 +434,7 @@ impl Harness {
         outcome?;
 
         finalize_grid(
+            &*env,
             path,
             campaign,
             expected,

@@ -40,8 +40,13 @@
 
 #![warn(missing_docs)]
 
+pub mod io;
 pub mod model;
 pub mod plan;
 
+pub use io::{
+    ChaosIo, ChaosStream, InjectedIo, InjectedWire, IoEnv, IoFaultPlan, IoFile, RealIo, SwitchIo,
+    WireFaultPlan,
+};
 pub use model::{FaultModel, NoFaults, ScriptedFaults, TaskDisposition};
 pub use plan::{FaultEvent, FaultPlan, FaultPlanBuilder, PlanParseError};

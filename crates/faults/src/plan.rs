@@ -75,6 +75,10 @@ pub struct FaultPlan {
     pub seed: u64,
     /// The scripted events.
     pub events: Vec<FaultEvent>,
+    /// Environment (filesystem) faults injected under the durability
+    /// paths — see [`crate::io::ChaosIo`]. Parsed from the `io:` clause.
+    #[serde(default)]
+    pub io: crate::io::IoFaultPlan,
 }
 
 impl FaultPlan {
@@ -88,14 +92,14 @@ impl FaultPlan {
         FaultPlanBuilder {
             plan: FaultPlan {
                 seed,
-                events: Vec::new(),
+                ..FaultPlan::default()
             },
         }
     }
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.io.is_empty()
     }
 
     /// Generates a random plan of the given `intensity` over a platform of
@@ -139,7 +143,11 @@ impl FaultPlan {
                 prob: (0.05 * intensity).min(0.5),
             });
         }
-        FaultPlan { seed, events }
+        FaultPlan {
+            seed,
+            events,
+            io: crate::io::IoFaultPlan::default(),
+        }
     }
 
     /// Parses the compact CLI grammar used by `repro --faults`.
@@ -152,11 +160,16 @@ impl FaultPlan {
     /// * `link@H:T+D*F` — host `H`'s link carries `F`× bytes in `[T, T+D)`;
     /// * `straggle@T*F` — task `T` takes `F`× longer;
     /// * `fail=P` — every launch attempt fails with probability `P`;
+    /// * `io:KNOB@V,…` — environment (filesystem) faults under the
+    ///   durability paths: `enospc@P`, `eio@P`, `shortwrite@P`,
+    ///   `fsync@P`, `rename@P`, `latency@MS`, or a preset
+    ///   `light`/`moderate`/`heavy` (see
+    ///   [`IoFaultPlan::parse`](crate::io::IoFaultPlan::parse));
     /// * `light` / `moderate` / `heavy` — a [`FaultPlan::random`] preset
     ///   (intensity 0.25 / 0.5 / 1.0) over `hosts` nodes and `horizon`
     ///   seconds.
     ///
-    /// Example: `seed=7;crash@3:10+5;fail=0.05`.
+    /// Example: `seed=7;crash@3:10+5;fail=0.05;io:enospc@0.01,shortwrite@0.05`.
     pub fn parse(input: &str, hosts: usize, horizon: f64) -> Result<Self, PlanParseError> {
         let mut plan = FaultPlan::none();
         for clause in input.split(';') {
@@ -250,6 +263,14 @@ impl FaultPlan {
                 duration: num(d, "duration")?,
                 factor: num(f, "factor")?,
             });
+            return Ok(());
+        }
+        if let Some(rest) = clause.strip_prefix("io:") {
+            let parsed = crate::io::IoFaultPlan::parse(rest).map_err(|reason| PlanParseError {
+                clause: clause.to_string(),
+                reason,
+            })?;
+            self.io = parsed;
             return Ok(());
         }
         if let Some(rest) = clause.strip_prefix("straggle@") {
@@ -443,6 +464,20 @@ mod tests {
                 FaultEvent::Straggler { .. } => {}
             }
         }
+    }
+
+    #[test]
+    fn io_clause_parses_into_the_plan() {
+        let plan =
+            FaultPlan::parse("seed=3;io:enospc@0.01,shortwrite@0.05;fail=0.1", 8, 60.0).unwrap();
+        assert_eq!(plan.io.enospc, 0.01);
+        assert_eq!(plan.io.short_write, 0.05);
+        assert!(!plan.is_empty());
+        // An io-only plan is not empty even with no scripted events.
+        let io_only = FaultPlan::parse("io:eio@0.02", 8, 60.0).unwrap();
+        assert!(io_only.events.is_empty());
+        assert!(!io_only.is_empty());
+        assert!(FaultPlan::parse("io:wibble@0.1", 8, 60.0).is_err());
     }
 
     #[test]

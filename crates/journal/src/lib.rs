@@ -48,9 +48,14 @@ pub use cancel::{
 };
 pub use format::{decode_line, encode_line, fnv64, JournalHeader, FORMAT_V1, HEADER_KEY};
 pub use store::{
-    manifest_path, open_resume, read_manifest, recover, write_manifest, JournalWriter, Manifest,
-    RecoveredJournal, MANIFEST_FORMAT_V1,
+    manifest_path, open_resume, open_resume_in, read_manifest, read_manifest_in, recover,
+    recover_in, write_manifest, write_manifest_in, JournalWriter, Manifest, RecoveredJournal,
+    MANIFEST_FORMAT_V1,
 };
+
+// The I/O environment seam every store operation goes through; re-exported
+// so durability callers can swap envs without a direct mps-faults dep.
+pub use mps_faults::io::{IoEnv, IoFile, RealIo};
 
 /// Everything that can go wrong while journaling a campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,11 +1,19 @@
 //! Journal files on disk: append-only writer, torn-tail recovery, and the
 //! atomically-replaced manifest sidecar.
+//!
+//! Every filesystem touch goes through an [`IoEnv`] — the environment
+//! seam from `mps-faults` — so the same code runs against the real disk
+//! ([`RealIo`]) and against an adversarial one
+//! ([`ChaosIo`](mps_faults::ChaosIo)) that injects ENOSPC, EIO, short
+//! writes, fsync failures, and torn renames. The plain entry points
+//! (`create`, `recover`, `write_manifest`, …) are the [`RealIo`]
+//! shorthands; the `*_in` variants take an explicit env.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
+
+use mps_faults::io::{IoEnv, IoFile, RealIo};
 
 use crate::format::{decode_line, encode_line, JournalHeader, HEADER_KEY};
 use crate::JournalError;
@@ -20,7 +28,7 @@ pub const MANIFEST_FORMAT_V1: &str = "mps-journal-manifest/v1";
 /// [`JournalWriter::sync`] additionally forces the data to stable storage
 /// (checkpoints, graceful shutdown).
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn IoFile>,
     path: PathBuf,
     records: u64,
 }
@@ -32,21 +40,37 @@ impl JournalWriter {
     /// — an existing journal is resumed ([`open_resume`]) or removed,
     /// never silently clobbered.
     pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, JournalError> {
+        Self::create_in(&RealIo, path, header)
+    }
+
+    /// [`JournalWriter::create`] against an explicit I/O environment.
+    pub fn create_in(
+        env: &dyn IoEnv,
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<Self, JournalError> {
         if path.exists() {
             return Err(JournalError::AlreadyExists {
                 path: path.display().to_string(),
             });
         }
-        Self::create_overwrite(path, header)
+        Self::create_overwrite_in(env, path, header)
     }
 
     /// Creates (or truncates) a journal at `path` and writes its header.
     pub fn create_overwrite(path: &Path, header: &JournalHeader) -> Result<Self, JournalError> {
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)
+        Self::create_overwrite_in(&RealIo, path, header)
+    }
+
+    /// [`JournalWriter::create_overwrite`] against an explicit I/O
+    /// environment.
+    pub fn create_overwrite_in(
+        env: &dyn IoEnv,
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<Self, JournalError> {
+        let file = env
+            .create(path)
             .map_err(|e| JournalError::io("create", path, e))?;
         let mut w = JournalWriter {
             file,
@@ -123,7 +147,14 @@ pub struct RecoveredJournal {
 /// a journal header (the path points at something that is not ours —
 /// refusing protects against truncating an unrelated file on resume).
 pub fn recover(path: &Path) -> Result<RecoveredJournal, JournalError> {
-    let data = std::fs::read(path).map_err(|e| JournalError::io("read", path, e))?;
+    recover_in(&RealIo, path)
+}
+
+/// [`recover`] against an explicit I/O environment.
+pub fn recover_in(env: &dyn IoEnv, path: &Path) -> Result<RecoveredJournal, JournalError> {
+    let data = env
+        .read(path)
+        .map_err(|e| JournalError::io("read", path, e))?;
     let mut out = RecoveredJournal {
         header: None,
         records: Vec::new(),
@@ -182,14 +213,21 @@ pub fn recover(path: &Path) -> Result<RecoveredJournal, JournalError> {
 /// `header: None` and the caller should recreate the journal with
 /// [`JournalWriter::create_overwrite`].
 pub fn open_resume(path: &Path) -> Result<(RecoveredJournal, JournalWriter), JournalError> {
-    let recovered = recover(path)?;
-    let mut file = OpenOptions::new()
-        .write(true)
-        .open(path)
+    open_resume_in(&RealIo, path)
+}
+
+/// [`open_resume`] against an explicit I/O environment.
+pub fn open_resume_in(
+    env: &dyn IoEnv,
+    path: &Path,
+) -> Result<(RecoveredJournal, JournalWriter), JournalError> {
+    let recovered = recover_in(env, path)?;
+    let mut file = env
+        .open_write(path)
         .map_err(|e| JournalError::io("open", path, e))?;
     file.set_len(recovered.intact_bytes)
         .map_err(|e| JournalError::io("truncate", path, e))?;
-    file.seek(SeekFrom::End(0))
+    file.seek_end()
         .map_err(|e| JournalError::io("seek", path, e))?;
     let writer = JournalWriter {
         file,
@@ -238,9 +276,21 @@ pub fn manifest_path(journal: &Path) -> PathBuf {
 }
 
 /// Atomically replaces the journal's manifest: write to a tmp file in the
-/// same directory, `fdatasync`, then `rename(2)` over the final path (and
-/// best-effort fsync the directory so the rename itself is durable).
+/// same directory, `fdatasync`, `rename(2)` over the final path, then
+/// fsync the directory so the rename itself is durable. Every step's
+/// failure — including the directory sync — is a typed error: a manifest
+/// whose rename never reached stable storage is not durable, and
+/// pretending otherwise is how "recovered" campaigns lose their tail.
 pub fn write_manifest(journal: &Path, manifest: &Manifest) -> Result<(), JournalError> {
+    write_manifest_in(&RealIo, journal, manifest)
+}
+
+/// [`write_manifest`] against an explicit I/O environment.
+pub fn write_manifest_in(
+    env: &dyn IoEnv,
+    journal: &Path,
+    manifest: &Manifest,
+) -> Result<(), JournalError> {
     let final_path = manifest_path(journal);
     let tmp_path = final_path.with_file_name(format!(
         "{}.tmp",
@@ -254,8 +304,9 @@ pub fn write_manifest(journal: &Path, manifest: &Manifest) -> Result<(), Journal
         err: e.to_string(),
     })?;
     {
-        let mut tmp =
-            File::create(&tmp_path).map_err(|e| JournalError::io("create", &tmp_path, e))?;
+        let mut tmp = env
+            .create(&tmp_path)
+            .map_err(|e| JournalError::io("create", &tmp_path, e))?;
         tmp.write_all(json.as_bytes())
             .map_err(|e| JournalError::io("write", &tmp_path, e))?;
         tmp.write_all(b"\n")
@@ -263,25 +314,33 @@ pub fn write_manifest(journal: &Path, manifest: &Manifest) -> Result<(), Journal
         tmp.sync_data()
             .map_err(|e| JournalError::io("sync", &tmp_path, e))?;
     }
-    std::fs::rename(&tmp_path, &final_path)
+    env.rename(&tmp_path, &final_path)
         .map_err(|e| JournalError::io("rename", &final_path, e))?;
     if let Some(parent) = final_path.parent() {
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
-        }
+        env.sync_dir(parent)
+            .map_err(|e| JournalError::io("sync-dir", parent, e))?;
     }
     Ok(())
 }
 
 /// Reads the journal's manifest; `Ok(None)` when no manifest exists yet.
 pub fn read_manifest(journal: &Path) -> Result<Option<Manifest>, JournalError> {
+    read_manifest_in(&RealIo, journal)
+}
+
+/// [`read_manifest`] against an explicit I/O environment.
+pub fn read_manifest_in(env: &dyn IoEnv, journal: &Path) -> Result<Option<Manifest>, JournalError> {
     let path = manifest_path(journal);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
+    let bytes = match env.read(&path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(JournalError::io("read", &path, e)),
     };
-    serde_json::from_str(&text)
+    let text = std::str::from_utf8(&bytes).map_err(|e| JournalError::Serde {
+        what: "manifest",
+        err: format!("not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text)
         .map(Some)
         .map_err(|e| JournalError::Serde {
             what: "manifest",
@@ -431,5 +490,46 @@ mod tests {
             .filter(|n| n.ends_with(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+    }
+
+    /// S1 regression: a failing directory sync after the manifest rename
+    /// must surface as a typed error, not be discarded.
+    #[test]
+    fn failing_dir_sync_is_a_typed_error() {
+        struct NoDirSync;
+        impl IoEnv for NoDirSync {
+            fn create(&self, path: &Path) -> std::io::Result<Box<dyn IoFile>> {
+                RealIo.create(path)
+            }
+            fn open_write(&self, path: &Path) -> std::io::Result<Box<dyn IoFile>> {
+                RealIo.open_write(path)
+            }
+            fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+                RealIo.read(path)
+            }
+            fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+                RealIo.rename(from, to)
+            }
+            fn sync_dir(&self, _dir: &Path) -> std::io::Result<()> {
+                Err(std::io::Error::other("dir sync refused"))
+            }
+        }
+        let path = tmp("dirsync");
+        let m = Manifest {
+            format: MANIFEST_FORMAT_V1.to_string(),
+            campaign: "test".to_string(),
+            records: 1,
+            expected: 1,
+            status: "complete".to_string(),
+            quarantined: 0,
+        };
+        let err = write_manifest_in(&NoDirSync, &path, &m).unwrap_err();
+        assert!(
+            matches!(&err, JournalError::Io { op: "sync-dir", .. }),
+            "got {err:?}"
+        );
+        // The rename itself landed: the manifest is readable afterwards —
+        // the error tells the caller durability was NOT confirmed.
+        assert_eq!(read_manifest(&path).unwrap(), Some(m));
     }
 }

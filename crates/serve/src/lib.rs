@@ -82,6 +82,14 @@ pub enum ServeError {
         /// Display form of the backend error.
         reason: String,
     },
+    /// The peer stopped sending mid-protocol: no frame arrived within the
+    /// connection's read deadline. The connection is reaped (a stalled —
+    /// or half-closed — client must not pin a reader thread through a
+    /// drain).
+    ClientStalled {
+        /// The read deadline that expired, in milliseconds.
+        timeout_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -102,6 +110,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
             ServeError::Backend { reason } => write!(f, "backend error: {reason}"),
+            ServeError::ClientStalled { timeout_ms } => {
+                write!(f, "client stalled: no frame within {timeout_ms}ms")
+            }
         }
     }
 }

@@ -140,6 +140,10 @@ pub struct ServerStats {
     pub quarantined: u64,
     /// In-flight journals finished by startup crash recovery.
     pub recovered: u64,
+    /// Connections reaped because no frame arrived within the read
+    /// deadline ([`crate::ServeError::ClientStalled`]).
+    #[serde(default)]
+    pub stalled: u64,
     /// True once the server has stopped admitting.
     pub draining: bool,
 }

@@ -73,6 +73,11 @@ pub struct ServerConfig {
     /// drain; its throttle paces executors between cells (test kill
     /// windows).
     pub ctrl: RunControl,
+    /// Per-connection read deadline: a connection whose peer sends no
+    /// frame for this long is reaped with a typed
+    /// [`ServeError::ClientStalled`] (results already admitted keep
+    /// journaling — only the *stream* dies). `None` waits forever.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +87,7 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             executors: 2,
             ctrl: RunControl::unlimited(),
+            read_timeout: None,
         }
     }
 }
@@ -121,6 +127,7 @@ pub struct Server {
     queue: AdmissionQueue<Job>,
     quarantined: AtomicU64,
     recovered: AtomicU64,
+    stalled: AtomicU64,
     /// Set by a client `Drain` frame.
     drain_req: CancelToken,
     /// Cancels in-flight work when a second signal aborts the drain.
@@ -134,6 +141,32 @@ fn send(reply: &Reply, frame: &ServerFrame) -> Result<(), ServeError> {
     send_msg(&mut **w, frame)
 }
 
+/// Read wrapper that remembers whether the last failure was a read
+/// deadline expiring (`WouldBlock`/`TimedOut`), so the protocol loop can
+/// distinguish a *stalled* client from a torn frame: the transport error
+/// kinds are erased by the frame layer's stringified errors.
+struct StallGuard<'a> {
+    inner: &'a mut dyn Read,
+    stalled: bool,
+}
+
+impl Read for StallGuard<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.inner.read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.stalled = true;
+                Err(e)
+            }
+            r => r,
+        }
+    }
+}
+
 impl Server {
     /// Builds a daemon over `backend`.
     pub fn new(backend: Arc<dyn Backend>, cfg: ServerConfig) -> Arc<Self> {
@@ -144,6 +177,7 @@ impl Server {
             queue,
             quarantined: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
+            stalled: AtomicU64::new(0),
             drain_req: CancelToken::new(),
             abort: CancelToken::new(),
             #[cfg(unix)]
@@ -162,6 +196,7 @@ impl Server {
             shed: q.shed,
             quarantined: self.quarantined.load(Ordering::SeqCst),
             recovered: self.recovered.load(Ordering::SeqCst),
+            stalled: self.stalled.load(Ordering::SeqCst),
             draining: q.draining,
         }
     }
@@ -224,23 +259,60 @@ impl Server {
         }
     }
 
+    /// Classifies a failed/odd `recv_msg` outcome: a read that timed out
+    /// is a stalled client (counted and typed); everything else keeps its
+    /// original error.
+    fn classify_recv(
+        &self,
+        guard_stalled: bool,
+        err: Option<ServeError>,
+    ) -> Result<(), ServeError> {
+        if guard_stalled {
+            self.stalled.fetch_add(1, Ordering::SeqCst);
+            return Err(ServeError::ClientStalled {
+                timeout_ms: self.cfg.read_timeout.map_or(0, |d| d.as_millis() as u64),
+            });
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Runs one connection's protocol loop: handshake, then frames until
     /// EOF/`Bye`/violation. Public so tests can drive a server over any
     /// in-process transport.
-    pub fn serve_connection(self: &Arc<Self>, reader: &mut dyn Read, reply: &Reply) {
+    ///
+    /// The return value is diagnostic: `Ok` for a clean end (EOF or
+    /// `Bye`), a typed [`ServeError`] otherwise — notably
+    /// [`ServeError::ClientStalled`] when the transport's read deadline
+    /// expired with no frame ([`ServerConfig::read_timeout`]). The
+    /// connection is closed by the caller either way.
+    pub fn serve_connection(
+        self: &Arc<Self>,
+        reader: &mut dyn Read,
+        reply: &Reply,
+    ) -> Result<(), ServeError> {
+        let mut guard = StallGuard {
+            inner: reader,
+            stalled: false,
+        };
         // Handshake first; anything else is a violation and closes the
         // connection.
-        match recv_msg::<_, ClientFrame>(reader) {
+        match recv_msg::<_, ClientFrame>(&mut guard) {
             Ok(Some(ClientFrame::Hello { proto, .. })) => {
                 if proto != PROTO_VERSION {
                     let _ = send(
                         reply,
                         &ServerFrame::VersionMismatch {
                             want: PROTO_VERSION.to_string(),
-                            got: proto,
+                            got: proto.clone(),
                         },
                     );
-                    return;
+                    return Err(ServeError::VersionMismatch {
+                        ours: PROTO_VERSION.to_string(),
+                        theirs: proto,
+                    });
                 }
                 let _ = send(
                     reply,
@@ -251,10 +323,16 @@ impl Server {
                     },
                 );
             }
-            _ => return,
+            Ok(Some(_)) => {
+                return Err(ServeError::Protocol {
+                    reason: "first frame must be Hello".to_string(),
+                })
+            }
+            Ok(None) => return Ok(()),
+            Err(e) => return self.classify_recv(guard.stalled, Some(e)),
         }
         loop {
-            match recv_msg::<_, ClientFrame>(reader) {
+            match recv_msg::<_, ClientFrame>(&mut guard) {
                 Ok(Some(ClientFrame::Submit {
                     id,
                     work,
@@ -278,22 +356,16 @@ impl Server {
                         }
                         Admission::Draining => ServerFrame::Draining { id },
                     };
-                    if send_msg(&mut **w, &ack).is_err() {
-                        return;
-                    }
+                    send_msg(&mut **w, &ack)?;
                 }
                 Ok(Some(ClientFrame::Health { id })) => {
-                    if send(
+                    send(
                         reply,
                         &ServerFrame::Stats {
                             id,
                             stats: self.stats(),
                         },
-                    )
-                    .is_err()
-                    {
-                        return;
-                    }
+                    )?;
                 }
                 Ok(Some(ClientFrame::Drain { id })) => {
                     // Stop admissions synchronously — once the ack is on
@@ -304,8 +376,13 @@ impl Server {
                     let _ = send(reply, &ServerFrame::DrainStarted { id });
                 }
                 // A duplicate handshake violates the protocol.
-                Ok(Some(ClientFrame::Hello { .. })) | Ok(Some(ClientFrame::Bye)) => return,
-                Ok(None) | Err(_) => return,
+                Ok(Some(ClientFrame::Hello { .. })) => {
+                    return Err(ServeError::Protocol {
+                        reason: "duplicate Hello".to_string(),
+                    })
+                }
+                Ok(Some(ClientFrame::Bye)) | Ok(None) => return Ok(()),
+                Err(e) => return self.classify_recv(guard.stalled, Some(e)),
             }
         }
     }
@@ -377,6 +454,10 @@ impl Server {
                 Ok((stream, _)) => {
                     let res: std::io::Result<()> = (|| {
                         stream.set_nonblocking(false)?;
+                        // A peer that stops sending must not pin this
+                        // reader thread forever: the deadline turns the
+                        // silence into a typed ClientStalled reap.
+                        stream.set_read_timeout(self.cfg.read_timeout)?;
                         // One clone to force-close at drain end (unblocks
                         // the reader thread), one as the write half.
                         self.conns.lock().unwrap().push(stream.try_clone()?);
@@ -385,9 +466,9 @@ impl Server {
                         let me = Arc::clone(self);
                         std::thread::spawn(move || {
                             let mut reader = stream;
-                            me.serve_connection(&mut reader, &reply);
-                            // The protocol loop is over (Bye, EOF, or a
-                            // violation): shut the socket down so the
+                            let _ = me.serve_connection(&mut reader, &reply);
+                            // The protocol loop is over (Bye, EOF, stall,
+                            // or a violation): shut the socket down so the
                             // peer sees EOF even though `conns` and the
                             // write half still hold fd clones.
                             let _ = reader.shutdown(std::net::Shutdown::Both);
@@ -428,7 +509,7 @@ impl Server {
             std::thread::spawn(move || {
                 let stdin = std::io::stdin();
                 let mut reader = stdin.lock();
-                me.serve_connection(&mut reader, &reply);
+                let _ = me.serve_connection(&mut reader, &reply);
                 eof.store(true, Ordering::SeqCst);
             });
         }

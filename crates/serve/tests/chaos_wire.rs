@@ -1,0 +1,228 @@
+//! Wire-fault tests: the daemon under a misbehaving client — stalls,
+//! corrupted frames, half-closed connections. Every failure mode must be
+//! a typed error (and, for stalls, a reaped connection + counter), never
+//! a panic, a wedged reader thread, or an untyped exit.
+#![cfg(unix)]
+
+use std::io::Read;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mps_faults::io::{ChaosStream, WireFaultPlan};
+use mps_journal::RunControl;
+use mps_serve::client::connect_unix;
+use mps_serve::proto::{
+    recv_msg, send_msg, ClientFrame, ServerFrame, WorkRequest, WorkSummary, PROTO_VERSION,
+};
+use mps_serve::server::Reply;
+use mps_serve::{Backend, ServeError, Server, ServerConfig, ServerExit};
+
+/// A backend that synchronously streams one synthetic cell per request.
+struct OneCell;
+
+impl Backend for OneCell {
+    fn execute(
+        &self,
+        _work: &WorkRequest,
+        _ctrl: &RunControl,
+        emit: &mut dyn FnMut(&str, &str) -> bool,
+    ) -> Result<WorkSummary, ServeError> {
+        emit("toy/cell-0", "{\"cell\":0}");
+        Ok(WorkSummary {
+            cells: 1,
+            computed: 1,
+            status: "complete".to_string(),
+            ..WorkSummary::default()
+        })
+    }
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mps-chaos-wire-{}-{tag}.sock", std::process::id()))
+}
+
+fn start(
+    server: &Arc<Server>,
+    socket: PathBuf,
+) -> std::thread::JoinHandle<Result<ServerExit, ServeError>> {
+    let server = Arc::clone(server);
+    std::thread::spawn(move || server.run_unix(&socket))
+}
+
+fn connect_raw(socket: &PathBuf) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(s) => return s,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("connect: {e}"),
+        }
+    }
+}
+
+/// Deterministic core of the stall contract: a reader whose reads time
+/// out yields a typed `ClientStalled` from `serve_connection` and bumps
+/// the stalled counter — no sockets, no timing.
+#[test]
+fn a_timed_out_read_is_a_typed_client_stall() {
+    struct TimesOut;
+    impl Read for TimesOut {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+        }
+    }
+    let server = Server::new(
+        Arc::new(OneCell),
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(250)),
+            ..ServerConfig::default()
+        },
+    );
+    let reply: Reply = Arc::new(Mutex::new(Box::new(Vec::new())));
+    let mut reader = TimesOut;
+    let err = server.serve_connection(&mut reader, &reply).unwrap_err();
+    assert_eq!(err, ServeError::ClientStalled { timeout_ms: 250 });
+    assert_eq!(server.stats().stalled, 1);
+}
+
+/// End to end over a real socket: a client that handshakes and then goes
+/// silent is reaped after the read deadline — the daemon's drain does not
+/// wait on it, and the health counter records the reap.
+#[test]
+fn a_stalled_client_is_reaped_and_counted() {
+    let socket = socket_path("stall");
+    let server = Server::new(
+        Arc::new(OneCell),
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(80)),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = start(&server, socket.clone());
+
+    let mut stall = connect_raw(&socket);
+    stall
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    send_msg(
+        &mut stall,
+        &ClientFrame::Hello {
+            proto: PROTO_VERSION.to_string(),
+            client: "stall".to_string(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        recv_msg::<_, ServerFrame>(&mut stall).unwrap(),
+        Some(ServerFrame::HelloAck { .. })
+    ));
+    // ... and now say nothing. The server must shut the connection down
+    // (we observe EOF) once the 80 ms read deadline expires.
+    assert_eq!(recv_msg::<_, ServerFrame>(&mut stall).unwrap(), None);
+    assert_eq!(server.stats().stalled, 1);
+
+    // A healthy client still gets served afterwards.
+    let (mut c, _) = connect_unix(&socket, "healthy", Duration::from_secs(5)).unwrap();
+    let stats = c.health(1).unwrap();
+    assert_eq!(stats.stalled, 1);
+    c.drain(2).unwrap();
+    let exit = handle.join().unwrap().unwrap();
+    assert!(!exit.interrupted);
+}
+
+/// A corrupted frame (single flipped bit) is a typed frame error: the
+/// connection closes, the daemon neither panics nor wedges, and later
+/// connections work.
+#[test]
+fn a_corrupted_frame_closes_the_connection_typed() {
+    let socket = socket_path("corrupt");
+    // A short read deadline bounds the damage a corrupted length prefix
+    // can do (the server would otherwise wait for bytes that never come).
+    let server = Server::new(
+        Arc::new(OneCell),
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = start(&server, socket.clone());
+
+    for seed in 0..4u64 {
+        // ChaosStream with corrupt@1.0 flips one seeded bit in every
+        // write — the handshake frame arrives damaged.
+        let raw = connect_raw(&socket);
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut chaos = ChaosStream::new(
+            raw,
+            seed,
+            WireFaultPlan {
+                corrupt: 1.0,
+                ..WireFaultPlan::default()
+            },
+        );
+        send_msg(
+            &mut chaos,
+            &ClientFrame::Hello {
+                proto: PROTO_VERSION.to_string(),
+                client: "corrupt".to_string(),
+            },
+        )
+        .unwrap();
+        assert!(chaos.injected().corrupt >= 1, "plan must have fired");
+        // The server rejects the damaged frame and closes: we see either
+        // a clean EOF or a reset, never a HelloAck.
+        if let Ok(Some(frame)) = recv_msg::<_, ServerFrame>(&mut chaos) {
+            panic!("damaged handshake must not be accepted: {frame:?}");
+        }
+    }
+
+    // The daemon survives all of it and still serves.
+    let (mut c, _) = connect_unix(&socket, "after", Duration::from_secs(5)).unwrap();
+    assert!(c.health(1).is_ok());
+    c.drain(2).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// A half-closed connection (client shuts its write side) is a clean
+/// session end: EOF, not a stall, not an error, and the drain proceeds.
+#[test]
+fn a_half_closed_connection_ends_the_session_cleanly() {
+    let socket = socket_path("halfclose");
+    let server = Server::new(
+        Arc::new(OneCell),
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(500)),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = start(&server, socket.clone());
+
+    let mut half = connect_raw(&socket);
+    half.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    send_msg(
+        &mut half,
+        &ClientFrame::Hello {
+            proto: PROTO_VERSION.to_string(),
+            client: "half".to_string(),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        recv_msg::<_, ServerFrame>(&mut half).unwrap(),
+        Some(ServerFrame::HelloAck { .. })
+    ));
+    half.shutdown(std::net::Shutdown::Write).unwrap();
+    // The server sees EOF and closes its side too.
+    assert_eq!(recv_msg::<_, ServerFrame>(&mut half).unwrap(), None);
+    assert_eq!(server.stats().stalled, 0, "EOF is not a stall");
+
+    let (mut c, _) = connect_unix(&socket, "ctl", Duration::from_secs(5)).unwrap();
+    c.drain(1).unwrap();
+    let exit = handle.join().unwrap().unwrap();
+    assert!(!exit.interrupted);
+}

@@ -117,6 +117,7 @@ fn server_frame(kind: u8, id: u64, s1: &str, s2: &str, n: u64) -> ServerFrame {
                 shed: n / 9,
                 quarantined: n % 5,
                 recovered: n % 2,
+                stalled: n % 4,
                 draining: n % 2 == 1,
             },
         },
