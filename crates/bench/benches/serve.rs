@@ -102,6 +102,7 @@ mod unix_bench {
                 &WorkRequest::SubsetGrid {
                     take: grid_take,
                     repeats: 1,
+                    disturb: None,
                 },
                 None,
                 &mut |_, _| grid_cells += 1,
@@ -129,6 +130,7 @@ mod unix_bench {
                 work: WorkRequest::SubsetGrid {
                     take: 1,
                     repeats: 1,
+                    disturb: None,
                 },
                 deadline_ms: None,
             })

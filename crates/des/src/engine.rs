@@ -140,10 +140,11 @@ struct Slot {
     rate_bound: f64,
     /// Rate this activity gets when it shares no resource with any other
     /// live activity, i.e. a re-solve over a closure containing only this
-    /// activity. Capacities are append-only, so the value stays valid for
-    /// the slot's whole working phase; computed by [`Engine::attach_working`]
-    /// with exactly the solver's arithmetic, NaN when the weights are not
-    /// strictly ascending by resource (then the staged solver runs instead).
+    /// activity. Stays valid for the slot's whole working phase unless a
+    /// capacity it depends on is mutated ([`Engine::set_capacity`] resets
+    /// it to NaN); computed by [`Engine::attach_working`] with exactly the
+    /// solver's arithmetic, NaN when the weights are not strictly
+    /// ascending by resource (then the staged solver runs instead).
     solo_rate: f64,
     label: Option<String>,
     state: ActState,
@@ -363,6 +364,12 @@ impl From<SolverError> for EngineError {
 pub struct Engine {
     now: f64,
     capacities: Vec<f64>,
+    /// Capacities as originally added, before any [`Engine::set_capacity`]
+    /// mutation; [`Engine::reset`] restores these so a reset engine stays
+    /// observationally identical to a freshly built one.
+    base_capacities: Vec<f64>,
+    /// Resources permanently removed by [`Engine::retire_resource`].
+    retired: Vec<bool>,
     /// Set when a NaN/negative capacity was added; surfaced as a solver
     /// error on the next non-idle step (like the per-step validation of the
     /// from-scratch implementation used to).
@@ -469,15 +476,116 @@ impl Engine {
             self.caps_invalid = true;
         }
         self.capacities.push(capacity);
+        self.base_capacities.push(capacity);
+        self.retired.push(false);
         self.res_acts.push(Vec::new());
         self.res_dirty.push(false);
         self.res_mark.push(0);
         ResourceId(self.capacities.len() - 1)
     }
 
-    /// Capacity of a resource.
-    pub fn capacity(&self, r: ResourceId) -> f64 {
-        self.capacities[r.0]
+    /// Current capacity of a resource, or `None` once it has been
+    /// [retired](Engine::retire_resource) — a stale value must never be
+    /// mistaken for a live one.
+    pub fn capacity(&self, r: ResourceId) -> Option<f64> {
+        if self.retired[r.0] {
+            None
+        } else {
+            Some(self.capacities[r.0])
+        }
+    }
+
+    /// The capacity a resource was originally added with, unaffected by
+    /// [`Engine::set_capacity`] / [`Engine::retire_resource`].
+    pub fn base_capacity(&self, r: ResourceId) -> f64 {
+        self.base_capacities[r.0]
+    }
+
+    /// True once [`Engine::retire_resource`] removed the resource.
+    pub fn is_retired(&self, r: ResourceId) -> bool {
+        self.retired[r.0]
+    }
+
+    /// Mutates a resource's capacity mid-run (a timed platform
+    /// disturbance: a host slowing down or a link degrading).
+    ///
+    /// The change rides the incremental dirty-set machinery: only the
+    /// resource-connectivity component containing `r` re-solves on the
+    /// next step. Cached solo rates of activities incident on `r` are
+    /// invalidated, since they were computed under the old capacity.
+    ///
+    /// Retired resources stay at zero capacity; setting them is a no-op.
+    pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) -> Result<(), EngineError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must trip it too
+        if !(capacity >= 0.0) {
+            return Err(EngineError::InvalidSpec {
+                context: "capacity",
+            });
+        }
+        if self.retired[r.0] {
+            return Ok(());
+        }
+        if self.capacities[r.0] == capacity {
+            return Ok(());
+        }
+        self.capacities[r.0] = capacity;
+        self.mark_dirty(r.0);
+        // Invalidate cached solo rates: `Slot::solo_rate` was derived from
+        // the capacities at attach time, and the singleton fast path in
+        // `refresh` would otherwise replay the stale value.
+        for k in 0..self.res_acts[r.0].len() {
+            let (s, ic) = self.res_acts[r.0][k];
+            if self.slot_inc[s as usize] == ic {
+                if let Some(slot) = self.slots[s as usize].as_mut() {
+                    slot.solo_rate = f64::NAN;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Permanently removes a resource from the platform (a crashed host's
+    /// core or link direction). Its capacity drops to zero, so activities
+    /// that depend on it stall — callers are expected to
+    /// [`cancel`](Engine::cancel) or re-plan them; an uncancelled
+    /// dependent activity surfaces as a typed [`EngineError::Stalled`]
+    /// (or a [`Watchdog`] timeout), never a spin.
+    ///
+    /// [`Engine::capacity`] returns `None` from here on;
+    /// [`Engine::reset`] revives the resource at its base capacity.
+    pub fn retire_resource(&mut self, r: ResourceId) {
+        if self.retired[r.0] {
+            return;
+        }
+        self.set_capacity(r, 0.0).expect("zero is a valid capacity");
+        self.retired[r.0] = true;
+    }
+
+    /// Cancels a live activity (latency or work phase), dropping it
+    /// without reporting a completion. Returns `false` when the id is not
+    /// live (already finished or cancelled) — cancellation is idempotent.
+    ///
+    /// The touched resources are marked dirty so the surviving sharers
+    /// re-solve to their new (higher) rates on the next step.
+    pub fn cancel(&mut self, id: ActivityId) -> bool {
+        let Some(slot) = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|a| a.id == id.0))
+        else {
+            return false;
+        };
+        let a = self.slots[slot].take().expect("live slot");
+        self.slot_inc[slot] += 1;
+        self.slot_stamp[slot] += 1;
+        self.free_slots.push(slot as u32);
+        self.n_live -= 1;
+        for &(r, w) in &a.weights {
+            if w > 0.0 {
+                self.mark_dirty(r.0);
+            }
+        }
+        true
     }
 
     /// Rewinds the engine to simulated time zero, dropping every live
@@ -496,6 +604,12 @@ impl Engine {
     /// meter and watchdog are removed (re-enable any of them per run).
     pub fn reset(&mut self) {
         self.now = 0.0;
+        // Undo any mid-run disturbance: capacities return to their
+        // as-added values and retired resources come back to life.
+        self.capacities.copy_from_slice(&self.base_capacities);
+        for r in &mut self.retired {
+            *r = false;
+        }
         self.slots.clear();
         self.free_slots.clear();
         self.n_live = 0;
@@ -964,9 +1078,9 @@ impl Engine {
 
         if !closure.is_empty() {
             // Singleton closure whose activity has a precomputed solo rate:
-            // the re-solve's outcome is already known (capacities are
-            // append-only and the activity shares no resource), so skip
-            // staging and solving entirely.
+            // the re-solve's outcome is already known (capacity mutations
+            // reset the cache and the activity shares no resource), so
+            // skip staging and solving entirely.
             let solo = if closure.len() == 1 {
                 self.slots[closure[0] as usize]
                     .as_ref()

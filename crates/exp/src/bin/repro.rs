@@ -5,12 +5,13 @@
 //! ```text
 //! repro [--seed S] [--repeats R] [--json DIR] \
 //!       [--faults PLAN] [--max-retries N] \
+//!       [--disturb PLAN] [--recovery failfast|retry|rescue] \
 //!       [--journal PATH] [--resume] [--max-wall-secs S] \
 //!       [--subset N] [--workers N] [--throttle-ms N] \
 //!       [--isolation inproc|process] [--cell-timeout-secs S] \
 //!       [--max-cell-attempts N] [--poison SPEC] <target>...
 //! targets: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table2
-//!          gantt ablations faultsweep grid all
+//!          gantt ablations faultsweep disturb grid all
 //! ```
 //!
 //! `--faults` takes a fault-plan description (see `mps_faults::FaultPlan::
@@ -18,6 +19,19 @@
 //! slow@1:0*1.5; fail=0.02`, or a preset (`light`, `moderate`, `heavy`).
 //! Affected grid cells are reported as degraded or failed — with typed
 //! errors — while the rest of the grid completes normally.
+//!
+//! `--disturb` injects *timed platform disturbances* into every testbed
+//! run (see `mps_faults::DisturbancePlan::parse`): `crash@T:HOST`
+//! permanently kills a host mid-execution, `slow@T1-T2:HOST:F` multiplies
+//! its compute time by `F` inside the window, `degrade@T1-T2:HOST:F` does
+//! the same to its network links; presets `light`/`moderate`/`heavy` are
+//! seeded plans at intensity 0.25/0.5/1. `--recovery` picks the reaction
+//! when a crash strands scheduled work: `failfast` (typed error),
+//! `retry` (move stranded tasks to surviving hosts, keep the order), or
+//! `rescue` (default — re-invoke the scheduler over the surviving
+//! platform and adopt the repaired schedule, charging the re-planning
+//! time to the makespan). The `disturb` target sweeps intensity 0..1 and
+//! reports degradation, rescue success, and verdict stability.
 //!
 //! `--journal PATH` makes the grid campaign crash-safe: every completed
 //! cell is appended durably to a write-ahead journal before the next one
@@ -47,14 +61,14 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use mps_core::faults::FaultPlan;
+use mps_core::faults::{DisturbancePlan, FaultPlan, RecoveryPolicy};
 use mps_core::journal::{install_signal_handlers, CancelToken, RunControl};
 use mps_core::sim::ExecPolicy;
 use mps_core::supervise::SupervisorConfig;
 use mps_exp::supervised::{serve_cells, SuperviseOpts, WorkerCommand};
 use mps_exp::{
-    ablation, figures, grid_health, parse_poison_spec, GridStatus, Harness, JournaledGrid,
-    ServeBackend,
+    ablation, figures, grid_health, parse_poison_spec, DisturbConfig, GridStatus, Harness,
+    JournaledGrid, ServeBackend,
 };
 
 /// Exit code for a campaign that completed but quarantined poison cells:
@@ -72,6 +86,8 @@ fn main() {
     let mut repeats = 3u64;
     let mut json_dir: Option<String> = None;
     let mut faults: Option<String> = None;
+    let mut disturb: Option<String> = None;
+    let mut recovery: Option<String> = None;
     let mut max_retries = ExecPolicy::default().max_retries;
     let mut journal_path: Option<String> = None;
     let mut resume = false;
@@ -134,6 +150,22 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("--faults needs a plan description")),
+                );
+            }
+            "--disturb" => {
+                i += 1;
+                disturb = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--disturb needs a plan description")),
+                );
+            }
+            "--recovery" => {
+                i += 1;
+                recovery = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--recovery needs a mode (failfast|retry|rescue)")),
                 );
             }
             "--max-retries" => {
@@ -365,6 +397,19 @@ fn main() {
     let clienting = targets.iter().any(|t| t == "client");
     let campaigning = targets.iter().any(|t| t == "campaign");
     let chaosing = targets.iter().any(|t| t == "chaos");
+    let disturbing = targets.iter().any(|t| t == "disturb");
+    if disturbing && disturb.is_some() {
+        die("--disturb cannot be used with the disturb target (it sweeps its own seeded plans)");
+    }
+    if recovery.is_some() && disturb.is_none() && !disturbing {
+        die("--recovery requires --disturb or the disturb target");
+    }
+    let recovery_policy: RecoveryPolicy = match &recovery {
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| die("--recovery needs failfast, retry, or rescue")),
+        None => RecoveryPolicy::Rescue,
+    };
     if serving && clienting {
         die("serve and client are mutually exclusive targets");
     }
@@ -376,6 +421,8 @@ fn main() {
         // scratch journals; the grid/campaign knobs would be inert lies.
         for (set, flag) in [
             (faults.is_some(), "--faults"),
+            (disturb.is_some(), "--disturb"),
+            (recovery.is_some(), "--recovery"),
             (journal_path.is_some(), "--journal"),
             (resume, "--resume"),
             (json_dir.is_some(), "--json"),
@@ -485,6 +532,7 @@ fn main() {
             cli_schedule.as_deref(),
             cli_simulate.as_deref(),
             cli_subset_grid,
+            disturb.clone(),
             cli_drain,
         ));
     }
@@ -550,6 +598,19 @@ fn main() {
             parse_poison_spec(spec).unwrap_or_else(|e| die(&format!("bad --poison spec: {e}")));
         harness = harness.with_poison(rules);
     }
+    if let Some(desc) = &disturb {
+        let plan = DisturbancePlan::parse(desc, 32, FAULT_HORIZON)
+            .unwrap_or_else(|e| die(&format!("bad --disturb plan: {e}")));
+        if !cell_worker {
+            eprintln!(
+                "# injecting disturbance plan (seed {}, {} event(s), recovery {})",
+                plan.seed,
+                plan.events.len(),
+                recovery_policy
+            );
+        }
+        harness = harness.with_disturbance(DisturbConfig::new(plan, recovery_policy));
+    }
 
     if cell_worker {
         // Supervised worker mode: serve cells over stdin/stdout until the
@@ -572,6 +633,8 @@ fn main() {
             max_retries,
             faults: faults.clone(),
             poison_spec: poison_spec.clone(),
+            disturb: disturb.clone(),
+            recovery: recovery_policy,
             workers,
             cell_timeout_secs,
             max_cell_attempts,
@@ -635,6 +698,12 @@ fn main() {
                         wargs.push("--poison".to_string());
                         wargs.push(spec.clone());
                     }
+                    if let Some(desc) = &disturb {
+                        wargs.push("--disturb".to_string());
+                        wargs.push(desc.clone());
+                        wargs.push("--recovery".to_string());
+                        wargs.push(recovery_policy.to_string());
+                    }
                     // Inert marker so tests (and humans) can attribute
                     // workers to their campaign in `ps`/procfs output.
                     wargs.push("--worker-tag".to_string());
@@ -694,6 +763,12 @@ fn main() {
             },
         };
         let health = grid_health(&cells);
+        if disturb.is_some() || health.disturbed > 0 {
+            eprintln!(
+                "# disturbances: {} disturbed cell(s), {} crash(es), {} rescue(s), {} task(s) rescued",
+                health.disturbed, health.crashes, health.rescues, health.rescued_tasks
+            );
+        }
         if health.degraded + health.failed + health.quarantined > 0 || faults.is_some() {
             eprintln!(
                 "# grid health: {} full, {} degraded ({} retries, {} lost runs), {} failed, {} quarantined cells",
@@ -804,6 +879,33 @@ fn main() {
                 10,
                 repeats,
             ),
+            "disturb" => {
+                let opts = mps_exp::DisturbSweepOpts {
+                    subset: subset.unwrap_or(6),
+                    repeats,
+                    recovery: recovery_policy,
+                    workers: workers.unwrap_or_else(Harness::default_workers),
+                    ..mps_exp::DisturbSweepOpts::default()
+                };
+                eprintln!(
+                    "# disturbance sweep: {} intensity point(s), {} DAG(s)/point, recovery {}",
+                    opts.intensities.len(),
+                    opts.subset,
+                    opts.recovery
+                );
+                let report = mps_exp::run_disturb_sweep(&mut harness, seed, &opts, |line| {
+                    eprintln!("# {line}")
+                });
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/disturb.json");
+                    let payload = serde_json::to_string_pretty(&report)
+                        .unwrap_or_else(|e| die(&format!("cannot encode {path}: {e}")));
+                    std::fs::write(&path, payload)
+                        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                    eprintln!("# wrote {path}");
+                }
+                report.render()
+            }
             "ablations" => {
                 let mut s = String::new();
                 s.push_str(&ablation::root_cause_ablation(seed, 12, repeats));
@@ -876,8 +978,9 @@ fn grid_report(cells: &[mps_exp::CellResult], status: GridStatus, journal: Optio
     );
     let _ = writeln!(
         out,
-        "health: {} full, {} degraded ({} retries, {} lost runs), {} failed, {} quarantined",
+        "health: {} full, {} disturbed, {} degraded ({} retries, {} lost runs), {} failed, {} quarantined",
         health.full,
+        health.disturbed,
         health.degraded,
         health.retries,
         health.lost_runs,
@@ -1066,6 +1169,15 @@ fn run_chaos(opts: &mps_exp::ChaosOpts) -> i32 {
         report.wire.stall,
         report.wire.close
     );
+    println!(
+        "  disturbances fired  : {} (crash {}, slow {}, degrade {}; {} rescue(s), {} task(s) rescued)",
+        report.disturb.fired(),
+        report.disturb.crashes,
+        report.disturb.slows,
+        report.disturb.degrades,
+        report.disturb.rescues,
+        report.disturb.rescued_tasks
+    );
     if report.passed() {
         println!("  verdict: PASS — every fault absorbed or typed, every class exercised");
         0
@@ -1095,6 +1207,8 @@ struct ServeCliOpts {
     max_retries: u32,
     faults: Option<String>,
     poison_spec: Option<String>,
+    disturb: Option<String>,
+    recovery: RecoveryPolicy,
     workers: Option<usize>,
     cell_timeout_secs: Option<u64>,
     max_cell_attempts: Option<u32>,
@@ -1137,6 +1251,12 @@ fn run_serve(harness: Harness, o: ServeCliOpts) -> i32 {
         if let Some(spec) = &o.poison_spec {
             wargs.push("--poison".to_string());
             wargs.push(spec.clone());
+        }
+        if let Some(desc) = &o.disturb {
+            wargs.push("--disturb".to_string());
+            wargs.push(desc.clone());
+            wargs.push("--recovery".to_string());
+            wargs.push(o.recovery.to_string());
         }
         wargs.push("--worker-tag".to_string());
         wargs.push("serve".to_string());
@@ -1244,6 +1364,7 @@ fn run_client(
     schedule: Option<&str>,
     simulate: Option<&str>,
     subset_grid: Option<usize>,
+    disturb: Option<String>,
     drain: bool,
 ) -> i32 {
     use mps_core::serve::client::connect_unix;
@@ -1289,10 +1410,15 @@ fn run_client(
             variant,
             algo,
             repeats,
+            disturb: disturb.clone(),
         });
     }
     if let Some(take) = subset_grid {
-        work_items.push(WorkRequest::SubsetGrid { take, repeats });
+        work_items.push(WorkRequest::SubsetGrid {
+            take,
+            repeats,
+            disturb: disturb.clone(),
+        });
     }
     for work in &work_items {
         id += 1;
@@ -1349,6 +1475,7 @@ fn run_client(
     _schedule: Option<&str>,
     _simulate: Option<&str>,
     _subset_grid: Option<usize>,
+    _disturb: Option<String>,
     _drain: bool,
 ) -> i32 {
     die("the client target requires a Unix platform")
@@ -1364,6 +1491,10 @@ usage: repro [FLAGS] [TARGET]...
 
 targets:
   table1 fig1..fig8 table2 gantt ablations faultsweep grid all
+  disturb  sweep platform-disturbance intensity 0..1: per point, a seeded
+           plan of host crashes / slow windows / link degradations hits
+           every testbed run; reports makespan degradation, rescue
+           success rate, and HCPA-vs-MCPA verdict stability
   serve    run the mps-serve scheduling daemon (mps-proto/v1)
   client   submit work to a running daemon
   campaign fault-sweep campaign: many grid points, one journal each
@@ -1376,6 +1507,14 @@ grid flags:
   --json DIR           also write grid.json / grid.csv
   --faults PLAN        inject a fault plan (preset or clause list)
   --max-retries N      per-task retry budget under faults
+  --disturb PLAN       inject a timed platform-disturbance plan into every
+                       testbed run: `crash@T:HOST`, `slow@T1-T2:HOST:F`,
+                       `degrade@T1-T2:HOST:F` clauses (`;`-separated, with
+                       an optional `seed=S`), or a preset light|moderate|
+                       heavy (a seeded plan at intensity .25/.5/1)
+  --recovery MODE      reaction to a host crash stranding scheduled work:
+                       failfast | retry | rescue (default; re-plans the
+                       unfinished suffix on the surviving hosts)
   --subset N           only the first N corpus DAGs
   --workers N          worker threads / processes
   --journal PATH       crash-safe write-ahead journal for the grid
@@ -1448,13 +1587,18 @@ fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     eprintln!("usage: repro [--seed S] [--repeats R] [--json DIR] \\");
     eprintln!("             [--faults PLAN] [--max-retries N] \\");
+    eprintln!("             [--disturb PLAN] [--recovery failfast|retry|rescue] \\");
     eprintln!("             [--journal PATH] [--resume] [--max-wall-secs S] \\");
     eprintln!("             [--subset N] [--workers N] [--throttle-ms N] \\");
     eprintln!("             [--isolation inproc|process] [--cell-timeout-secs S] \\");
     eprintln!("             [--max-cell-attempts N] [--poison SPEC] \\");
-    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations faultsweep grid all]");
-    eprintln!("  PLAN: `seed=7; crash@0:0+30; slow@1:0*1.5; fail=0.02` or a");
+    eprintln!("             [table1 fig1 … fig8 table2 gantt ablations faultsweep");
+    eprintln!("              disturb grid all]");
+    eprintln!("  --faults PLAN: `seed=7; crash@0:0+30; slow@1:0*1.5; fail=0.02` or a");
     eprintln!("        preset: light | moderate | heavy");
+    eprintln!("  --disturb PLAN: `crash@4:3; slow@2-10:5:1.5; degrade@0-8:1:2` or a");
+    eprintln!("        preset: light | moderate | heavy (timed platform damage;");
+    eprintln!("        --recovery picks the crash reaction, default rescue)");
     eprintln!("  --journal makes the grid crash-safe (write-ahead journal);");
     eprintln!("  --resume continues it, recomputing only missing cells.");
     eprintln!("  --isolation process runs cells in supervised child workers;");

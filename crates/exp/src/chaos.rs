@@ -15,6 +15,11 @@
 //! 4. **The daemon neither deadlocks nor exits untyped** — every serve
 //!    episode's daemon drains within a hard bound and returns a typed
 //!    exit, whatever the wire did.
+//! 5. **Disturbed cells measure or fail typed** — every disturbance
+//!    episode runs a grid on a platform scripted to misbehave (hosts
+//!    crash, slow down, links degrade) under rescue recovery; each cell
+//!    either records a measurement whose outcome tallies what fired, or
+//!    fails typed — and never claims a disturbance it did not apply.
 //!
 //! Everything derives from `(seed, episode index)` — two runs with the
 //! same arguments produce the same faults, the same counts, the same
@@ -30,14 +35,16 @@ use std::time::Duration;
 use mps_core::faults::io::{
     ChaosIo, ChaosStream, InjectedIo, InjectedWire, IoFaultPlan, RealIo, WireFaultPlan,
 };
+use mps_core::faults::{DisturbReport, DisturbancePlan, RecoveryPolicy};
 use mps_core::journal::{self as journal, RunControl};
+use mps_core::platform::HostId;
 use mps_core::serve::{
     recv_msg, send_msg, ClientFrame, Server, ServerConfig, ServerFrame, WorkRequest, PROTO_VERSION,
 };
 
 use crate::campaign::{read_campaign_manifest, CampaignOpts};
 use crate::journaled::GridStatus;
-use crate::runner::Harness;
+use crate::runner::{CellOutcome, DisturbConfig, Harness};
 use crate::serve_backend::ServeBackend;
 
 /// Fold an episode index into the base seed (golden-ratio multiply, the
@@ -69,6 +76,9 @@ pub struct ChaosReport {
     pub io: InjectedIo,
     /// Per-class wire injections across all episodes.
     pub wire: InjectedWire,
+    /// Per-class platform disturbances fired (and rescues performed)
+    /// across all disturbance episodes.
+    pub disturb: DisturbReport,
     /// Invariant violations; empty means the soak passed.
     pub violations: Vec<String>,
 }
@@ -314,6 +324,7 @@ fn episode_serve(tag: &str, seed: u64, plan: WireFaultPlan, report: &mut ChaosRe
                     work: WorkRequest::SubsetGrid {
                         take: 1,
                         repeats: 1,
+                        disturb: None,
                     },
                     deadline_ms: Some(5_000),
                 },
@@ -362,6 +373,53 @@ fn episode_serve(tag: &str, seed: u64, plan: WireFaultPlan, report: &mut ChaosRe
     }
 }
 
+/// One disturbance episode: a 1-DAG subset grid on a platform scripted
+/// to misbehave, under rescue recovery. Invariant 5: every cell either
+/// measures — `Full`, or `Disturbed`/`Degraded` with the outcome
+/// tallying at least one fired event — or fails typed; and when the
+/// plan is empty nothing may fire or fail at all.
+fn episode_disturb(tag: &str, plan: DisturbancePlan, report: &mut ChaosReport) {
+    let scripted = !plan.is_empty();
+    let h = Harness::new(7).with_disturbance(DisturbConfig::new(plan, RecoveryPolicy::Rescue));
+    for cell in h.run_subset_with_workers(1, 1, 1) {
+        match &cell.outcome {
+            CellOutcome::Full => {}
+            CellOutcome::Disturbed { report: fired, .. } => {
+                if fired.fired() == 0 {
+                    report.violations.push(format!(
+                        "{tag}: cell {} claims a disturbance that never fired",
+                        cell.dag
+                    ));
+                }
+                if !scripted {
+                    report.violations.push(format!(
+                        "{tag}: cell {} disturbed under an empty plan",
+                        cell.dag
+                    ));
+                }
+                report.disturb.absorb(fired);
+            }
+            CellOutcome::Degraded { .. } => {
+                if !scripted {
+                    report.violations.push(format!(
+                        "{tag}: cell {} degraded under an empty plan",
+                        cell.dag
+                    ));
+                }
+            }
+            _ => {
+                report.failed_typed += 1;
+                if !scripted {
+                    report.violations.push(format!(
+                        "{tag}: cell {} failed without a scripted disturbance",
+                        cell.dag
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Runs the chaos soak: `opts.episodes` ramp episodes cycling through
 /// {journal, campaign, serve} with intensity escalating from gentle to
 /// hostile, then one targeted episode per fault class so coverage is
@@ -374,6 +432,7 @@ pub fn run_chaos(opts: &ChaosOpts, mut progress: impl FnMut(&str)) -> std::io::R
         failed_typed: 0,
         io: InjectedIo::default(),
         wire: InjectedWire::default(),
+        disturb: DisturbReport::default(),
         violations: Vec::new(),
     };
     let baseline = baseline_json();
@@ -493,6 +552,43 @@ pub fn run_chaos(opts: &ChaosOpts, mut progress: impl FnMut(&str)) -> std::io::R
         episode_serve(tag, fold(opts.seed, 20_000 + k as u64), plan, &mut report);
         report.episodes += 1;
     }
+    // Targeted disturbance episodes: the *platform* misbehaves on a
+    // script — one episode per disturbance class so crash, slow, and
+    // degrade each provably fire, plus one drawn from the seeded
+    // generator at full intensity to exercise mixed plans.
+    let disturb_targets: [(&str, DisturbancePlan); 4] = [
+        (
+            "t-crash",
+            DisturbancePlan::builder(0).crash(HostId(0), 1.0).build(),
+        ),
+        (
+            "t-slow",
+            DisturbancePlan::builder(0)
+                .slow(HostId(1), 0.0, 60.0, 2.0)
+                .build(),
+        ),
+        (
+            "t-degrade",
+            DisturbancePlan::builder(0)
+                .degrade(HostId(1), 0.0, 60.0, 4.0)
+                .build(),
+        ),
+        (
+            "t-disturb-rand",
+            DisturbancePlan::with_intensity(fold(opts.seed, 30_000), 1.0),
+        ),
+    ];
+    for (tag, plan) in disturb_targets {
+        episode_disturb(tag, plan, &mut report);
+        report.episodes += 1;
+        progress(&format!(
+            "{tag}: disturb={} rescues={} typed-failures={} violations={}",
+            report.disturb.fired(),
+            report.disturb.rescues,
+            report.failed_typed,
+            report.violations.len()
+        ));
+    }
 
     // Coverage proof: a class that never fired anywhere is a violation —
     // a passing suite that injected nothing proves nothing.
@@ -522,6 +618,19 @@ pub fn run_chaos(opts: &ChaosOpts, mut progress: impl FnMut(&str)) -> std::io::R
                 .push(format!("coverage: wire class {class} never fired"));
         }
     }
+    let disturb = report.disturb;
+    for (class, n) in [
+        ("crash", disturb.crashes),
+        ("slow", disturb.slows),
+        ("degrade", disturb.degrades),
+        ("rescue", disturb.rescues),
+    ] {
+        if n == 0 {
+            report
+                .violations
+                .push(format!("coverage: disturbance class {class} never fired"));
+        }
+    }
     Ok(report)
 }
 
@@ -547,6 +656,14 @@ mod tests {
         assert!(report.passed(), "violations: {:#?}", report.violations);
         assert!(report.io.total() >= 5, "io coverage: {:?}", report.io);
         assert!(report.wire.total() >= 3, "wire coverage: {:?}", report.wire);
+        assert!(
+            report.disturb.crashes >= 1
+                && report.disturb.slows >= 1
+                && report.disturb.degrades >= 1
+                && report.disturb.rescues >= 1,
+            "disturbance coverage: {:?}",
+            report.disturb
+        );
         assert!(
             report.failed_typed >= 1,
             "nothing ever failed — soak too tame"
@@ -574,6 +691,10 @@ mod tests {
         let a = run("a");
         let b = run("b");
         assert_eq!(a.io, b.io, "I/O fault counts must replay exactly");
+        assert_eq!(
+            a.disturb, b.disturb,
+            "disturbance counts must replay exactly"
+        );
         assert_eq!(a.passed(), b.passed());
         assert_eq!(a.episodes, b.episodes);
     }

@@ -15,6 +15,7 @@
 pub mod ablation;
 pub mod campaign;
 pub mod chaos;
+pub mod disturb;
 pub mod figures;
 pub mod journaled;
 pub mod runner;
@@ -23,10 +24,11 @@ pub mod supervised;
 
 pub use campaign::{CampaignManifest, CampaignOpts, CampaignReport, PointSummary};
 pub use chaos::{ChaosOpts, ChaosReport};
+pub use disturb::{run_disturb_sweep, DisturbPoint, DisturbSweepOpts, DisturbSweepReport};
 pub use journaled::{GridStatus, JournaledGrid};
 pub use runner::{
     cell_key, grid_health, paired_relative_makespans, parse_poison_spec, CellOutcome, CellResult,
-    GridHealth, Harness, PoisonAction, PoisonRule, SimVariant, ERROR_PCT_SENTINEL,
+    DisturbConfig, GridHealth, Harness, PoisonAction, PoisonRule, SimVariant, ERROR_PCT_SENTINEL,
 };
 pub use serve_backend::ServeBackend;
 pub use supervised::{SuperviseOpts, WorkerCommand};

@@ -23,13 +23,36 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 
 use mps_core::dag::gen::GeneratedDag;
+use mps_core::faults::{DisturbancePlan, RecoveryPolicy, DISTURB_HORIZON};
 use mps_core::journal::{self, fnv64, JournalHeader, RunControl, StopReason, FORMAT_V1};
 use mps_core::sched::Scheduler;
 use mps_core::serve::{Backend, ServeError, WorkRequest, WorkSummary};
 
 use crate::journaled::{algo_of, finalize_grid, open_grid_journal, pending_specs, JournaledGrid};
-use crate::runner::{cell_key, Harness, SimVariant};
+use crate::runner::{cell_key, CellOutcome, CellResult, DisturbConfig, Harness, SimVariant};
 use crate::supervised::{SuperviseOpts, WorkerCommand};
+
+/// Parses a work request's optional disturbance-plan field. Requests
+/// carry the plan as the CLI grammar string; crashes get the rescue
+/// reaction (the daemon's contract is "serve a measurement if the
+/// surviving platform permits one"). An empty plan is `None`, keeping
+/// the byte-identical undisturbed path.
+fn parse_disturb(desc: Option<&String>) -> Result<Option<DisturbConfig>, ServeError> {
+    let Some(desc) = desc else { return Ok(None) };
+    let plan =
+        DisturbancePlan::parse(desc, 32, DISTURB_HORIZON).map_err(|e| ServeError::Backend {
+            reason: format!("bad disturbance plan: {e}"),
+        })?;
+    Ok((!plan.is_empty()).then(|| DisturbConfig::new(plan, RecoveryPolicy::Rescue)))
+}
+
+/// Folds one cell's disturbance outcome into a request summary.
+fn tally_disturb(summary: &mut WorkSummary, cell: &CellResult) {
+    if let CellOutcome::Disturbed { report, .. } = &cell.outcome {
+        summary.disturbed += 1;
+        summary.rescues += report.rescues;
+    }
+}
 
 /// A [`Harness`]-backed executor for daemon work requests.
 pub struct ServeBackend {
@@ -130,11 +153,17 @@ impl ServeBackend {
                 variant,
                 algo,
                 repeats,
+                disturb,
             } => {
                 let r = self.resolve(*dag, variant, algo)?;
-                let cell = self
-                    .harness
-                    .run_one_caught(r.g, r.variant, r.algo, *repeats);
+                let cfg = parse_disturb(disturb.as_ref())?;
+                let cell = self.harness.run_one_caught_disturb(
+                    r.g,
+                    r.variant,
+                    r.algo,
+                    *repeats,
+                    cfg.as_ref().or(self.harness.disturb.as_ref()),
+                );
                 let key = cell_key(
                     &r.g.name(),
                     r.g.params.matrix_size,
@@ -145,6 +174,7 @@ impl ServeBackend {
                 if cell.outcome.crash_report().is_some() {
                     summary.quarantined = 1;
                 }
+                tally_disturb(&mut summary, &cell);
                 let payload = encode(&cell)?;
                 emit(&key, &payload);
             }
@@ -160,6 +190,7 @@ impl ServeBackend {
         &self,
         take: usize,
         repeats: u64,
+        disturb: Option<&DisturbConfig>,
         ctrl: &RunControl,
         emit: &mut dyn FnMut(&str, &str) -> bool,
     ) -> Result<WorkSummary, ServeError> {
@@ -177,7 +208,9 @@ impl ServeBackend {
             ctrl.pace();
             let g = &corpus[cs.dag];
             let algo = algo_of(cs.algo);
-            let cell = self.harness.run_one_caught(g, cs.variant, algo, repeats);
+            let cell = self
+                .harness
+                .run_one_caught_disturb(g, cs.variant, algo, repeats, disturb);
             let key = cell_key(
                 &g.name(),
                 g.params.matrix_size,
@@ -188,6 +221,7 @@ impl ServeBackend {
             if cell.outcome.crash_report().is_some() {
                 summary.quarantined += 1;
             }
+            tally_disturb(&mut summary, &cell);
             let payload = encode(&cell)?;
             emit(&key, &payload);
             summary.cells += 1;
@@ -198,10 +232,12 @@ impl ServeBackend {
 
     /// Journaled in-process grid: replay the journal's prefix verbatim,
     /// compute and journal the remainder, write the manifest.
+    #[allow(clippy::too_many_arguments)]
     fn run_grid_journaled(
         &self,
         take: usize,
         repeats: u64,
+        disturb: Option<&DisturbConfig>,
         work_json: &str,
         path: &std::path::Path,
         ctrl: &RunControl,
@@ -238,7 +274,9 @@ impl ServeBackend {
             ctrl.pace();
             let g = &corpus[cs.dag];
             let algo = algo_of(cs.algo);
-            let cell = self.harness.run_one_caught(g, cs.variant, algo, repeats);
+            let cell = self
+                .harness
+                .run_one_caught_disturb(g, cs.variant, algo, repeats, disturb);
             let key = cell_key(
                 &g.name(),
                 g.params.matrix_size,
@@ -339,13 +377,18 @@ fn backend_err<E: std::fmt::Display>(e: E) -> ServeError {
 }
 
 fn summarize(grid: &JournaledGrid) -> WorkSummary {
-    WorkSummary {
+    let mut summary = WorkSummary {
         cells: (grid.resumed + grid.computed) as u64,
         resumed: grid.resumed as u64,
         computed: grid.computed as u64,
         quarantined: grid.quarantined as u64,
         status: grid.status.label().to_string(),
+        ..WorkSummary::default()
+    };
+    for cell in &grid.cells {
+        tally_disturb(&mut summary, cell);
     }
+    summary
 }
 
 impl Backend for ServeBackend {
@@ -359,19 +402,40 @@ impl Backend for ServeBackend {
             WorkRequest::Schedule { .. } | WorkRequest::Simulate { .. } => {
                 self.run_single(work, emit)
             }
-            WorkRequest::SubsetGrid { take, repeats } => {
+            WorkRequest::SubsetGrid {
+                take,
+                repeats,
+                disturb,
+            } => {
                 let work_json = encode(work)?;
+                let cfg = parse_disturb(disturb.as_ref())?;
+                let eff = cfg.as_ref().or(self.harness.disturb.as_ref());
                 match &self.state_dir {
-                    None => self.run_grid_ephemeral(*take, *repeats, ctrl, emit),
+                    None => self.run_grid_ephemeral(*take, *repeats, eff, ctrl, emit),
                     Some(dir) => {
                         std::fs::create_dir_all(dir).map_err(backend_err)?;
                         let path = self.journal_path(dir, &work_json);
                         match &self.worker {
-                            Some((cmd, opts)) => self.run_grid_supervised(
-                                *take, *repeats, &work_json, &path, cmd, opts, ctrl, emit,
+                            Some((cmd, opts)) => {
+                                if cfg.is_some() {
+                                    // Worker processes get their plan via
+                                    // startup flags; a per-request plan
+                                    // cannot reach them.
+                                    return Err(ServeError::Backend {
+                                        reason: "per-request disturbance plans require \
+                                                 in-process cell execution (this daemon \
+                                                 runs --isolation process; pass --disturb \
+                                                 at daemon startup instead)"
+                                            .to_string(),
+                                    });
+                                }
+                                self.run_grid_supervised(
+                                    *take, *repeats, &work_json, &path, cmd, opts, ctrl, emit,
+                                )
+                            }
+                            None => self.run_grid_journaled(
+                                *take, *repeats, eff, &work_json, &path, ctrl, emit,
                             ),
-                            None => self
-                                .run_grid_journaled(*take, *repeats, &work_json, &path, ctrl, emit),
                         }
                     }
                 }

@@ -1,0 +1,117 @@
+//! Property tests for the disturbance subsystem, mirroring
+//! `chaos_props.rs` one layer up the stack:
+//!
+//! * **Grammar round-trip** — any plan (seeded-random or hand-built from
+//!   arbitrary times/factors/hosts) renders through `Display` into the
+//!   exact CLI grammar `parse` accepts, and parses back equal: f64
+//!   `Display` is shortest-round-trip, so no bit of any timestamp or
+//!   factor is lost between a shell flag and the executor.
+//! * **Measure or fail typed** — for *any* `(seed, intensity)` plan under
+//!   rescue recovery, every grid cell either completes with a validated
+//!   measurement on the surviving hosts (a `Disturbed` outcome tallying
+//!   at least one fired event, or `Full` when the script missed the
+//!   run's time window), or fails typed — and an *empty* plan may do
+//!   neither: it must take the untouched fast path, cell for cell.
+
+use proptest::prelude::*;
+
+use mps_core::faults::{DisturbancePlan, RecoveryPolicy, DISTURB_HORIZON};
+use mps_exp::runner::{CellOutcome, DisturbConfig, Harness};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seeded-random plans round-trip through the CLI grammar exactly.
+    #[test]
+    fn random_plans_round_trip_through_the_grammar(
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..2.0,
+    ) {
+        let plan = DisturbancePlan::with_intensity(seed, intensity);
+        let rendered = plan.to_string();
+        let parsed = DisturbancePlan::parse(&rendered, 32, DISTURB_HORIZON)
+            .unwrap_or_else(|e| panic!("rendered plan `{rendered}` failed to parse: {e}"));
+        prop_assert_eq!(parsed, plan);
+    }
+
+    /// Hand-built plans with adversarial f64s round-trip too: `Display`
+    /// prints the shortest decimal that parses back to the same bits.
+    #[test]
+    fn built_plans_round_trip_through_the_grammar(
+        seed in any::<u64>(),
+        crash_at in 0.0f64..500.0,
+        crash_host in 0usize..32,
+        from in 0.0f64..200.0,
+        len in 0.0f64..200.0,
+        slow_host in 0usize..32,
+        factor in 1.0f64..16.0,
+        link in 0usize..32,
+    ) {
+        use mps_core::platform::HostId;
+        let plan = DisturbancePlan::builder(seed)
+            .crash(HostId(crash_host), crash_at)
+            .slow(HostId(slow_host), from, from + len, factor)
+            .degrade(HostId(link), from, from + len, factor)
+            .build();
+        let rendered = plan.to_string();
+        let parsed = DisturbancePlan::parse(&rendered, 32, DISTURB_HORIZON)
+            .unwrap_or_else(|e| panic!("rendered plan `{rendered}` failed to parse: {e}"));
+        prop_assert_eq!(parsed, plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded disturbance plan under rescue recovery: every cell of a
+    /// 1-DAG grid completes with a valid measurement on the surviving
+    /// hosts or fails typed — and only a non-empty plan may disturb or
+    /// fail anything.
+    #[test]
+    fn any_plan_measures_on_survivors_or_fails_typed(
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..1.5,
+    ) {
+        let plan = DisturbancePlan::with_intensity(seed, intensity);
+        let scripted = !plan.is_empty();
+        let h = Harness::new(7)
+            .with_disturbance(DisturbConfig::new(plan, RecoveryPolicy::Rescue));
+        prop_assert_eq!(
+            h.disturb.is_some(),
+            scripted,
+            "with_disturbance must keep exactly the non-empty plans"
+        );
+        for cell in h.run_subset_with_workers(1, 1, 1) {
+            match &cell.outcome {
+                CellOutcome::Full => {
+                    prop_assert!(
+                        cell.real_makespan > 0.0,
+                        "full cell {} has no measurement", cell.dag
+                    );
+                }
+                CellOutcome::Disturbed { report, .. } => {
+                    prop_assert!(scripted, "empty plan disturbed cell {}", cell.dag);
+                    prop_assert!(
+                        report.fired() >= 1,
+                        "disturbed cell {} tallies no fired event", cell.dag
+                    );
+                    prop_assert!(
+                        cell.real_makespan > 0.0,
+                        "disturbed cell {} has no measurement", cell.dag
+                    );
+                }
+                CellOutcome::Degraded { .. } => {
+                    prop_assert!(scripted, "empty plan degraded cell {}", cell.dag);
+                }
+                outcome => {
+                    // Typed failure: carries a printable error, and only a
+                    // plan that scripts real events may cause one.
+                    prop_assert!(scripted, "empty plan failed cell {}", cell.dag);
+                    let shown = format!("{outcome:?}");
+                    prop_assert!(!shown.is_empty());
+                    prop_assert!(!cell.succeeded());
+                }
+            }
+        }
+    }
+}

@@ -10,11 +10,11 @@
 //! round-trips every f64 bit — equals the reference rendering, and poison
 //! cells are quarantined without disturbing their neighbours.
 
-use mps_core::faults::FaultPlan;
+use mps_core::faults::{DisturbancePlan, FaultPlan, RecoveryPolicy};
 use mps_core::platform::HostId;
 use mps_core::sched::{Hcpa, Mcpa, Scheduler};
 use mps_core::sim::ExecPolicy;
-use mps_exp::{parse_poison_spec, CellResult, Harness, SimVariant};
+use mps_exp::{parse_poison_spec, CellResult, DisturbConfig, Harness, SimVariant};
 
 const TAKE: usize = 10;
 const REPEATS: u64 = 2;
@@ -80,6 +80,31 @@ fn batched_grid_matches_reference_under_a_fault_plan() {
         assert_eq!(
             batched, reference,
             "faulty batched grid diverged from reference at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn zero_intensity_disturbance_is_byte_identical_to_the_plain_grid() {
+    // The determinism guard for the disturbance subsystem: an intensity-0
+    // plan generates no events, `with_disturbance` drops it entirely, and
+    // the grid takes the exact pre-disturbance code path — byte-identical
+    // to a harness that never heard of disturbances, at any worker count.
+    let plain = Harness::new(2011);
+    let reference = render(&reference_cells(&plain, TAKE, REPEATS));
+    let zero = Harness::new(2011).with_disturbance(DisturbConfig::new(
+        DisturbancePlan::with_intensity(2011, 0.0),
+        RecoveryPolicy::Rescue,
+    ));
+    assert!(
+        zero.disturb.is_none(),
+        "an empty disturbance plan must be dropped, not carried"
+    );
+    for workers in [1, 2, Harness::default_workers()] {
+        let batched = render(&zero.run_subset_with_workers(TAKE, REPEATS, workers));
+        assert_eq!(
+            batched, reference,
+            "zero-intensity grid diverged from the plain grid at workers={workers}"
         );
     }
 }

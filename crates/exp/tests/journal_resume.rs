@@ -127,6 +127,86 @@ fn killed_mid_flight_then_resumed_grid_is_byte_identical_to_clean_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn disturbed_grid_killed_mid_flight_resumes_byte_identically() {
+    // The keystone acceptance path for rescue rescheduling: a grid whose
+    // platform loses host 0 one second into every testbed run, under
+    // `--recovery rescue`, still completes every cell — and a SIGKILLed
+    // journaled run of the same grid resumes to a byte-identical result,
+    // disturbance report included.
+    let dir = scratch_dir("disturb");
+    let clean_out = dir.join("clean");
+    let resumed_out = dir.join("resumed");
+    let journal = dir.join("grid.jsonl");
+    const DISTURB: &[&str] = &["--disturb", "crash@1:0", "--recovery", "rescue"];
+
+    // Reference: an uninterrupted, unjournaled disturbed run.
+    let clean = run_repro(&[DISTURB, &["--json", clean_out.to_str().unwrap(), "grid"]].concat());
+    assert!(
+        clean.status.success(),
+        "clean disturbed run failed: {clean:?}"
+    );
+    let stderr = String::from_utf8_lossy(&clean.stderr);
+    assert!(
+        stderr.contains("rescue(s)"),
+        "no rescue accounting in: {stderr}"
+    );
+    let clean_grid = std::fs::read(clean_out.join("grid.json")).expect("clean grid.json");
+    assert!(
+        String::from_utf8_lossy(&clean_grid).contains("Disturbed"),
+        "clean disturbed grid records no disturbance"
+    );
+
+    // Victim: the same grid journaled and throttled, SIGKILLed mid-flight.
+    let mut child = Command::new(REPRO)
+        .args(GRID_ARGS)
+        .args(DISTURB)
+        .args([
+            "--journal",
+            journal.to_str().unwrap(),
+            "--throttle-ms",
+            "150",
+            "--workers",
+            "2",
+            "grid",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    let seen = wait_for_lines(&journal, 4, Duration::from_secs(60));
+    child.kill().expect("kill");
+    let _ = child.wait();
+    assert!(seen >= 4, "victim never wrote 4 journal lines (saw {seen})");
+    assert!(
+        journal_lines(&journal) < 19,
+        "victim finished before the kill — widen throttle"
+    );
+
+    // Resume with the same plan: salvage the prefix, finish the rest.
+    let resume = run_repro(
+        &[
+            DISTURB,
+            &[
+                "--journal",
+                journal.to_str().unwrap(),
+                "--resume",
+                "--json",
+                resumed_out.to_str().unwrap(),
+                "grid",
+            ],
+        ]
+        .concat(),
+    );
+    assert!(resume.status.success(), "resume failed: {resume:?}");
+    let resumed_grid = std::fs::read(resumed_out.join("grid.json")).expect("resumed grid.json");
+    assert_eq!(
+        clean_grid, resumed_grid,
+        "resumed disturbed grid differs from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[cfg(unix)]
 #[test]
 fn sigint_drains_in_flight_cells_and_checkpoints() {

@@ -151,6 +151,76 @@ fn daemon_sigkilled_mid_request_recovers_and_replays_byte_identically() {
 }
 
 #[test]
+fn a_disturbed_request_rescues_streams_and_replays_byte_identically() {
+    let dir = scratch_dir("disturb");
+    let socket = dir.join("mps.sock");
+    let state = dir.join("state");
+    let mut daemon = spawn_serve(&socket, &state, &[]);
+
+    // A request carrying its own disturbance plan: host 0 dies 1 s into
+    // every testbed run; rescue rescheduling must still measure all six
+    // cells, and the stream must say so.
+    let disturbed = client(&socket, &["--subset-grid", "1", "--disturb", "crash@1:0"]);
+    assert!(
+        disturbed.status.success(),
+        "disturbed request failed: {disturbed:?}"
+    );
+    assert_eq!(
+        disturbed.stdout.iter().filter(|&&c| c == b'\n').count(),
+        6,
+        "disturbed 1-DAG subset grid still streams 6 cells"
+    );
+    let cells = String::from_utf8_lossy(&disturbed.stdout).to_string();
+    assert!(
+        cells.contains("Disturbed"),
+        "no cell recorded the disturbance: {cells}"
+    );
+
+    // The daemon's health must expose the disturbance counters.
+    let health = client(&socket, &["--health"]);
+    assert!(health.status.success(), "health failed: {health:?}");
+    let stats = String::from_utf8_lossy(&health.stdout).to_string();
+    assert!(
+        stats.contains("\"disturbed\": 6"),
+        "health does not count disturbed cells: {stats}"
+    );
+    assert!(
+        !stats.contains("\"rescues\": 0"),
+        "health does not count rescues: {stats}"
+    );
+
+    // Identical resubmission: a pure journal replay, byte for byte.
+    let replay = client(&socket, &["--subset-grid", "1", "--disturb", "crash@1:0"]);
+    assert!(replay.status.success(), "replay failed: {replay:?}");
+    let summary = String::from_utf8_lossy(&replay.stderr).to_string();
+    assert!(
+        summary.contains("(6 resumed, 0 computed"),
+        "expected a pure replay: {summary}"
+    );
+    assert_eq!(
+        replay.stdout, disturbed.stdout,
+        "replayed disturbed stream differs"
+    );
+
+    // The undisturbed request keys a different journal and never sees
+    // the plan.
+    let plain = client(&socket, &["--subset-grid", "1"]);
+    assert!(plain.status.success(), "plain request failed: {plain:?}");
+    assert!(
+        !String::from_utf8_lossy(&plain.stdout).contains("Disturbed"),
+        "undisturbed request picked up the disturbance plan"
+    );
+    assert_ne!(
+        plain.stdout, disturbed.stdout,
+        "disturbed and undisturbed requests cannot share a journal"
+    );
+
+    assert!(client(&socket, &["--drain"]).status.success());
+    assert!(daemon.wait().expect("daemon").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sigterm_mid_request_drains_gracefully_and_completes_the_journal() {
     let dir = scratch_dir("sigterm");
     let socket = dir.join("mps.sock");

@@ -40,10 +40,15 @@
 
 #![warn(missing_docs)]
 
+pub mod disturb;
 pub mod io;
 pub mod model;
 pub mod plan;
 
+pub use disturb::{
+    DisturbReport, Disturbance, DisturbancePlan, DisturbancePlanBuilder, RecoveryPolicy,
+    DISTURB_HORIZON,
+};
 pub use io::{
     ChaosIo, ChaosStream, InjectedIo, InjectedWire, IoEnv, IoFaultPlan, IoFile, RealIo, SwitchIo,
     WireFaultPlan,

@@ -337,6 +337,80 @@ impl L07Sim {
         Ok(stepped?.is_some())
     }
 
+    /// Crashes a host at the current simulated time: its CPU and both
+    /// private-link directions are retired from the platform. Tasks still
+    /// consuming those resources stall (typed, via the engine) unless the
+    /// caller [`cancel`](L07Sim::cancel)s them — which is exactly what the
+    /// disturbed executor does before re-planning.
+    pub fn crash_host(&mut self, h: HostId) -> Result<(), L07Error> {
+        let i = h.index();
+        if i >= self.cluster.node_count() {
+            return Err(L07Error::UnknownHost(h));
+        }
+        self.engine.retire_resource(self.cpu[i]);
+        self.engine.retire_resource(self.up[i]);
+        self.engine.retire_resource(self.down[i]);
+        Ok(())
+    }
+
+    /// True once [`L07Sim::crash_host`] removed the host.
+    pub fn host_is_crashed(&self, h: HostId) -> bool {
+        self.engine.is_retired(self.cpu[h.index()])
+    }
+
+    /// Scales a host's CPU to `base_speed / factor` (`factor == 1.0`
+    /// restores the exact as-built capacity). No-op on crashed hosts.
+    pub fn set_host_factor(&mut self, h: HostId, factor: f64) -> Result<(), L07Error> {
+        let i = h.index();
+        if i >= self.cluster.node_count() {
+            return Err(L07Error::UnknownHost(h));
+        }
+        if factor.is_nan() || factor < 1.0 {
+            return Err(L07Error::InvalidNumber {
+                context: "slowdown factor",
+            });
+        }
+        let r = self.cpu[i];
+        let base = self.engine.base_capacity(r);
+        self.engine.set_capacity(r, base / factor)?;
+        Ok(())
+    }
+
+    /// Scales both private-link directions of a host to
+    /// `base_bandwidth / factor` (`factor == 1.0` restores exactly).
+    /// No-op on crashed hosts.
+    pub fn set_link_factor(&mut self, h: HostId, factor: f64) -> Result<(), L07Error> {
+        let i = h.index();
+        if i >= self.cluster.node_count() {
+            return Err(L07Error::UnknownHost(h));
+        }
+        if factor.is_nan() || factor < 1.0 {
+            return Err(L07Error::InvalidNumber {
+                context: "degrade factor",
+            });
+        }
+        for r in [self.up[i], self.down[i]] {
+            let base = self.engine.base_capacity(r);
+            self.engine.set_capacity(r, base / factor)?;
+        }
+        Ok(())
+    }
+
+    /// Cancels a live task without reporting a completion; returns `false`
+    /// when it already finished or was cancelled (idempotent).
+    pub fn cancel(&mut self, task: PTaskId) -> bool {
+        self.engine.cancel(task.0)
+    }
+
+    /// Schedules an engine wake-up `delay` seconds from now. The matching
+    /// step returns `true` from [`L07Sim::next_completions_into`] with an
+    /// empty batch — the disturbed executor uses this to observe the
+    /// simulator exactly at disturbance times.
+    pub fn schedule_timer(&mut self, delay: f64) -> Result<(), L07Error> {
+        self.engine.schedule_timer(delay)?;
+        Ok(())
+    }
+
     /// Runs a single task to completion on an otherwise idle simulator and
     /// returns its duration. Convenience for model validation.
     pub fn run_single(&mut self, spec: PTaskSpec) -> Result<f64, L07Error> {
@@ -608,6 +682,83 @@ mod tests {
         assert_eq!(first, second);
         // Ids restarted from zero, like a freshly built simulator.
         assert_eq!(second.iter().map(|&(i, _)| i).min(), Some(0));
+    }
+
+    #[test]
+    fn slowing_a_host_stretches_its_compute_task() {
+        // 250 Mflop at 250 MFlop/s → 1 s; halfway through, slow the host
+        // 2×: the remaining 125 Mflop take 1 s more → finishes at 1.5 s.
+        let mut s = sim();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        s.schedule_timer(0.5).unwrap();
+        let mut out = Vec::new();
+        assert!(s.next_completions_into(&mut out).unwrap());
+        assert!(out.is_empty(), "timer step reports no tasks");
+        s.set_host_factor(HostId(0), 2.0).unwrap();
+        let t = s.run_to_idle().unwrap();
+        assert!((t - 1.5).abs() < 1e-9, "t = {t}");
+        // Factor 1.0 restores the exact base capacity.
+        s.set_host_factor(HostId(0), 1.0).unwrap();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        let t2 = s.run_to_idle().unwrap();
+        assert!((t2 - t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrading_links_stretches_transfers() {
+        // 125 MB over a degraded (2×) private link: the up/down links drop
+        // to 62.5 MB/s and become the bottleneck below the backbone.
+        let mut s = sim();
+        s.set_link_factor(HostId(0), 2.0).unwrap();
+        s.set_link_factor(HostId(1), 2.0).unwrap();
+        let t = s
+            .run_single(PTaskSpec::p2p(HostId(0), HostId(1), 125.0e6))
+            .unwrap();
+        assert!((t - (3.0e-4 + 2.0)).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn crashing_a_host_stalls_its_tasks_typed_and_cancel_recovers() {
+        let mut s = sim();
+        let victim = s
+            .submit(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        s.submit(PTaskSpec::compute_uniform(&hosts(&[1]), 125.0e6))
+            .unwrap();
+        s.schedule_timer(0.1).unwrap();
+        let mut out = Vec::new();
+        s.next_completions_into(&mut out).unwrap();
+        s.crash_host(HostId(0)).unwrap();
+        assert!(s.host_is_crashed(HostId(0)));
+        // The survivor on host 1 still completes; afterwards the victim
+        // stalls typed.
+        let mut err = None;
+        loop {
+            match s.next_completions() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(err, Some(L07Error::Engine(EngineError::Stalled { .. }))),
+            "expected typed stall, got {err:?}"
+        );
+        // Cancelling the stranded task unblocks the simulator.
+        assert!(s.cancel(victim));
+        assert!(s.is_idle());
+        // And reset() revives the platform for the next run.
+        s.reset();
+        assert!(!s.host_is_crashed(HostId(0)));
+        let t = s
+            .run_single(PTaskSpec::compute_uniform(&hosts(&[0]), 250.0e6))
+            .unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
     }
 
     #[test]

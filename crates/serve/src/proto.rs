@@ -59,6 +59,13 @@ pub enum WorkRequest {
         algo: String,
         /// Testbed repeats.
         repeats: u64,
+        /// Optional timed platform-disturbance plan for the testbed runs
+        /// (the `mps_faults::DisturbancePlan::parse` grammar, e.g.
+        /// `crash@4:3;slow@2-10:5:1.5` or a `light|moderate|heavy`
+        /// preset). Crashes are handled with rescue rescheduling.
+        /// Defaults to `None` when missing, so old clients interoperate.
+        #[serde(default)]
+        disturb: Option<String>,
     },
     /// Run the first `take` corpus DAGs × 3 simulators × 2 algorithms.
     /// Streams one cell per grid cell.
@@ -67,6 +74,10 @@ pub enum WorkRequest {
         take: usize,
         /// Testbed repeats per cell.
         repeats: u64,
+        /// Optional disturbance plan applied to every cell's testbed
+        /// runs (same grammar and recovery as `Simulate::disturb`).
+        #[serde(default)]
+        disturb: Option<String>,
     },
 }
 
@@ -118,6 +129,12 @@ pub struct WorkSummary {
     pub computed: u64,
     /// Cells quarantined as poison (crash reports, not measurements).
     pub quarantined: u64,
+    /// Cells where a platform disturbance fired (still measurements).
+    #[serde(default)]
+    pub disturbed: u64,
+    /// Rescue re-plans triggered by host crashes across the request.
+    #[serde(default)]
+    pub rescues: u64,
     /// `complete` | `interrupted` | `deadline` — mirrors the journal
     /// manifest status vocabulary.
     pub status: String,
@@ -144,6 +161,12 @@ pub struct ServerStats {
     /// deadline ([`crate::ServeError::ClientStalled`]).
     #[serde(default)]
     pub stalled: u64,
+    /// Cells where a platform disturbance fired, across all requests.
+    #[serde(default)]
+    pub disturbed: u64,
+    /// Rescue re-plans triggered by host crashes, across all requests.
+    #[serde(default)]
+    pub rescues: u64,
     /// True once the server has stopped admitting.
     pub draining: bool,
 }
@@ -294,6 +317,7 @@ mod tests {
                 variant: "analytic".to_string(),
                 algo: "HCPA".to_string(),
                 repeats: 2,
+                disturb: Some("crash@4:3".to_string()),
             },
             deadline_ms: Some(1500),
         };

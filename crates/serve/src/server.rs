@@ -126,6 +126,8 @@ pub struct Server {
     cfg: ServerConfig,
     queue: AdmissionQueue<Job>,
     quarantined: AtomicU64,
+    disturbed: AtomicU64,
+    rescues: AtomicU64,
     recovered: AtomicU64,
     stalled: AtomicU64,
     /// Set by a client `Drain` frame.
@@ -176,6 +178,8 @@ impl Server {
             cfg,
             queue,
             quarantined: AtomicU64::new(0),
+            disturbed: AtomicU64::new(0),
+            rescues: AtomicU64::new(0),
             recovered: AtomicU64::new(0),
             stalled: AtomicU64::new(0),
             drain_req: CancelToken::new(),
@@ -197,6 +201,8 @@ impl Server {
             quarantined: self.quarantined.load(Ordering::SeqCst),
             recovered: self.recovered.load(Ordering::SeqCst),
             stalled: self.stalled.load(Ordering::SeqCst),
+            disturbed: self.disturbed.load(Ordering::SeqCst),
+            rescues: self.rescues.load(Ordering::SeqCst),
             draining: q.draining,
         }
     }
@@ -247,6 +253,9 @@ impl Server {
                 Ok(summary) => {
                     self.quarantined
                         .fetch_add(summary.quarantined, Ordering::SeqCst);
+                    self.disturbed
+                        .fetch_add(summary.disturbed, Ordering::SeqCst);
+                    self.rescues.fetch_add(summary.rescues, Ordering::SeqCst);
                     ServerFrame::Done { id, summary }
                 }
                 Err(e) => ServerFrame::Failed {

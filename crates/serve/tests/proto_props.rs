@@ -44,10 +44,12 @@ fn work(kind: u8, dag: usize, s1: &str, s2: &str, n: u64) -> WorkRequest {
             variant: s1.to_string(),
             algo: s2.to_string(),
             repeats: n,
+            disturb: (n % 2 == 1).then(|| s2.to_string()),
         },
         _ => WorkRequest::SubsetGrid {
             take: dag,
             repeats: n,
+            disturb: (n % 3 == 1).then(|| s1.to_string()),
         },
     }
 }
@@ -100,6 +102,8 @@ fn server_frame(kind: u8, id: u64, s1: &str, s2: &str, n: u64) -> ServerFrame {
                 resumed: n / 2,
                 computed: n - n / 2,
                 quarantined: n % 3,
+                disturbed: n % 11,
+                rescues: n % 6,
                 status: s1.to_string(),
             },
         },
@@ -118,6 +122,8 @@ fn server_frame(kind: u8, id: u64, s1: &str, s2: &str, n: u64) -> ServerFrame {
                 quarantined: n % 5,
                 recovered: n % 2,
                 stalled: n % 4,
+                disturbed: n % 8,
+                rescues: n % 7,
                 draining: n % 2 == 1,
             },
         },

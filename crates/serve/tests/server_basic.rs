@@ -98,6 +98,7 @@ fn handshake_submit_stream_and_drain() {
             &WorkRequest::SubsetGrid {
                 take: 3,
                 repeats: 1,
+                disturb: None,
             },
             None,
             &mut |key, payload| cells.push((key.to_string(), payload.to_string())),
@@ -204,6 +205,7 @@ fn overload_is_shed_with_a_retry_hint() {
             work: WorkRequest::SubsetGrid {
                 take: 10,
                 repeats: 1,
+                disturb: None,
             },
             deadline_ms: None,
         })
@@ -258,6 +260,7 @@ fn a_request_deadline_stops_work_at_a_cell_boundary() {
             &WorkRequest::SubsetGrid {
                 take: 200,
                 repeats: 1,
+                disturb: None,
             },
             Some(40),
             &mut |_, _| cells += 1,
@@ -291,6 +294,7 @@ fn draining_refuses_new_submissions() {
         work: WorkRequest::SubsetGrid {
             take: 5,
             repeats: 1,
+            disturb: None,
         },
         deadline_ms: None,
     })
@@ -309,6 +313,7 @@ fn draining_refuses_new_submissions() {
             &WorkRequest::SubsetGrid {
                 take: 1,
                 repeats: 1,
+                disturb: None,
             },
             None,
             &mut |_, _| {},

@@ -143,6 +143,14 @@ pub enum ExecError {
         /// Attempts made (first launch + retries).
         attempts: u32,
     },
+    /// A host crash stranded unfinished work and the active
+    /// [`RecoveryPolicy`] could not (or would not) repair the schedule.
+    HostFailed {
+        /// The crashed host.
+        host: HostId,
+        /// Unfinished tasks placed on it when it failed.
+        stranded: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -158,6 +166,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::TaskFailed { task, attempts } => {
                 write!(f, "task {task} failed after {attempts} attempts")
+            }
+            ExecError::HostFailed { host, stranded } => {
+                write!(f, "host {host} failed with {stranded} unfinished tasks")
             }
         }
     }
@@ -237,6 +248,7 @@ enum Meaning {
     /// A failed attempt waiting out its startup + backoff charge.
     Backoff(TaskId),
     Redist {
+        src: TaskId,
         succ: TaskId,
     },
 }
@@ -593,7 +605,7 @@ pub fn execute_with_slab_prevalidated(
                                 spec.with_label(format!("redist-{}-{}", t.index(), succ.index()));
                         }
                         let id = sim.submit(spec)?;
-                        insert_in_flight(in_flight, id, Meaning::Redist { succ });
+                        insert_in_flight(in_flight, id, Meaning::Redist { src: t, succ });
                     }
                 }
                 Some(Meaning::Backoff(t)) => {
@@ -602,7 +614,7 @@ pub fn execute_with_slab_prevalidated(
                     // never released).
                     state[t.index()] = TaskState::Waiting;
                 }
-                Some(Meaning::Redist { succ }) => {
+                Some(Meaning::Redist { succ, .. }) => {
                     pending_redists[succ.index()] -= 1;
                 }
                 None => unreachable!("unknown completion"),
@@ -618,6 +630,704 @@ pub fn execute_with_slab_prevalidated(
             queue_head,
             pending_redists,
             model,
+        )?;
+    }
+
+    let makespan = spans.iter().map(|&(_, f)| f).fold(0.0_f64, f64::max);
+    Ok(ExecutionResult {
+        makespan,
+        task_spans: spans,
+        task_retries: attempts,
+    })
+}
+
+// ---- timed platform disturbances + reactive repair ---------------------
+
+use mps_faults::{DisturbReport, Disturbance, DisturbancePlan, RecoveryPolicy};
+
+/// Configuration of one disturbed execution.
+pub struct DisturbSetup<'a> {
+    /// The scripted platform disturbances.
+    pub plan: &'a DisturbancePlan,
+    /// Reaction to crashes that strand unfinished tasks.
+    pub recovery: RecoveryPolicy,
+    /// Simulated seconds charged to every re-planned task before it may
+    /// relaunch — the re-plan's cost, accounted as virtual time.
+    pub rescue_overhead: f64,
+    /// Under [`RecoveryPolicy::Rescue`], produces a replacement schedule
+    /// over the surviving hosts (in *original* host-id space, placed only
+    /// on the given survivors). `None` / a `None` return fails the
+    /// execution typed.
+    #[allow(clippy::type_complexity)]
+    pub replan: Option<&'a mut dyn FnMut(&[HostId]) -> Option<Schedule>>,
+}
+
+/// One expanded plan boundary: the instant an event starts or stops
+/// affecting the platform.
+#[derive(Debug, Clone, Copy)]
+struct Boundary {
+    time: f64,
+    event: usize,
+    opening: bool,
+}
+
+fn touches_crashed(hosts: &[HostId], crashed: &[bool]) -> bool {
+    hosts.iter().any(|h| crashed[h.index()])
+}
+
+/// Submits the redistribution for DAG edge `src → succ` using the tasks'
+/// *current* placements. Crashed source hosts are substituted by the
+/// source's first surviving host (the durable-replication assumption: a
+/// finished task's output can be re-served from any surviving rank); when
+/// no source host survives at all, the data re-materializes at the
+/// destination instantly and only the protocol overhead is charged.
+#[allow(clippy::too_many_arguments)]
+fn issue_redist(
+    sim: &mut L07Sim,
+    model: &mut dyn ExecutionModel,
+    plan_cache: &mut HashMap<(usize, usize, usize), RedistPlan>,
+    dag: &Dag,
+    placements: &[Vec<HostId>],
+    crashed: &[bool],
+    src: TaskId,
+    succ: TaskId,
+    in_flight: &mut Vec<Option<Meaning>>,
+    live_ids: &mut Vec<PTaskId>,
+) -> Result<(), ExecError> {
+    let src_hosts = &placements[src.index()];
+    let dst_hosts = &placements[succ.index()];
+    let n = dag.task(src).kernel.n();
+    let mut overhead = model.redist_overhead(src_hosts.len(), dst_hosts.len());
+    let replacement = src_hosts.iter().find(|h| !crashed[h.index()]).copied();
+    let mut spec = match replacement {
+        None if touches_crashed(src_hosts, crashed) => {
+            // Every source rank is gone: instantaneous re-materialization.
+            PTaskSpec::new().with_extra_latency(overhead)
+        }
+        _ => {
+            let plan = plan_cache
+                .entry((n, src_hosts.len(), dst_hosts.len()))
+                .or_insert_with(|| {
+                    RedistPlan::compute(
+                        &BlockDist1D::vanilla(n, src_hosts.len()),
+                        &BlockDist1D::vanilla(n, dst_hosts.len()),
+                    )
+                });
+            let src_idx: Vec<usize> = src_hosts
+                .iter()
+                .map(|h| {
+                    if crashed[h.index()] {
+                        replacement.expect("some source survives").index()
+                    } else {
+                        h.index()
+                    }
+                })
+                .collect();
+            let dst_idx: Vec<usize> = dst_hosts.iter().map(|h| h.index()).collect();
+            let mut flows: Vec<(HostId, HostId, f64)> = plan
+                .network_transfers(&src_idx, &dst_idx)
+                .into_iter()
+                .map(|(s, d, b)| (HostId(s), HostId(d), b))
+                .collect();
+            if let Some(fm) = model.fault_model() {
+                let now = sim.now();
+                let mut worst = 1.0_f64;
+                for (s, d, b) in &mut flows {
+                    let factor = fm.link_factor(*s, *d, now).max(1.0);
+                    *b *= factor;
+                    worst = worst.max(factor);
+                }
+                overhead *= worst;
+            }
+            PTaskSpec::transfers(flows).with_extra_latency(overhead)
+        }
+    };
+    if sim.tracing_enabled() {
+        spec = spec.with_label(format!("redist-{}-{}", src.index(), succ.index()));
+    }
+    let id = sim.submit(spec)?;
+    insert_live(in_flight, live_ids, id, Meaning::Redist { src, succ });
+    Ok(())
+}
+
+fn insert_live(
+    in_flight: &mut Vec<Option<Meaning>>,
+    live_ids: &mut Vec<PTaskId>,
+    id: PTaskId,
+    m: Meaning,
+) {
+    let idx = id.index();
+    debug_assert_eq!(idx, in_flight.len(), "activity ids must be dense");
+    if idx >= in_flight.len() {
+        in_flight.resize(idx + 1, None);
+        live_ids.resize(idx + 1, id);
+    }
+    in_flight[idx] = Some(m);
+    live_ids[idx] = id;
+}
+
+/// Launch pass for the disturbed executor. Mirrors the undisturbed
+/// `try_start` with three additions: placements and dispatch order live
+/// in mutable side tables (repair rewrites them), fixed-duration tasks
+/// sample the plan's compound slowdown of their hosts at launch (the same
+/// launch-sampled semantics `FaultPlan` node slowdowns use), and a
+/// re-planned task waits out its `gate` (the rescue overhead, as virtual
+/// time) before its attempt starts.
+#[allow(clippy::too_many_arguments)]
+fn try_start_disturbed(
+    sim: &mut L07Sim,
+    model: &mut dyn ExecutionModel,
+    policy: &ExecPolicy,
+    dag: &Dag,
+    plan: &DisturbancePlan,
+    order: &[TaskId],
+    placements: &[Vec<HostId>],
+    queue: &[Vec<TaskId>],
+    queue_head: &[usize],
+    pending: &[usize],
+    state: &mut [TaskState],
+    spans: &mut [(f64, f64)],
+    attempts: &mut [u32],
+    launched: &mut [bool],
+    gate: &[f64],
+    in_flight: &mut Vec<Option<Meaning>>,
+    live_ids: &mut Vec<PTaskId>,
+) -> Result<(), ExecError> {
+    let now = sim.now();
+    for &t in order {
+        if state[t.index()] != TaskState::Waiting {
+            continue;
+        }
+        if pending[t.index()] > 0 {
+            continue;
+        }
+        let hosts = &placements[t.index()];
+        let at_head = hosts
+            .iter()
+            .all(|h| queue[h.index()].get(queue_head[h.index()]) == Some(&t));
+        if !at_head {
+            continue;
+        }
+        let kernel = dag.task(t).kernel;
+        let p = hosts.len();
+        // A re-planned task first waits out its gate; every attempt also
+        // pays the startup overhead.
+        let startup = model.startup_overhead(t, p) + (gate[t.index()] - now).max(0.0);
+        if !launched[t.index()] {
+            launched[t.index()] = true;
+            spans[t.index()].0 = now;
+        }
+        let disposition = match model.fault_model() {
+            Some(fm) => fm.task_disposition(t, hosts, attempts[t.index()], now),
+            None => TaskDisposition::Run { slowdown: 1.0 },
+        };
+        let slowdown = match disposition {
+            TaskDisposition::Fail { retry_after } => {
+                let attempt = attempts[t.index()];
+                if attempt >= policy.max_retries {
+                    return Err(ExecError::TaskFailed {
+                        task: t,
+                        attempts: attempt + 1,
+                    });
+                }
+                attempts[t.index()] = attempt + 1;
+                let backoff =
+                    (policy.backoff_base * 2.0_f64.powi(attempt as i32)).min(policy.backoff_cap);
+                let mut spec =
+                    PTaskSpec::new().with_extra_latency(startup + backoff.max(retry_after));
+                if sim.tracing_enabled() {
+                    spec = spec.with_label(format!("backoff-{}-{}", t.index(), attempt));
+                }
+                let id = sim.submit(spec)?;
+                insert_live(in_flight, live_ids, id, Meaning::Backoff(t));
+                state[t.index()] = TaskState::Backoff;
+                continue;
+            }
+            TaskDisposition::Run { slowdown } => slowdown.max(1.0),
+        };
+        let mut spec = match model.task_execution(t, kernel, hosts) {
+            TaskExecution::Analytic => {
+                // Host slowdowns reach analytic tasks through the engine's
+                // scaled capacities — no launch-time factor here.
+                let flops = kernel.flops_per_proc(p) * slowdown;
+                let comm = kernel.comm_matrix(p);
+                PTaskSpec::compute(hosts, &vec![flops; p])
+                    .with_comm_matrix(hosts, &comm)
+                    .with_extra_latency(startup)
+            }
+            TaskExecution::Fixed(duration) => {
+                let disturb_factor = hosts
+                    .iter()
+                    .map(|h| plan.slow_factor(h.index(), now))
+                    .fold(1.0, f64::max);
+                PTaskSpec::new()
+                    .with_extra_latency(startup + duration.max(0.0) * slowdown * disturb_factor)
+            }
+        };
+        if sim.tracing_enabled() {
+            spec = spec.with_label(format!("task-{}", t.index()));
+        }
+        let id = sim.submit(spec)?;
+        insert_live(in_flight, live_ids, id, Meaning::TaskRun(t));
+        state[t.index()] = TaskState::Running;
+    }
+    Ok(())
+}
+
+/// Executes `schedule` under a timed [`DisturbancePlan`], validating it
+/// first. See [`execute_disturbed_with_slab_prevalidated`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_disturbed_with_slab(
+    slab: &mut ExecSlab,
+    dag: &Dag,
+    cluster: &Cluster,
+    schedule: &Schedule,
+    model: &mut dyn ExecutionModel,
+    policy: &ExecPolicy,
+    setup: DisturbSetup<'_>,
+    report: &mut DisturbReport,
+) -> Result<ExecutionResult, ExecError> {
+    schedule
+        .validate(dag, cluster)
+        .map_err(|e| ExecError::InvalidSchedule(e.to_string()))?;
+    execute_disturbed_with_slab_prevalidated(
+        slab, dag, cluster, schedule, model, policy, setup, report,
+    )
+}
+
+/// Executes `schedule` while the platform is disturbed per `setup.plan`,
+/// reacting to crashes with `setup.recovery`.
+///
+/// Mechanics:
+///
+/// * every plan boundary (crash instant, window start/end) becomes an
+///   engine timer, so the simulator observably stops exactly there;
+/// * `Slow` / `Degrade` windows rescale the affected CPU/link capacities
+///   through [`Engine::set_capacity`](mps_des::Engine::set_capacity) —
+///   in-flight analytic work and transfers stretch mid-run; fixed-duration
+///   tasks sample the compound factor of their hosts at launch;
+/// * a `Crash` retires the host's resources, cancels every in-flight
+///   activity touching it, and triggers the recovery ladder:
+///   [`FailFast`](RecoveryPolicy::FailFast) surfaces
+///   [`ExecError::HostFailed`]; [`RetryElsewhere`](RecoveryPolicy::RetryElsewhere)
+///   patches the stranded tasks' placements onto the lowest-index
+///   surviving hosts; [`Rescue`](RecoveryPolicy::Rescue) asks
+///   `setup.replan` for a fresh schedule of the surviving platform and
+///   adopts its placements and order for every unfinished, not-currently-
+///   running task. Repaired tasks pay `setup.rescue_overhead` as extra
+///   (virtual) launch latency, and redistributions from finished
+///   predecessors are re-issued toward the new placements.
+///
+/// `report` accrues fired-event and recovery counters even when the
+/// execution fails, so callers can assert "failed typed *because* a
+/// disturbance fired".
+///
+/// With an empty plan this path is step-for-step identical to
+/// [`execute_with_slab_prevalidated`]; callers preserving the repo's
+/// bit-identity contract route empty plans to that function anyway.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_disturbed_with_slab_prevalidated(
+    slab: &mut ExecSlab,
+    dag: &Dag,
+    cluster: &Cluster,
+    schedule: &Schedule,
+    model: &mut dyn ExecutionModel,
+    policy: &ExecPolicy,
+    mut setup: DisturbSetup<'_>,
+    report: &mut DisturbReport,
+) -> Result<ExecutionResult, ExecError> {
+    let n_tasks = dag.len();
+    if n_tasks == 0 {
+        return Ok(ExecutionResult {
+            makespan: 0.0,
+            task_spans: Vec::new(),
+            task_retries: Vec::new(),
+        });
+    }
+    let plan = setup.plan;
+
+    // The slab contributes its warm simulator and the redist-plan memo;
+    // the bookkeeping below is owned, since repair rewrites it wholesale.
+    let rebuild = match &slab.sim {
+        Some(s) => s.cluster() != cluster,
+        None => true,
+    };
+    if rebuild {
+        slab.sim = Some(L07Sim::new(cluster.clone()));
+    } else {
+        slab.sim.as_mut().expect("checked above").reset();
+    }
+    let sim = slab.sim.as_mut().expect("just ensured");
+    sim.set_watchdog(policy.watchdog);
+    let plan_cache = &mut slab.plan_cache;
+
+    let n_hosts = cluster.node_count();
+    let mut placements: Vec<Vec<HostId>> = vec![Vec::new(); n_tasks];
+    for st in &schedule.tasks {
+        placements[st.task.index()] = st.hosts.clone();
+    }
+    let mut order: Vec<TaskId> = schedule.tasks.iter().map(|st| st.task).collect();
+    let mut queue: Vec<Vec<TaskId>> = vec![Vec::new(); n_hosts];
+    for &t in &order {
+        for h in &placements[t.index()] {
+            queue[h.index()].push(t);
+        }
+    }
+    let mut queue_head = vec![0usize; n_hosts];
+    let mut pending: Vec<usize> = dag.task_ids().map(|t| dag.predecessors(t).len()).collect();
+    let mut arrived = vec![0usize; n_tasks];
+    let mut state = vec![TaskState::Waiting; n_tasks];
+    let mut spans = vec![(0.0_f64, 0.0_f64); n_tasks];
+    let mut attempts = vec![0u32; n_tasks];
+    let mut launched = vec![false; n_tasks];
+    let mut gate = vec![0.0_f64; n_tasks];
+    let mut in_flight: Vec<Option<Meaning>> = Vec::new();
+    let mut live_ids: Vec<PTaskId> = Vec::new();
+    let mut crashed = vec![false; n_hosts];
+    let mut done_count = 0usize;
+    let mut completions: Vec<mps_l07::PTaskCompletion> = Vec::new();
+
+    // Expand the plan into time-ordered boundaries and pin an engine
+    // timer at each, so steps land exactly on disturbance instants.
+    let mut boundaries: Vec<Boundary> = Vec::new();
+    for (i, e) in plan.events.iter().enumerate() {
+        match *e {
+            Disturbance::Crash { at, .. } => boundaries.push(Boundary {
+                time: at,
+                event: i,
+                opening: true,
+            }),
+            Disturbance::Slow { from, to, .. } | Disturbance::Degrade { from, to, .. } => {
+                boundaries.push(Boundary {
+                    time: from,
+                    event: i,
+                    opening: true,
+                });
+                boundaries.push(Boundary {
+                    time: to,
+                    event: i,
+                    opening: false,
+                });
+            }
+        }
+    }
+    boundaries.sort_by(|a, b| {
+        a.time
+            .total_cmp(&b.time)
+            .then(a.opening.cmp(&b.opening))
+            .then(a.event.cmp(&b.event))
+    });
+    for b in &boundaries {
+        if b.time > 0.0 {
+            sim.schedule_timer(b.time)?;
+        }
+    }
+    let mut next_boundary = 0usize;
+
+    let mut first = true;
+    while done_count < n_tasks {
+        if !first {
+            if !sim.next_completions_into(&mut completions)? {
+                return Err(ExecError::Stalled {
+                    unstarted: state.iter().filter(|&&s| s != TaskState::Done).count(),
+                });
+            }
+            for &c in completions.iter() {
+                match in_flight.get_mut(c.task.index()).and_then(Option::take) {
+                    Some(Meaning::TaskRun(t)) => {
+                        state[t.index()] = TaskState::Done;
+                        spans[t.index()].1 = c.time;
+                        done_count += 1;
+                        for h in &placements[t.index()] {
+                            debug_assert_eq!(
+                                queue[h.index()][queue_head[h.index()]],
+                                t,
+                                "queue discipline violated"
+                            );
+                            queue_head[h.index()] += 1;
+                        }
+                        for &succ in dag.successors(t) {
+                            issue_redist(
+                                sim,
+                                model,
+                                plan_cache,
+                                dag,
+                                &placements,
+                                &crashed,
+                                t,
+                                succ,
+                                &mut in_flight,
+                                &mut live_ids,
+                            )?;
+                        }
+                    }
+                    Some(Meaning::Backoff(t)) => {
+                        state[t.index()] = TaskState::Waiting;
+                    }
+                    Some(Meaning::Redist { succ, .. }) => {
+                        pending[succ.index()] -= 1;
+                        arrived[succ.index()] += 1;
+                    }
+                    None => unreachable!("unknown completion"),
+                }
+            }
+            if done_count == n_tasks {
+                break;
+            }
+        }
+        first = false;
+
+        // Apply every boundary due at (or before) the current instant.
+        let now = sim.now();
+        while next_boundary < boundaries.len() && boundaries[next_boundary].time <= now + 1e-9 {
+            let b = boundaries[next_boundary];
+            next_boundary += 1;
+            match plan.events[b.event] {
+                Disturbance::Slow { host, .. } => {
+                    if b.opening {
+                        report.slows += 1;
+                    }
+                    if host < n_hosts {
+                        sim.set_host_factor(HostId(host), plan.slow_factor(host, now).max(1.0))?;
+                    }
+                }
+                Disturbance::Degrade { link, .. } => {
+                    if b.opening {
+                        report.degrades += 1;
+                    }
+                    if link < n_hosts {
+                        sim.set_link_factor(HostId(link), plan.link_factor(link, now).max(1.0))?;
+                    }
+                }
+                Disturbance::Crash { host, .. } => {
+                    if host >= n_hosts || crashed[host] {
+                        continue;
+                    }
+                    crashed[host] = true;
+                    report.crashes += 1;
+                    sim.crash_host(HostId(host))?;
+
+                    // Who is stranded: unfinished tasks placed on a dead
+                    // host, plus in-flight redistributions whose endpoints
+                    // touch one.
+                    let affected: Vec<TaskId> = order
+                        .iter()
+                        .copied()
+                        .filter(|t| {
+                            state[t.index()] != TaskState::Done
+                                && touches_crashed(&placements[t.index()], &crashed)
+                        })
+                        .collect();
+                    let mut cancelled_redists: Vec<(TaskId, TaskId)> = Vec::new();
+                    for idx in 0..in_flight.len() {
+                        let cancel = match in_flight[idx] {
+                            Some(Meaning::TaskRun(t)) | Some(Meaning::Backoff(t)) => {
+                                touches_crashed(&placements[t.index()], &crashed).then(|| {
+                                    state[t.index()] = TaskState::Waiting;
+                                    attempts[t.index()] += 1;
+                                })
+                            }
+                            Some(Meaning::Redist { src, succ }) => {
+                                (touches_crashed(&placements[src.index()], &crashed)
+                                    || touches_crashed(&placements[succ.index()], &crashed))
+                                .then(|| {
+                                    cancelled_redists.push((src, succ));
+                                })
+                            }
+                            None => None,
+                        };
+                        if cancel.is_some() {
+                            sim.cancel(live_ids[idx]);
+                            in_flight[idx] = None;
+                        }
+                    }
+                    if affected.is_empty() && cancelled_redists.is_empty() {
+                        continue;
+                    }
+
+                    let survivors: Vec<HostId> =
+                        (0..n_hosts).filter(|&h| !crashed[h]).map(HostId).collect();
+                    let failed = || ExecError::HostFailed {
+                        host: HostId(host),
+                        stranded: affected.len(),
+                    };
+                    if survivors.is_empty() || setup.recovery == RecoveryPolicy::FailFast {
+                        return Err(failed());
+                    }
+
+                    // Repair placements (and, under Rescue, the order).
+                    let mut changed = vec![false; n_tasks];
+                    match setup.recovery {
+                        RecoveryPolicy::FailFast => unreachable!("handled above"),
+                        RecoveryPolicy::RetryElsewhere => {
+                            for &t in &affected {
+                                let old = &placements[t.index()];
+                                let mut keep: Vec<HostId> = old
+                                    .iter()
+                                    .copied()
+                                    .filter(|h| !crashed[h.index()])
+                                    .collect();
+                                for &s in &survivors {
+                                    if keep.len() == old.len() {
+                                        break;
+                                    }
+                                    if !keep.contains(&s) {
+                                        keep.push(s);
+                                    }
+                                }
+                                if keep.len() < old.len() {
+                                    return Err(failed());
+                                }
+                                placements[t.index()] = keep;
+                                changed[t.index()] = true;
+                                report.retried_tasks += 1;
+                            }
+                        }
+                        RecoveryPolicy::Rescue => {
+                            let Some(replan) = setup.replan.as_mut() else {
+                                return Err(failed());
+                            };
+                            let Some(rescue) = replan(&survivors) else {
+                                return Err(failed());
+                            };
+                            // Running/backoff tasks on surviving hosts keep
+                            // their placement and precede everything else;
+                            // every waiting task adopts the rescue
+                            // schedule's placement and order.
+                            let mut new_order: Vec<TaskId> = order
+                                .iter()
+                                .copied()
+                                .filter(|t| {
+                                    matches!(
+                                        state[t.index()],
+                                        TaskState::Running | TaskState::Backoff
+                                    )
+                                })
+                                .collect();
+                            let mut adopted = 0u64;
+                            for st in &rescue.tasks {
+                                let t = st.task;
+                                if state[t.index()] != TaskState::Waiting {
+                                    continue;
+                                }
+                                if st.hosts.is_empty() || touches_crashed(&st.hosts, &crashed) {
+                                    return Err(failed());
+                                }
+                                if placements[t.index()] != st.hosts {
+                                    changed[t.index()] = true;
+                                }
+                                placements[t.index()] = st.hosts.clone();
+                                new_order.push(t);
+                                adopted += 1;
+                            }
+                            // Defensive: a waiting task the rescue schedule
+                            // somehow omitted keeps its old placement (it
+                            // must still be off the dead hosts).
+                            for &t in &order {
+                                if state[t.index()] == TaskState::Waiting && !new_order.contains(&t)
+                                {
+                                    if touches_crashed(&placements[t.index()], &crashed) {
+                                        return Err(failed());
+                                    }
+                                    new_order.push(t);
+                                }
+                            }
+                            order = new_order;
+                            report.rescues += 1;
+                            report.rescued_tasks += adopted;
+                        }
+                    }
+
+                    // Re-planned tasks wait out the re-plan cost.
+                    for t in 0..n_tasks {
+                        if changed[t]
+                            || (setup.recovery == RecoveryPolicy::Rescue
+                                && state[t] == TaskState::Waiting)
+                        {
+                            gate[t] = gate[t].max(now + setup.rescue_overhead);
+                        }
+                    }
+
+                    // Rebuild the host queues over the unfinished tasks in
+                    // the (possibly new) dispatch order. Running tasks come
+                    // first in `order`, so they sit at their hosts' heads.
+                    for q in &mut queue {
+                        q.clear();
+                    }
+                    queue_head.iter_mut().for_each(|h| *h = 0);
+                    for &t in &order {
+                        if state[t.index()] != TaskState::Done {
+                            for h in &placements[t.index()] {
+                                queue[h.index()].push(t);
+                            }
+                        }
+                    }
+
+                    // Data plane repair: a task whose placement changed
+                    // needs every predecessor's output again at its new
+                    // hosts; cancelled transfers to unchanged placements
+                    // are simply re-issued.
+                    for t in dag.task_ids() {
+                        if state[t.index()] == TaskState::Done || !changed[t.index()] {
+                            continue;
+                        }
+                        pending[t.index()] = dag.predecessors(t).len();
+                        arrived[t.index()] = 0;
+                        for &pred in dag.predecessors(t) {
+                            if state[pred.index()] == TaskState::Done {
+                                issue_redist(
+                                    sim,
+                                    model,
+                                    plan_cache,
+                                    dag,
+                                    &placements,
+                                    &crashed,
+                                    pred,
+                                    t,
+                                    &mut in_flight,
+                                    &mut live_ids,
+                                )?;
+                            }
+                        }
+                    }
+                    for &(src, succ) in &cancelled_redists {
+                        if !changed[succ.index()] && state[succ.index()] != TaskState::Done {
+                            issue_redist(
+                                sim,
+                                model,
+                                plan_cache,
+                                dag,
+                                &placements,
+                                &crashed,
+                                src,
+                                succ,
+                                &mut in_flight,
+                                &mut live_ids,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+
+        try_start_disturbed(
+            sim,
+            model,
+            policy,
+            dag,
+            plan,
+            &order,
+            &placements,
+            &queue,
+            &queue_head,
+            &pending,
+            &mut state,
+            &mut spans,
+            &mut attempts,
+            &mut launched,
+            &gate,
+            &mut in_flight,
+            &mut live_ids,
         )?;
     }
 
@@ -1041,6 +1751,307 @@ mod tests {
         };
         let mut model = Counting::new(2.0, 0.5, 0.25);
         assert!(execute_with_policy(&dag, &cluster, &schedule, &mut model, &policy).is_ok());
+    }
+
+    // ---- timed disturbances & reactive repair ---------------------------
+
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn run_disturbed<'a>(
+        dag: &Dag,
+        cluster: &Cluster,
+        schedule: &Schedule,
+        model: &mut dyn ExecutionModel,
+        plan: &'a DisturbancePlan,
+        recovery: RecoveryPolicy,
+        rescue_overhead: f64,
+        replan: Option<&'a mut dyn FnMut(&[HostId]) -> Option<Schedule>>,
+    ) -> (Result<ExecutionResult, ExecError>, DisturbReport) {
+        let mut slab = ExecSlab::new();
+        let mut report = DisturbReport::default();
+        let setup = DisturbSetup {
+            plan,
+            recovery,
+            rescue_overhead,
+            replan,
+        };
+        let r = execute_disturbed_with_slab(
+            &mut slab,
+            dag,
+            cluster,
+            schedule,
+            model,
+            &ExecPolicy::default(),
+            setup,
+            &mut report,
+        );
+        (r, report)
+    }
+
+    #[test]
+    fn zero_event_plan_matches_the_undisturbed_execution_exactly() {
+        let dag = diamond();
+        let cluster = Cluster::bayreuth();
+        let schedule = schedule_for(&dag, &cluster);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let plan = DisturbancePlan::none();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::FailFast,
+            0.0,
+            None,
+        );
+        assert_eq!(r.unwrap(), baseline);
+        assert_eq!(report.fired(), 0);
+    }
+
+    #[test]
+    fn a_slow_window_stretches_fixed_tasks_launched_inside_it() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        // Host 0 runs at half speed for the whole execution: each 2 s
+        // task takes 4 s; startup and redistribution overheads are
+        // protocol time and stay put.
+        let plan = DisturbancePlan::builder(1)
+            .slow(HostId(0), 0.0, 100.0, 2.0)
+            .build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::FailFast,
+            0.0,
+            None,
+        );
+        let r = r.unwrap();
+        let expected = 3.0 * (0.5 + 4.0) + 2.0 * 0.25;
+        assert!(
+            (r.makespan - expected).abs() < 1e-9,
+            "makespan {} expected {expected}",
+            r.makespan
+        );
+        assert_eq!(report.slows, 1);
+        assert_eq!(report.crashes, 0);
+    }
+
+    #[test]
+    fn a_crash_fails_fast_with_a_typed_host_failure() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        // Timeline on host 0: task 0 spans [0, 2.5]; the crash at t=3
+        // strands task 1 (running) and task 2 (waiting).
+        let plan = DisturbancePlan::builder(1).crash(HostId(0), 3.0).build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::FailFast,
+            0.0,
+            None,
+        );
+        match r {
+            Err(ExecError::HostFailed { host, stranded }) => {
+                assert_eq!(host, HostId(0));
+                assert_eq!(stranded, 2);
+            }
+            other => panic!("expected HostFailed, got {other:?}"),
+        }
+        // The report still records the fired crash on the error path.
+        assert_eq!(report.crashes, 1);
+        assert!(report.fired() >= 1);
+    }
+
+    #[test]
+    fn retry_elsewhere_moves_stranded_tasks_to_surviving_hosts() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let plan = DisturbancePlan::builder(1).crash(HostId(0), 3.0).build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::RetryElsewhere,
+            0.0,
+            None,
+        );
+        let r = r.unwrap();
+        assert!(
+            r.makespan > baseline.makespan,
+            "a mid-run crash cannot be free: {} vs {}",
+            r.makespan,
+            baseline.makespan
+        );
+        // Task 1 was running when the host died: one burned attempt.
+        assert!(r.task_retries[1] >= 1, "retries {:?}", r.task_retries);
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.retried_tasks, 2, "tasks 1 and 2 were stranded");
+        assert_eq!(report.rescues, 0);
+        for t in dag.task_ids() {
+            for &pred in dag.predecessors(t) {
+                assert!(r.task_spans[t.index()].0 >= r.task_spans[pred.index()].1 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rescue_replans_onto_survivors_and_charges_the_overhead() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let plan = DisturbancePlan::builder(1).crash(HostId(0), 3.0).build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let mut replans = 0usize;
+        let mut replan = |survivors: &[HostId]| -> Option<Schedule> {
+            replans += 1;
+            assert!(!survivors.contains(&HostId(0)));
+            let h = survivors[0];
+            let mk = |t: usize| ScheduledTask {
+                task: TaskId(t),
+                hosts: vec![h],
+                est_start: t as f64,
+                est_finish: t as f64 + 1.0,
+            };
+            Some(Schedule {
+                algorithm: "rescue".into(),
+                tasks: vec![mk(0), mk(1), mk(2)],
+                est_makespan: 3.0,
+            })
+        };
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::Rescue,
+            5.0,
+            Some(&mut replan),
+        );
+        let r = r.unwrap();
+        assert_eq!(replans, 1);
+        assert_eq!(report.rescues, 1);
+        assert_eq!(report.rescued_tasks, 2, "tasks 1 and 2 were re-planned");
+        // The re-plan is charged as virtual time: the rescued tasks start
+        // no earlier than crash + overhead, so the makespan covers the
+        // gate plus both remaining tasks.
+        let floor = 3.0 + 5.0 + 2.0 * (0.5 + 2.0);
+        assert!(
+            r.makespan >= floor - 1e-9,
+            "makespan {} below rescue floor {floor}",
+            r.makespan
+        );
+        for t in dag.task_ids() {
+            for &pred in dag.predecessors(t) {
+                assert!(r.task_spans[t.index()].0 >= r.task_spans[pred.index()].1 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rescue_without_a_replan_hook_fails_typed() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let plan = DisturbancePlan::builder(1).crash(HostId(0), 3.0).build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::Rescue,
+            5.0,
+            None,
+        );
+        assert!(matches!(r, Err(ExecError::HostFailed { .. })), "{r:?}");
+        assert_eq!(report.crashes, 1);
+    }
+
+    #[test]
+    fn a_crash_on_an_idle_host_is_counted_but_harmless() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let schedule = chain_schedule(&[0]);
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        // Host 7 never appears in the schedule.
+        let plan = DisturbancePlan::builder(1).crash(HostId(7), 1.0).build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::FailFast,
+            0.0,
+            None,
+        );
+        let r = r.unwrap();
+        assert!((r.makespan - baseline.makespan).abs() < 1e-9);
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.retried_tasks, 0);
+    }
+
+    #[test]
+    fn degrade_windows_stretch_cross_host_redistribution() {
+        let dag = chain_dag();
+        let cluster = Cluster::bayreuth();
+        let mk = |t: usize, h: usize| ScheduledTask {
+            task: TaskId(t),
+            hosts: vec![HostId(h)],
+            est_start: t as f64 * 10.0,
+            est_finish: (t + 1) as f64 * 10.0,
+        };
+        let schedule = Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![mk(0, 0), mk(1, 1), mk(2, 0)],
+            est_makespan: 30.0,
+        };
+        let mut healthy = Counting::new(2.0, 0.5, 0.25);
+        let baseline = execute(&dag, &cluster, &schedule, &mut healthy).unwrap();
+        let plan = DisturbancePlan::builder(1)
+            .degrade(HostId(1), 0.0, 100.0, 50.0)
+            .build();
+        let mut model = Counting::new(2.0, 0.5, 0.25);
+        let (r, report) = run_disturbed(
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &plan,
+            RecoveryPolicy::FailFast,
+            0.0,
+            None,
+        );
+        let r = r.unwrap();
+        assert!(
+            r.makespan > baseline.makespan + 1e-6,
+            "degraded {} vs healthy {}",
+            r.makespan,
+            baseline.makespan
+        );
+        assert_eq!(report.degrades, 1);
     }
 }
 

@@ -17,9 +17,12 @@ use mps_kernels::Kernel;
 use mps_platform::{Cluster, ClusterSpec, HostId};
 use mps_sched::Schedule;
 use mps_sim::{
-    execute, execute_with_policy, execute_with_slab_prevalidated, ExecError, ExecPolicy, ExecSlab,
-    ExecutionModel, ExecutionResult, FaultyExecution, TaskExecution,
+    execute, execute_disturbed_with_slab_prevalidated, execute_with_policy,
+    execute_with_slab_prevalidated, DisturbSetup, ExecError, ExecPolicy, ExecSlab, ExecutionModel,
+    ExecutionResult, FaultyExecution, TaskExecution,
 };
+
+use mps_faults::DisturbReport;
 
 use crate::ground_truth::GroundTruth;
 
@@ -157,6 +160,59 @@ impl Testbed {
         let inner = TestbedRun::new(&self.truth, self.rng_for(0xE0EC, run_seed));
         let mut model = FaultyExecution::new(inner, ScriptedFaults::new(plan.clone()));
         execute_with_slab_prevalidated(slab, dag, &self.cluster, schedule, &mut model, policy)
+    }
+
+    /// [`Testbed::execute`] under timed platform disturbances: hosts
+    /// crash, slow down, and links degrade mid-run as `setup.plan`
+    /// scripts, and crashes trigger `setup.recovery` (see
+    /// [`DisturbSetup`]). When `faults` is given, launch-failure /
+    /// straggler injection composes with the disturbances — the same
+    /// stacking the fault-injection path uses. Skips schedule validation
+    /// (same caller contract as
+    /// [`Testbed::execute_prevalidated_with_slab`]). Deterministic in
+    /// `(self.base_seed, run_seed, plans)`; `report` accrues fired and
+    /// recovery counters even when the run fails typed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_disturbed_prevalidated_with_slab(
+        &self,
+        slab: &mut ExecSlab,
+        dag: &Dag,
+        schedule: &Schedule,
+        run_seed: u64,
+        faults: Option<&FaultPlan>,
+        policy: &ExecPolicy,
+        setup: DisturbSetup<'_>,
+        report: &mut DisturbReport,
+    ) -> Result<ExecutionResult, ExecError> {
+        let inner = TestbedRun::new(&self.truth, self.rng_for(0xE0EC, run_seed));
+        match faults {
+            Some(plan) => {
+                let mut model = FaultyExecution::new(inner, ScriptedFaults::new(plan.clone()));
+                execute_disturbed_with_slab_prevalidated(
+                    slab,
+                    dag,
+                    &self.cluster,
+                    schedule,
+                    &mut model,
+                    policy,
+                    setup,
+                    report,
+                )
+            }
+            None => {
+                let mut model = inner;
+                execute_disturbed_with_slab_prevalidated(
+                    slab,
+                    dag,
+                    &self.cluster,
+                    schedule,
+                    &mut model,
+                    policy,
+                    setup,
+                    report,
+                )
+            }
+        }
     }
 
     /// One timed run of a single kernel at allocation `p` (the §VI
@@ -348,6 +404,96 @@ mod tests {
             matches!(err, ExecError::TaskFailed { attempts: 2, .. }),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn disturbed_execution_rescues_deterministically() {
+        use mps_faults::{DisturbancePlan, RecoveryPolicy};
+        use mps_sched::ScheduledTask;
+
+        let tb = Testbed::bayreuth(42);
+        let g = &paper_corpus(PAPER_CORPUS_SEED)[0];
+        let model = AnalyticModel::paper_jvm();
+        let schedule = Hcpa.schedule(&g.dag, &tb.nominal_cluster(), &model);
+        let healthy = tb.execute(&g.dag, &schedule, 1).unwrap();
+        // Crash a host mid-run; the rescue re-plan serializes everything
+        // unfinished onto the first survivor.
+        let plan = DisturbancePlan::builder(3)
+            .crash(HostId(0), healthy.makespan * 0.3)
+            .build();
+        let dag = &g.dag;
+        let run = || {
+            let mut slab = ExecSlab::new();
+            let mut report = DisturbReport::default();
+            let mut replan = |survivors: &[HostId]| {
+                let h = survivors[0];
+                Some(mps_sched::Schedule {
+                    algorithm: "rescue".into(),
+                    tasks: dag
+                        .task_ids()
+                        .map(|t| ScheduledTask {
+                            task: t,
+                            hosts: vec![h],
+                            est_start: 0.0,
+                            est_finish: 1.0,
+                        })
+                        .collect(),
+                    est_makespan: 1.0,
+                })
+            };
+            let r = tb.execute_disturbed_prevalidated_with_slab(
+                &mut slab,
+                dag,
+                &schedule,
+                1,
+                None,
+                &ExecPolicy::default(),
+                DisturbSetup {
+                    plan: &plan,
+                    recovery: RecoveryPolicy::Rescue,
+                    rescue_overhead: 0.5,
+                    replan: Some(&mut replan),
+                },
+                &mut report,
+            );
+            (r.unwrap(), report)
+        };
+        let (a, report_a) = run();
+        let (b, report_b) = run();
+        assert_eq!(a, b, "disturbed runs must be bit-identical per seed");
+        assert_eq!(report_a, report_b);
+        assert_eq!(report_a.crashes, 1);
+        assert_eq!(report_a.rescues, 1);
+        assert!(report_a.rescued_tasks >= 1);
+        assert!(
+            a.makespan > healthy.makespan,
+            "losing a host cannot be free: {} vs {}",
+            a.makespan,
+            healthy.makespan
+        );
+        // An empty plan through the disturbed entry point reproduces the
+        // healthy execution exactly.
+        let mut slab = ExecSlab::new();
+        let mut report = DisturbReport::default();
+        let clean = tb
+            .execute_disturbed_prevalidated_with_slab(
+                &mut slab,
+                dag,
+                &schedule,
+                1,
+                None,
+                &ExecPolicy::default(),
+                DisturbSetup {
+                    plan: &DisturbancePlan::none(),
+                    recovery: RecoveryPolicy::Rescue,
+                    rescue_overhead: 0.5,
+                    replan: None,
+                },
+                &mut report,
+            )
+            .unwrap();
+        assert_eq!(clean, healthy);
+        assert_eq!(report.fired(), 0);
     }
 
     #[test]
