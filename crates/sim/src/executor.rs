@@ -2152,3 +2152,73 @@ mod proptests {
         }
     }
 }
+
+#[cfg(test)]
+mod repro_review {
+    use super::*;
+    use mps_kernels::Kernel;
+    use mps_sched::{Schedule, ScheduledTask};
+    use mps_faults::{DisturbancePlan, DisturbReport, RecoveryPolicy};
+
+    struct PerTask;
+    impl ExecutionModel for PerTask {
+        fn task_execution(&mut self, task: TaskId, _k: Kernel, _h: &[HostId]) -> TaskExecution {
+            TaskExecution::Fixed(if task.index() == 2 { 10.0 } else { 2.0 })
+        }
+        fn startup_overhead(&mut self, _t: TaskId, _p: usize) -> f64 { 0.5 }
+        fn redist_overhead(&mut self, _s: usize, _d: usize) -> f64 { 1.0 }
+    }
+
+    #[test]
+    fn stale_redist_after_rescue_replan() {
+        // A(0) -> B(1); C(2) independent, long-running on host 0.
+        let dag = Dag::new(
+            vec![Kernel::MatAdd { n: 2000 }; 3],
+            &[(TaskId(0), TaskId(1))],
+        )
+        .unwrap();
+        let cluster = Cluster::bayreuth();
+        let mk = |t: usize, h: usize| ScheduledTask {
+            task: TaskId(t),
+            hosts: vec![HostId(h)],
+            est_start: t as f64 * 10.0,
+            est_finish: (t + 1) as f64 * 10.0,
+        };
+        let schedule = Schedule {
+            algorithm: "manual".into(),
+            tasks: vec![mk(0, 1), mk(1, 2), mk(2, 0)],
+            est_makespan: 1.0,
+        };
+        // A spans [0, 2.5]; redist A->B in flight from 2.5; crash host 0
+        // at 3.0 strands C; rescue moves B to host 3 and C to host 1.
+        let plan = DisturbancePlan::builder(1).crash(HostId(0), 3.0).build();
+        let mut replan = |survivors: &[HostId]| -> Option<Schedule> {
+            assert!(!survivors.contains(&HostId(0)));
+            Some(Schedule {
+                algorithm: "rescue".into(),
+                tasks: vec![mk(1, 3), mk(2, 1)],
+                est_makespan: 1.0,
+            })
+        };
+        let mut slab = ExecSlab::new();
+        let mut report = DisturbReport::default();
+        let mut model = PerTask;
+        let r = execute_disturbed_with_slab(
+            &mut slab,
+            &dag,
+            &cluster,
+            &schedule,
+            &mut model,
+            &ExecPolicy::default(),
+            DisturbSetup {
+                plan: &plan,
+                recovery: RecoveryPolicy::Rescue,
+                rescue_overhead: 0.0,
+                replan: Some(&mut replan),
+            },
+            &mut report,
+        );
+        eprintln!("result: {r:?} report: {report:?}");
+        r.unwrap();
+    }
+}
