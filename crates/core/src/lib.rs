@@ -18,6 +18,7 @@
 //! | [`journal`] | write-ahead result journal for crash-safe, resumable campaigns |
 //! | [`supervise`] | worker supervision: process isolation, timeouts, quarantine |
 //! | [`serve`] | scheduling-as-a-service daemon: wire protocol, admission control, drain |
+//! | [`online`] | streaming arrival-process workloads: admission, moldable allocation, million-event horizons |
 //! | [`testbed`] | the emulated execution environment (ground truth) |
 //! | [`regress`] | least-squares fitting (Table II machinery) |
 //! | [`stats`] | statistics, box plots, figure-data helpers |
@@ -47,6 +48,7 @@ pub use mps_journal as journal;
 pub use mps_kernels as kernels;
 pub use mps_l07 as l07;
 pub use mps_model as model;
+pub use mps_online as online;
 pub use mps_platform as platform;
 pub use mps_regress as regress;
 pub use mps_sched as sched;

@@ -65,6 +65,15 @@ impl ActivityId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub(crate) u64);
 
+impl TimerId {
+    /// Raw id. Monotone from zero within one engine lifetime (ids restart
+    /// after [`Engine::reset`]), usable as a key into caller-side timer
+    /// tables.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Specification of a new activity.
 #[derive(Debug, Clone)]
 pub struct ActivitySpec {
@@ -225,6 +234,37 @@ pub enum Completion {
     Activity(ActivityId),
     /// A timer expired.
     Timer(TimerId),
+}
+
+/// Sizes of the [`Engine`]'s growable structures (see
+/// [`Engine::memory_footprint`]). All counts are element counts, not
+/// bytes: the audit cares about growth curves, not allocator detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Activity slab length (live + free-listed slots).
+    pub slab_slots: usize,
+    /// Slots currently on the free-list.
+    pub free_slots: usize,
+    /// Entries in the finish-prediction heap (live + stale).
+    pub finish_heap: usize,
+    /// Entries in the latency-phase heap (live + stale).
+    pub latency_heap: usize,
+    /// Entries in the timer heap.
+    pub timer_heap: usize,
+    /// Total resource→activity incidence entries (live + stale).
+    pub incidence_entries: usize,
+}
+
+impl MemoryFootprint {
+    /// The audit scalar: the largest single structure. A leak anywhere
+    /// drives this up monotonically; bounded churn leaves it flat.
+    pub fn high_water(&self) -> usize {
+        self.slab_slots
+            .max(self.finish_heap)
+            .max(self.latency_heap)
+            .max(self.timer_heap)
+            .max(self.incidence_entries)
+    }
 }
 
 /// Outcome of one [`Engine::step`] call.
@@ -646,6 +686,23 @@ impl Engine {
     /// Number of live (unfinished) activities.
     pub fn live_activities(&self) -> usize {
         self.n_live
+    }
+
+    /// Sizes of the engine's growable structures, for long-horizon memory
+    /// audits: a workload with bounded concurrency must see every one of
+    /// these plateau, no matter how many activities and timers churn
+    /// through. (The heaps may carry stale stamped entries between pops,
+    /// so their plateau is higher than `live_activities`, but it is still
+    /// a plateau.)
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            slab_slots: self.slots.len(),
+            free_slots: self.free_slots.len(),
+            finish_heap: self.finish_heap.len(),
+            latency_heap: self.latency_heap.len(),
+            timer_heap: self.timer_heap.len(),
+            incidence_entries: self.res_acts.iter().map(Vec::len).sum(),
+        }
     }
 
     /// Number of pending timers.

@@ -39,8 +39,8 @@ pub mod trace;
 pub mod usage;
 
 pub use engine::{
-    ActivityId, ActivitySpec, Completion, Engine, EngineError, ResourceId, StepResult, TimerId,
-    Watchdog,
+    ActivityId, ActivitySpec, Completion, Engine, EngineError, MemoryFootprint, ResourceId,
+    StepResult, TimerId, Watchdog,
 };
 pub use solver::{
     max_min_fair_rates, max_min_fair_rates_ref, Demand, ResourceIndex, SharingProblem, SolverError,

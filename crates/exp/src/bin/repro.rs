@@ -110,6 +110,7 @@ fn main() {
     let mut cli_schedule: Option<String> = None;
     let mut cli_simulate: Option<String> = None;
     let mut cli_subset_grid: Option<usize> = None;
+    let mut cli_online: Option<String> = None;
     let mut cli_health = false;
     let mut cli_drain = false;
     let mut deadline_ms: Option<u64> = None;
@@ -117,6 +118,12 @@ fn main() {
     let mut points: Option<usize> = None;
     let mut episodes: Option<usize> = None;
     let mut chaos_dir: Option<String> = None;
+    let mut arrival_rates: Option<String> = None;
+    let mut horizon_events: Option<u64> = None;
+    let mut admission: Option<usize> = None;
+    let mut max_width: Option<usize> = None;
+    let mut batch: Option<usize> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut targets = Vec::new();
     let mut i = 0;
@@ -332,6 +339,14 @@ fn main() {
                         .unwrap_or_else(|| die("--subset-grid needs an integer >= 1")),
                 );
             }
+            "--online" => {
+                i += 1;
+                cli_online = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--online needs ALGO:ARRIVAL")),
+                );
+            }
             "--health" => cli_health = true,
             "--drain" => cli_drain = true,
             "--deadline-ms" => {
@@ -376,6 +391,59 @@ fn main() {
                         .unwrap_or_else(|| die("--chaos-dir needs a directory")),
                 );
             }
+            "--arrival-rate" => {
+                i += 1;
+                arrival_rates = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--arrival-rate needs a comma-separated list")),
+                );
+            }
+            "--horizon-events" => {
+                i += 1;
+                horizon_events = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--horizon-events needs an integer >= 1")),
+                );
+            }
+            "--admission" => {
+                i += 1;
+                admission = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or_else(|| {
+                            die("--admission needs an integer (0 sheds everything)")
+                        }),
+                );
+            }
+            "--max-width" => {
+                i += 1;
+                max_width = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--max-width needs an integer >= 1")),
+                );
+            }
+            "--batch" => {
+                i += 1;
+                batch = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--batch needs an integer >= 1")),
+                );
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                );
+            }
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -398,6 +466,69 @@ fn main() {
     let campaigning = targets.iter().any(|t| t == "campaign");
     let chaosing = targets.iter().any(|t| t == "chaos");
     let disturbing = targets.iter().any(|t| t == "disturb");
+    let onlining = targets.iter().any(|t| t == "online");
+    if onlining {
+        if targets.len() > 1 {
+            die("online cannot be combined with other targets");
+        }
+        // The streaming sweep builds no testbed harness; grid knobs
+        // would be inert lies.
+        for (set, flag) in [
+            (faults.is_some(), "--faults"),
+            (disturb.is_some(), "--disturb"),
+            (recovery.is_some(), "--recovery"),
+            (journal_path.is_some(), "--journal"),
+            (resume, "--resume"),
+            (subset.is_some(), "--subset"),
+            (isolation == "process", "--isolation process"),
+            (max_wall_secs.is_some(), "--max-wall-secs"),
+            (throttle_ms.is_some(), "--throttle-ms"),
+        ] {
+            if set {
+                die(&format!("{flag} cannot be used with the online target"));
+            }
+        }
+    } else {
+        for (set, flag) in [
+            (arrival_rates.is_some(), "--arrival-rate"),
+            (max_width.is_some(), "--max-width"),
+            (batch.is_some(), "--batch"),
+            (trace_out.is_some(), "--trace-out"),
+        ] {
+            if set {
+                die(&format!("{flag} requires the online target"));
+            }
+        }
+        // These two also parameterize a client `--online` request.
+        if !(clienting && cli_online.is_some()) {
+            for (set, flag) in [
+                (horizon_events.is_some(), "--horizon-events"),
+                (admission.is_some(), "--admission"),
+            ] {
+                if set {
+                    die(&format!(
+                        "{flag} requires the online target or a client --online request"
+                    ));
+                }
+            }
+        }
+    }
+    if onlining {
+        let defaults = mps_exp::OnlineOpts::default();
+        let opts = mps_exp::OnlineOpts {
+            arrivals: match &arrival_rates {
+                Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+                None => defaults.arrivals,
+            },
+            horizon_events: horizon_events.unwrap_or(defaults.horizon_events),
+            seed,
+            admission_cap: admission.unwrap_or(defaults.admission_cap),
+            max_width: max_width.unwrap_or(defaults.max_width),
+            batch: batch.unwrap_or(defaults.batch),
+            workers: workers.unwrap_or_else(Harness::default_workers),
+        };
+        std::process::exit(run_online(&opts, trace_out.as_deref(), json_dir.as_deref()));
+    }
     if disturbing && disturb.is_some() {
         die("--disturb cannot be used with the disturb target (it sweeps its own seeded plans)");
     }
@@ -503,6 +634,7 @@ fn main() {
             (cli_schedule.is_some(), "--schedule"),
             (cli_simulate.is_some(), "--simulate"),
             (cli_subset_grid.is_some(), "--subset-grid"),
+            (cli_online.is_some(), "--online"),
             (cli_health, "--health"),
             (cli_drain, "--drain"),
             (deadline_ms.is_some(), "--deadline-ms"),
@@ -532,6 +664,10 @@ fn main() {
             cli_schedule.as_deref(),
             cli_simulate.as_deref(),
             cli_subset_grid,
+            cli_online.as_deref(),
+            horizon_events,
+            admission,
+            seed,
             disturb.clone(),
             cli_drain,
         ));
@@ -1193,6 +1329,57 @@ fn run_chaos(opts: &mps_exp::ChaosOpts) -> i32 {
     }
 }
 
+/// The `online` target: a streaming-workload sweep across load levels.
+/// `--trace-out` writes the deterministic event/SLO trace (byte-identical
+/// across repeats, batch sizes, and worker counts); `--json` additionally
+/// dumps the full report as `online.json`.
+fn run_online(opts: &mps_exp::OnlineOpts, trace_out: Option<&str>, json_dir: Option<&str>) -> i32 {
+    eprintln!(
+        "# streaming sweep: {} load level(s) x {{HCPA, MCPA}}, {} events/run, seed {}, {} worker(s)",
+        opts.arrivals.len(),
+        opts.horizon_events,
+        opts.seed,
+        opts.workers
+    );
+    let t = std::time::Instant::now();
+    let report = match mps_exp::run_online_sweep(opts, |line| eprintln!("# {line}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro: online: {e}");
+            return 2;
+        }
+    };
+    eprintln!("# sweep finished in {:.1} s", t.elapsed().as_secs_f64());
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(path, report.trace()) {
+            eprintln!("repro: online: cannot write {path}: {e}");
+            return 2;
+        }
+        eprintln!("# wrote {path}");
+    }
+    if let Some(dir) = json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: online: cannot create --json dir {dir}: {e}");
+            return 2;
+        }
+        let path = format!("{dir}/online.json");
+        let payload = match serde_json::to_string_pretty(&report) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("repro: online: cannot encode {path}: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, payload) {
+            eprintln!("repro: online: cannot write {path}: {e}");
+            return 2;
+        }
+        eprintln!("# wrote {path}");
+    }
+    println!("{}", report.render());
+    0
+}
+
 struct ServeCliOpts {
     socket: Option<String>,
     state_dir: Option<String>,
@@ -1364,6 +1551,10 @@ fn run_client(
     schedule: Option<&str>,
     simulate: Option<&str>,
     subset_grid: Option<usize>,
+    online: Option<&str>,
+    horizon_events: Option<u64>,
+    admission: Option<usize>,
+    seed: u64,
     disturb: Option<String>,
     drain: bool,
 ) -> i32 {
@@ -1418,6 +1609,18 @@ fn run_client(
             take,
             repeats,
             disturb: disturb.clone(),
+        });
+    }
+    if let Some(spec) = online {
+        let (algo, arrival) = spec
+            .split_once(':')
+            .unwrap_or_else(|| die("bad --online spec (want ALGO:ARRIVAL, e.g. HCPA:0.05)"));
+        work_items.push(WorkRequest::Online {
+            arrival: arrival.to_string(),
+            horizon_events: horizon_events.unwrap_or(1_000_000),
+            seed,
+            admission: admission.unwrap_or(64) as u64,
+            algo: algo.to_string(),
         });
     }
     for work in &work_items {
@@ -1475,6 +1678,10 @@ fn run_client(
     _schedule: Option<&str>,
     _simulate: Option<&str>,
     _subset_grid: Option<usize>,
+    _online: Option<&str>,
+    _horizon_events: Option<u64>,
+    _admission: Option<usize>,
+    _seed: u64,
     _disturb: Option<String>,
     _drain: bool,
 ) -> i32 {
@@ -1500,6 +1707,11 @@ targets:
   campaign fault-sweep campaign: many grid points, one journal each
   chaos    seeded I/O + wire fault-injection soak over every durability
            path (journal, campaign, daemon), with invariant checks
+  online   streaming workload: a seeded arrival process (Poisson or
+           bursty MMPP) feeds DAG jobs from the corpus through admission
+           control into moldable HCPA/MCPA allocation on the incremental
+           DES; reports throughput, utilization, P2-sketched latency
+           quantiles, and verdict stability across load levels
 
 grid flags:
   --seed S             harness seed (default 2011)
@@ -1551,6 +1763,22 @@ chaos flags (target: chaos):
    sequence. Exit 0 = every injected fault was absorbed or surfaced
    typed AND every fault class actually fired; exit 2 otherwise.)
 
+online flags (target: online):
+  --arrival-rate LIST  comma-separated load levels; each entry is a bare
+                       Poisson rate (jobs/sim-second) or a full arrival
+                       grammar string `poisson@R` / `mmpp@R0:R1:S0:S1`
+                       (default 0.01,0.04,0.16: light, busy, overload)
+  --horizon-events N   DES events per run before draining (default 1000000)
+  --admission N        backlog+inflight cap; beyond it arrivals are shed
+                       with EMA retry hints (default 64; 0 sheds all)
+  --max-width N        widest host subset one job may claim (default 8)
+  --batch N            steps between memory samples; flush granularity
+                       only, the event trace is invariant to it
+  --trace-out PATH     write the deterministic event/SLO trace (byte-
+                       identical across repeats, batch sizes, --workers)
+  (--seed seeds the arrival stream; --workers parallelizes across the
+   level x algorithm run matrix; --json writes online.json)
+
 serve flags (target: serve):
   --socket PATH        Unix socket to listen on
   --stdio              serve one connection over stdin/stdout instead
@@ -1568,6 +1796,11 @@ client flags (target: client):
   --schedule DAG:VAR:ALGO    one schedule (no testbed runs)
   --simulate DAG:VAR:ALGO    one full cell (--repeats testbed runs)
   --subset-grid N            first N DAGs x 3 variants x 2 algorithms
+  --online ALGO:ARRIVAL      one streaming run (e.g. HCPA:0.05 or
+                             MCPA:mmpp@8:0.5:10:40); --horizon-events
+                             and --admission parameterize it, --seed
+                             seeds the arrival stream; the daemon caps
+                             the horizon at 20M events
   --deadline-ms N            per-request deadline
   --health                   print server statistics
   --drain                    ask the daemon to drain and exit

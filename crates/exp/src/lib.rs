@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod disturb;
 pub mod figures;
 pub mod journaled;
+pub mod online;
 pub mod runner;
 pub mod serve_backend;
 pub mod supervised;
@@ -26,6 +27,7 @@ pub use campaign::{CampaignManifest, CampaignOpts, CampaignReport, PointSummary}
 pub use chaos::{ChaosOpts, ChaosReport};
 pub use disturb::{run_disturb_sweep, DisturbPoint, DisturbSweepOpts, DisturbSweepReport};
 pub use journaled::{GridStatus, JournaledGrid};
+pub use online::{run_online_sweep, OnlineLevel, OnlineOpts, OnlineSweepReport, OnlineWall};
 pub use runner::{
     cell_key, grid_health, paired_relative_makespans, parse_poison_spec, CellOutcome, CellResult,
     DisturbConfig, GridHealth, Harness, PoisonAction, PoisonRule, SimVariant, ERROR_PCT_SENTINEL,

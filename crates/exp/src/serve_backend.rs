@@ -25,12 +25,18 @@ use std::path::PathBuf;
 use mps_core::dag::gen::GeneratedDag;
 use mps_core::faults::{DisturbancePlan, RecoveryPolicy, DISTURB_HORIZON};
 use mps_core::journal::{self, fnv64, JournalHeader, RunControl, StopReason, FORMAT_V1};
+use mps_core::online::{OnlineAlgo, OnlineConfig, OnlineEngine};
 use mps_core::sched::Scheduler;
 use mps_core::serve::{Backend, ServeError, WorkRequest, WorkSummary};
 
 use crate::journaled::{algo_of, finalize_grid, open_grid_journal, pending_specs, JournaledGrid};
 use crate::runner::{cell_key, CellOutcome, CellResult, DisturbConfig, Harness, SimVariant};
 use crate::supervised::{SuperviseOpts, WorkerCommand};
+
+/// Hard cap on the event horizon a client can request from the daemon
+/// (~20 s of single-core work): streaming runs share the executor pool
+/// with grid work, so one request must not pin an executor indefinitely.
+const MAX_SERVED_HORIZON: u64 = 20_000_000;
 
 /// Parses a work request's optional disturbance-plan field. Requests
 /// carry the plan as the CLI grammar string; crashes get the rescue
@@ -176,6 +182,42 @@ impl ServeBackend {
                 }
                 tally_disturb(&mut summary, &cell);
                 let payload = encode(&cell)?;
+                emit(&key, &payload);
+            }
+            WorkRequest::Online {
+                arrival,
+                horizon_events,
+                seed,
+                admission,
+                algo,
+            } => {
+                let spec =
+                    crate::online::parse_arrival(arrival).map_err(|e| ServeError::Backend {
+                        reason: format!("bad arrival spec: {e}"),
+                    })?;
+                let algo = OnlineAlgo::parse(algo).map_err(backend_err)?;
+                // A streaming run is one admitted request, so its horizon
+                // is capped: a million-event run takes around a second,
+                // and nothing a client says should pin an executor for
+                // minutes.
+                let horizon = (*horizon_events).clamp(1, MAX_SERVED_HORIZON);
+                let mut cfg = OnlineConfig::new(spec, algo);
+                cfg.seed = *seed;
+                cfg.horizon_events = horizon;
+                cfg.admission_cap = *admission as usize;
+                cfg.max_width = 8;
+                let dags: Vec<mps_core::dag::Dag> =
+                    self.corpus.iter().map(|g| g.dag.clone()).collect();
+                let mut engine = OnlineEngine::new(&dags).map_err(backend_err)?;
+                let outcome = engine.run(&cfg).map_err(backend_err)?;
+                let key = format!(
+                    "online/{}/{}/seed{}/h{}",
+                    cfg.arrival,
+                    algo.name(),
+                    cfg.seed,
+                    horizon
+                );
+                let payload = encode(&outcome.run)?;
                 emit(&key, &payload);
             }
             WorkRequest::SubsetGrid { .. } => unreachable!("grid handled by caller"),
@@ -399,9 +441,9 @@ impl Backend for ServeBackend {
         emit: &mut dyn FnMut(&str, &str) -> bool,
     ) -> Result<WorkSummary, ServeError> {
         match work {
-            WorkRequest::Schedule { .. } | WorkRequest::Simulate { .. } => {
-                self.run_single(work, emit)
-            }
+            WorkRequest::Schedule { .. }
+            | WorkRequest::Simulate { .. }
+            | WorkRequest::Online { .. } => self.run_single(work, emit),
             WorkRequest::SubsetGrid {
                 take,
                 repeats,

@@ -221,6 +221,64 @@ fn a_disturbed_request_rescues_streams_and_replays_byte_identically() {
 }
 
 #[test]
+fn an_online_request_streams_one_deterministic_cell_and_updates_latency_stats() {
+    let dir = scratch_dir("online");
+    let socket = dir.join("mps.sock");
+    let state = dir.join("state");
+    let mut daemon = spawn_serve(&socket, &state, &[]);
+
+    let run = |seed: &str| {
+        Command::new(REPRO)
+            .args(["--seed", seed, "client", "--socket"])
+            .arg(&socket)
+            .args(["--online", "HCPA:0.05", "--horizon-events", "20000"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run online client")
+    };
+    let first = run("11");
+    assert!(first.status.success(), "online request failed: {first:?}");
+    let cells = String::from_utf8_lossy(&first.stdout).to_string();
+    assert_eq!(
+        first.stdout.iter().filter(|&&c| c == b'\n').count(),
+        1,
+        "an online request streams exactly one cell: {cells}"
+    );
+    assert!(
+        cells.starts_with("online/poisson@0.05/HCPA/seed11/h20000\t"),
+        "unexpected cell key: {cells}"
+    );
+    assert!(
+        cells.contains("\"completed\"") && cells.contains("\"latency_p99_ms\""),
+        "payload is not an OnlineRun: {cells}"
+    );
+
+    // Same seed + spec ⇒ byte-identical payload, daemon-side too.
+    let second = run("11");
+    assert_eq!(
+        second.stdout, first.stdout,
+        "online request is not deterministic across submissions"
+    );
+    // A different seed keys a different cell.
+    let other = run("12");
+    assert_ne!(other.stdout, first.stdout);
+
+    // Served requests must surface per-request latency quantiles.
+    let health = client(&socket, &["--health"]);
+    assert!(health.status.success(), "health failed: {health:?}");
+    let stats = String::from_utf8_lossy(&health.stdout).to_string();
+    assert!(
+        stats.contains("\"p50_service_ms\"") && stats.contains("\"p99_service_ms\""),
+        "health lacks service-latency quantiles: {stats}"
+    );
+
+    assert!(client(&socket, &["--drain"]).status.success());
+    assert!(daemon.wait().expect("daemon").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sigterm_mid_request_drains_gracefully_and_completes_the_journal() {
     let dir = scratch_dir("sigterm");
     let socket = dir.join("mps.sock");

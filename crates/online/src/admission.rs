@@ -1,0 +1,169 @@
+//! Bounded-backlog admission control with typed shed decisions.
+//!
+//! The controller mirrors the discipline `mps-serve` applies at its
+//! accept loop: a hard cap on queued-plus-inflight work, and when the
+//! cap is hit the job is *shed* with a retry hint derived from an
+//! exponentially-weighted moving average of recent job sojourns. The
+//! hint is sized so a client that honours it finds the backlog drained
+//! with high probability — `ema × (backlog + inflight + 1)`, clamped to
+//! a sane [50 ms, 60 s] band.
+//!
+//! Everything here is deterministic and wall-clock-free: sojourns are
+//! *simulated* milliseconds, so the same event trace produces the same
+//! shed decisions and the same hints on every run.
+
+/// Smoothing factor for the per-job sojourn EMA (matches mps-serve).
+const EMA_ALPHA: f64 = 0.25;
+/// Retry hints are clamped to this band, in simulated milliseconds.
+const RETRY_MIN_MS: f64 = 50.0;
+const RETRY_MAX_MS: f64 = 60_000.0;
+
+/// Outcome of offering one arrival to the controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// The job may enter the backlog.
+    Admitted,
+    /// The backlog is full; the job is dropped with a retry hint.
+    Shed {
+        /// Suggested client back-off, simulated milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// Bounded-backlog admission controller.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Maximum `backlog + inflight` before arrivals are shed.
+    cap: usize,
+    /// EMA of completed-job sojourn (admission → completion), simulated ms.
+    sojourn_ema_ms: f64,
+    admitted: u64,
+    shed: u64,
+}
+
+impl AdmissionController {
+    /// A controller shedding beyond `cap` queued-plus-inflight jobs.
+    /// `cap == 0` disables admission entirely (everything sheds).
+    pub fn new(cap: usize) -> Self {
+        AdmissionController {
+            cap,
+            sojourn_ema_ms: 0.0,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Offers one arrival given the current load; counts the decision.
+    pub fn offer(&mut self, backlog: usize, inflight: usize) -> Admission {
+        if backlog + inflight < self.cap {
+            self.admitted += 1;
+            Admission::Admitted
+        } else {
+            self.shed += 1;
+            let ema = if self.sojourn_ema_ms > 0.0 {
+                self.sojourn_ema_ms
+            } else {
+                // No completions yet: assume the band floor per queued job.
+                RETRY_MIN_MS
+            };
+            let hint = (ema * (backlog + inflight + 1) as f64).clamp(RETRY_MIN_MS, RETRY_MAX_MS);
+            Admission::Shed {
+                retry_after_ms: hint.round() as u64,
+            }
+        }
+    }
+
+    /// Records a completed job's sojourn (admission → completion) so
+    /// future shed hints track observed service times.
+    pub fn finish(&mut self, sojourn_ms: f64) {
+        if !sojourn_ms.is_finite() || sojourn_ms < 0.0 {
+            return;
+        }
+        if self.sojourn_ema_ms == 0.0 {
+            self.sojourn_ema_ms = sojourn_ms;
+        } else {
+            self.sojourn_ema_ms = EMA_ALPHA * sojourn_ms + (1.0 - EMA_ALPHA) * self.sojourn_ema_ms;
+        }
+    }
+
+    /// Jobs admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Jobs shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Current sojourn EMA, simulated milliseconds (0 before any finish).
+    pub fn sojourn_ema_ms(&self) -> f64 {
+        self.sojourn_ema_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_under_cap_sheds_at_cap() {
+        let mut ac = AdmissionController::new(4);
+        assert_eq!(ac.offer(0, 0), Admission::Admitted);
+        assert_eq!(ac.offer(1, 2), Admission::Admitted);
+        assert!(matches!(ac.offer(2, 2), Admission::Shed { .. }));
+        assert!(matches!(ac.offer(10, 0), Admission::Shed { .. }));
+        assert_eq!(ac.admitted(), 2);
+        assert_eq!(ac.shed(), 2);
+    }
+
+    #[test]
+    fn zero_cap_sheds_everything() {
+        let mut ac = AdmissionController::new(0);
+        assert!(matches!(ac.offer(0, 0), Admission::Shed { .. }));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_load_and_clamps() {
+        let mut ac = AdmissionController::new(1);
+        ac.finish(100.0);
+        let Admission::Shed { retry_after_ms: a } = ac.offer(1, 0) else {
+            panic!("expected shed");
+        };
+        let Admission::Shed { retry_after_ms: b } = ac.offer(7, 0) else {
+            panic!("expected shed");
+        };
+        assert!(
+            b > a,
+            "deeper backlog must yield a longer hint ({a} vs {b})"
+        );
+        // Enormous EMA clamps to the band ceiling.
+        ac.finish(1e9);
+        ac.finish(1e9);
+        ac.finish(1e9);
+        ac.finish(1e9);
+        let Admission::Shed { retry_after_ms } = ac.offer(50, 0) else {
+            panic!("expected shed");
+        };
+        assert_eq!(retry_after_ms, 60_000);
+    }
+
+    #[test]
+    fn hint_without_history_uses_floor() {
+        let mut ac = AdmissionController::new(1);
+        let Admission::Shed { retry_after_ms } = ac.offer(1, 0) else {
+            panic!("expected shed");
+        };
+        assert_eq!(retry_after_ms, 100); // 50 ms floor × (1 + 0 + 1)
+    }
+
+    #[test]
+    fn ema_converges_toward_recent_sojourns() {
+        let mut ac = AdmissionController::new(1);
+        ac.finish(1000.0);
+        for _ in 0..40 {
+            ac.finish(100.0);
+        }
+        assert!((ac.sojourn_ema_ms() - 100.0).abs() < 1.0);
+    }
+}

@@ -67,6 +67,24 @@ pub enum WorkRequest {
         #[serde(default)]
         disturb: Option<String>,
     },
+    /// Run a streaming arrival-process workload: a seeded arrival stream
+    /// draws corpus DAGs, an admission controller bounds the backlog, and
+    /// the incremental DES runs jobs to completion over `horizon_events`
+    /// engine events. Streams one cell whose payload is the
+    /// `OnlineRun` JSON (throughput, SLO quantiles, shed counters).
+    Online {
+        /// Arrival-process spec: `poisson@R`, `mmpp@R0:R1:S0:S1`, or a
+        /// bare Poisson rate like `0.05`.
+        arrival: String,
+        /// Engine events to run before draining (server-capped).
+        horizon_events: u64,
+        /// Arrival-stream seed.
+        seed: u64,
+        /// Admission-controller backlog bound (0 sheds everything).
+        admission: u64,
+        /// Algorithm name (`CPA`|`HCPA`|`MCPA`).
+        algo: String,
+    },
     /// Run the first `take` corpus DAGs × 3 simulators × 2 algorithms.
     /// Streams one cell per grid cell.
     SubsetGrid {
@@ -167,6 +185,13 @@ pub struct ServerStats {
     /// Rescue re-plans triggered by host crashes, across all requests.
     #[serde(default)]
     pub rescues: u64,
+    /// Median per-request service time (milliseconds, rounded; 0 until a
+    /// request completes). Streaming P² estimate — no sample buffer.
+    #[serde(default)]
+    pub p50_service_ms: u64,
+    /// 99th-percentile per-request service time (milliseconds, rounded).
+    #[serde(default)]
+    pub p99_service_ms: u64,
     /// True once the server has stopped admitting.
     pub draining: bool,
 }

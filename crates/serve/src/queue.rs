@@ -12,6 +12,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use mps_stats::QuantileSketch;
+
 /// Counters a [`ClientFrame::Health`](crate::proto::ClientFrame) reply is
 /// built from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +30,11 @@ pub struct QueueStats {
     pub shed: u64,
     /// Exponential moving average of job service time (milliseconds).
     pub ema_service_ms: f64,
+    /// Streaming median of job service time (milliseconds; 0.0 until a
+    /// job finishes).
+    pub p50_service_ms: f64,
+    /// Streaming 99th percentile of job service time (milliseconds).
+    pub p99_service_ms: f64,
     /// True once draining.
     pub draining: bool,
 }
@@ -52,6 +59,7 @@ struct Inner<T> {
     served: u64,
     shed: u64,
     ema_ms: f64,
+    latency: QuantileSketch,
     draining: bool,
 }
 
@@ -79,6 +87,7 @@ impl<T> AdmissionQueue<T> {
                 served: 0,
                 shed: 0,
                 ema_ms: 0.0,
+                latency: QuantileSketch::new(),
                 draining: false,
             }),
             ready: Condvar::new(),
@@ -136,6 +145,7 @@ impl<T> AdmissionQueue<T> {
         } else {
             EMA_ALPHA * x + (1.0 - EMA_ALPHA) * g.ema_ms
         };
+        g.latency.observe(x);
         drop(g);
         // Wake drain waiters polling `drained`.
         self.ready.notify_all();
@@ -175,6 +185,8 @@ impl<T> AdmissionQueue<T> {
             served: g.served,
             shed: g.shed,
             ema_service_ms: g.ema_ms,
+            p50_service_ms: g.latency.p50(),
+            p99_service_ms: g.latency.p99(),
             draining: g.draining,
         }
     }

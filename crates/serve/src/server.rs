@@ -203,6 +203,8 @@ impl Server {
             stalled: self.stalled.load(Ordering::SeqCst),
             disturbed: self.disturbed.load(Ordering::SeqCst),
             rescues: self.rescues.load(Ordering::SeqCst),
+            p50_service_ms: q.p50_service_ms.round() as u64,
+            p99_service_ms: q.p99_service_ms.round() as u64,
             draining: q.draining,
         }
     }

@@ -33,7 +33,7 @@ fn text(codes: &[u8]) -> String {
 }
 
 fn work(kind: u8, dag: usize, s1: &str, s2: &str, n: u64) -> WorkRequest {
-    match kind % 3 {
+    match kind % 4 {
         0 => WorkRequest::Schedule {
             dag,
             variant: s1.to_string(),
@@ -45,6 +45,13 @@ fn work(kind: u8, dag: usize, s1: &str, s2: &str, n: u64) -> WorkRequest {
             algo: s2.to_string(),
             repeats: n,
             disturb: (n % 2 == 1).then(|| s2.to_string()),
+        },
+        2 => WorkRequest::Online {
+            arrival: s1.to_string(),
+            horizon_events: n,
+            seed: n ^ 0x5a5a,
+            admission: n % 257,
+            algo: s2.to_string(),
         },
         _ => WorkRequest::SubsetGrid {
             take: dag,
@@ -124,6 +131,8 @@ fn server_frame(kind: u8, id: u64, s1: &str, s2: &str, n: u64) -> ServerFrame {
                 stalled: n % 4,
                 disturbed: n % 8,
                 rescues: n % 7,
+                p50_service_ms: n % 17,
+                p99_service_ms: n % 19,
                 draining: n % 2 == 1,
             },
         },

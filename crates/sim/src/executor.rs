@@ -1271,6 +1271,17 @@ pub fn execute_disturbed_with_slab_prevalidated(
                         if state[t.index()] == TaskState::Done || !changed[t.index()] {
                             continue;
                         }
+                        // A transfer still in flight into `t` targets its old
+                        // placement and would double-count against the reset
+                        // `pending` once the repair re-issues it below.
+                        for idx in 0..in_flight.len() {
+                            if let Some(Meaning::Redist { succ, .. }) = in_flight[idx] {
+                                if succ == t {
+                                    sim.cancel(live_ids[idx]);
+                                    in_flight[idx] = None;
+                                }
+                            }
+                        }
                         pending[t.index()] = dag.predecessors(t).len();
                         arrived[t.index()] = 0;
                         for &pred in dag.predecessors(t) {
@@ -2156,17 +2167,21 @@ mod proptests {
 #[cfg(test)]
 mod repro_review {
     use super::*;
+    use mps_faults::{DisturbReport, DisturbancePlan, RecoveryPolicy};
     use mps_kernels::Kernel;
     use mps_sched::{Schedule, ScheduledTask};
-    use mps_faults::{DisturbancePlan, DisturbReport, RecoveryPolicy};
 
     struct PerTask;
     impl ExecutionModel for PerTask {
         fn task_execution(&mut self, task: TaskId, _k: Kernel, _h: &[HostId]) -> TaskExecution {
             TaskExecution::Fixed(if task.index() == 2 { 10.0 } else { 2.0 })
         }
-        fn startup_overhead(&mut self, _t: TaskId, _p: usize) -> f64 { 0.5 }
-        fn redist_overhead(&mut self, _s: usize, _d: usize) -> f64 { 1.0 }
+        fn startup_overhead(&mut self, _t: TaskId, _p: usize) -> f64 {
+            0.5
+        }
+        fn redist_overhead(&mut self, _s: usize, _d: usize) -> f64 {
+            1.0
+        }
     }
 
     #[test]

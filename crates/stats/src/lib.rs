@@ -2,8 +2,8 @@
 //!
 //! Descriptive statistics (quantiles, Tukey box plots for Figure 8),
 //! simulation-error metrics (relative makespans, sign-agreement counts for
-//! Figures 1/5/7), and plain-text renderers for all the paper's figure
-//! styles.
+//! Figures 1/5/7), streaming quantile sketches for unbounded event
+//! streams, and plain-text renderers for all the paper's figure styles.
 
 #![warn(missing_docs)]
 
@@ -11,6 +11,7 @@ pub mod ascii;
 pub mod descriptive;
 pub mod error;
 pub mod rank;
+pub mod streaming;
 
 pub use ascii::{boxplots, paired_bars, profile, surface};
 pub use descriptive::{boxplot, median, quantile, summary, BoxPlot, Summary};
@@ -19,6 +20,7 @@ pub use error::{
     AgreementCounts, Verdict,
 };
 pub use rank::{kendall_tau, pearson, spearman};
+pub use streaming::{P2Quantile, QuantileSketch};
 
 #[cfg(test)]
 mod proptests {

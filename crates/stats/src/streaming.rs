@@ -1,0 +1,337 @@
+//! Streaming quantile estimation: the P² (P-squared) algorithm.
+//!
+//! Jain & Chlamtac's P² estimator tracks one quantile of an unbounded
+//! stream in **five fixed markers** — no samples are stored, so a
+//! million-event run costs the same memory as a ten-event run. The
+//! update is a handful of float operations and fully deterministic:
+//! the same observation sequence always yields the same estimate,
+//! which the online engine's byte-identical trace contract relies on.
+//!
+//! [`QuantileSketch`] bundles the common SLO trio (p50/p99/p999) with
+//! exact count/mean/min/max accumulators.
+
+/// Streaming estimator of one quantile via the P² algorithm.
+///
+/// Until five observations have arrived the estimator buffers them and
+/// answers with the exact order statistic; from the sixth observation on
+/// it maintains five markers whose heights approximate the quantile with
+/// piecewise-parabolic interpolation.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (sorted observations while `count < 5`).
+    heights: [f64; 5],
+    /// Actual marker positions, 1-based.
+    pos: [f64; 5],
+    /// Desired marker positions.
+    want: [f64; 5],
+    /// Desired-position increments per observation.
+    step: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q` in `[0, 1]` (e.g. `0.99` for p99).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.0, 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            want: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            step: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation. Non-finite values are ignored (a NaN would
+    /// poison every marker).
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            let n = self.count as usize;
+            self.heights[n] = x;
+            self.count += 1;
+            let live = self.count as usize;
+            self.heights[..live].sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return;
+        }
+        // Find the cell k with q[k] <= x < q[k+1], clamping the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            while k < 3 && x >= self.heights[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for p in self.pos[k + 1..].iter_mut() {
+            *p += 1.0;
+        }
+        for (w, s) in self.want.iter_mut().zip(self.step) {
+            *w += s;
+        }
+        self.count += 1;
+        // Nudge the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.want[i] - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let h = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < h && h < self.heights[i + 1] {
+                    h
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by
+    /// `d` (±1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    /// Linear fallback when the parabola would break marker monotonicity.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate, or `None` before the first observation. Exact
+    /// while fewer than five observations have arrived.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as usize;
+        if n <= 5 {
+            // Exact order statistic (nearest-rank on the sorted buffer).
+            let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+            return Some(self.heights[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// The SLO trio — p50/p99/p999 — plus exact count/mean/min/max, all in
+/// fixed memory. This is the sketch the online engine and the daemon's
+/// per-request latency stats share.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    p50: P2Quantile,
+    p99: P2Quantile,
+    p999: P2Quantile,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            p50: P2Quantile::new(0.50),
+            p99: P2Quantile::new(0.99),
+            p999: P2Quantile::new(0.999),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation into all three estimators.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.p50.observe(x);
+        self.p99.observe(x);
+        self.p999.observe(x);
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Median estimate (0 when empty).
+    pub fn p50(&self) -> f64 {
+        self.p50.estimate().unwrap_or(0.0)
+    }
+
+    /// 99th-percentile estimate (0 when empty).
+    pub fn p99(&self) -> f64 {
+        self.p99.estimate().unwrap_or(0.0)
+    }
+
+    /// 99.9th-percentile estimate (0 when empty).
+    pub fn p999(&self) -> f64 {
+        self.p999.estimate().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic uniform-ish stream (splitmix64 → [0, 1)).
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn exact_below_five_observations() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        for (i, x) in [5.0, 1.0, 3.0].iter().enumerate() {
+            p.observe(*x);
+            assert_eq!(p.count(), i as u64 + 1);
+        }
+        // Sorted buffer [1,3,5], nearest-rank median = 3.
+        assert_eq!(p.estimate(), Some(3.0));
+    }
+
+    #[test]
+    fn tracks_uniform_quantiles_closely() {
+        let xs = stream(42, 50_000);
+        for (q, tol) in [(0.5, 0.02), (0.99, 0.01), (0.999, 0.005)] {
+            let mut p = P2Quantile::new(q);
+            for &x in &xs {
+                p.observe(x);
+            }
+            let est = p.estimate().unwrap();
+            let exact = exact_quantile(&xs, q);
+            assert!(
+                (est - exact).abs() < tol,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let xs = stream(7, 10_000);
+        let run = || {
+            let mut s = QuantileSketch::new();
+            for &x in &xs {
+                s.observe(x * 1e3);
+            }
+            (s.p50().to_bits(), s.p99().to_bits(), s.p999().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sketch_accumulators_are_exact() {
+        let mut s = QuantileSketch::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        for x in [2.0, 4.0, 6.0] {
+            s.observe(x);
+        }
+        s.observe(f64::NAN); // ignored
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 6.0);
+    }
+
+    #[test]
+    fn markers_stay_monotone_under_adversarial_input() {
+        // Descending, ascending, then alternating spikes.
+        let mut p = P2Quantile::new(0.9);
+        let mut xs: Vec<f64> = (0..1000).map(|i| 1000.0 - i as f64).collect();
+        xs.extend((0..1000).map(|i| i as f64));
+        xs.extend((0..1000).map(|i| if i % 2 == 0 { 1e6 } else { -1e6 }));
+        for x in xs {
+            p.observe(x);
+            // Below five observations only the first `count` buffer slots
+            // are live; the rest still hold the zero fill.
+            let live = p.count().min(5) as usize;
+            for w in p.heights[..live].windows(2) {
+                assert!(w[0] <= w[1], "markers out of order: {:?}", p.heights);
+            }
+        }
+    }
+}
